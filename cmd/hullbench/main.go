@@ -1,0 +1,62 @@
+// Command hullbench runs the experiments of DESIGN.md §6 and prints their
+// tables — the reproduction's equivalent of regenerating the paper's
+// evaluation figures.
+//
+// Usage:
+//
+//	hullbench                 # run every experiment at full scale
+//	hullbench -exp E3         # one experiment
+//	hullbench -quick          # smaller sweeps (seconds instead of minutes)
+//	hullbench -seed 7         # change the master seed
+//	hullbench -list           # list experiments and claims
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"inplacehull/internal/bench"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment id to run (e.g. E3); empty = all")
+		quick = flag.Bool("quick", false, "shrink the sweeps")
+		seed  = flag.Uint64("seed", 1, "master random seed")
+		list  = flag.Bool("list", false, "list experiments and exit")
+		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Claim)
+		}
+		return
+	}
+
+	cfg := bench.Config{Seed: *seed, Quick: *quick}
+	run := func(e bench.Experiment) {
+		fmt.Printf("\n#### %s — %s\n", e.ID, e.Claim)
+		for _, t := range e.Run(cfg) {
+			if *csv {
+				t.CSV(os.Stdout)
+			} else {
+				t.Fprint(os.Stdout)
+			}
+		}
+	}
+	if *exp != "" {
+		e, ok := bench.Get(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
+			os.Exit(2)
+		}
+		run(e)
+		return
+	}
+	for _, e := range bench.All() {
+		run(e)
+	}
+}

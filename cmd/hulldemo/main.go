@@ -1,0 +1,216 @@
+// Command hulldemo generates (or reads) a point set, runs a chosen hull
+// algorithm, and prints the hull plus the PRAM cost counters.
+//
+// Usage:
+//
+//	hulldemo -algo hull2d -gen disk -n 10000
+//	hulldemo -algo presorted -gen circle -n 4096
+//	hulldemo -algo logstar -gen gauss -n 65536
+//	hulldemo -algo hull3d -gen3 ball -n 2048
+//	hulldemo -algo ks -gen disk -n 100000                # sequential baseline
+//	printf '0 0\n1 2\n2 1\n' | hulldemo -algo hull2d -stdin
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"inplacehull"
+	"inplacehull/internal/viz"
+	"inplacehull/internal/workload"
+)
+
+func main() {
+	var (
+		algo  = flag.String("algo", "hull2d", "hull2d | presorted | logstar | hull3d | ks | chan | quickhull | monotone | incremental3d | giftwrap3d")
+		gen   = flag.String("gen", "disk", "2-d generator: circle disk gauss poly16 poly64 onion64 collinear grid")
+		gen3  = flag.String("gen3", "ball", "3-d generator: ball sphere cap ballfew64 moment")
+		n     = flag.Int("n", 10000, "number of points")
+		seed  = flag.Uint64("seed", 1, "random seed")
+		stdin = flag.Bool("stdin", false, "read 2-d points (x y per line) from stdin")
+		show  = flag.Int("show", 8, "hull vertices to print (0 = all)")
+		svg   = flag.String("svg", "", "write an SVG rendering of points + hull to this file (2-d only)")
+	)
+	flag.Parse()
+
+	switch *algo {
+	case "hull3d", "incremental3d", "giftwrap3d":
+		pts := gen3D(*gen3, *seed, *n)
+		run3D(*algo, *seed, pts, *show)
+	default:
+		var pts []inplacehull.Point
+		if *stdin {
+			pts = readPoints(os.Stdin)
+		} else {
+			pts = gen2D(*gen, *seed, *n)
+		}
+		chain := run2D(*algo, *seed, pts, *show)
+		if *svg != "" {
+			doc := viz.SVG2D(pts, chain, false)
+			if err := os.WriteFile(*svg, []byte(doc), 0o644); err != nil {
+				fatalf("writing svg: %v", err)
+			}
+			fmt.Printf("svg written   %s\n", *svg)
+		}
+	}
+}
+
+func gen2D(name string, seed uint64, n int) []inplacehull.Point {
+	gens := map[string]func(uint64, int) []inplacehull.Point{
+		"circle": workload.Circle, "disk": workload.Disk, "gauss": workload.Gaussian,
+		"poly16": workload.PolygonFew(16), "poly64": workload.PolygonFew(64),
+		"onion64": workload.Onion(64), "collinear": workload.Collinear, "grid": workload.Grid,
+	}
+	g, ok := gens[name]
+	if !ok {
+		fatalf("unknown 2-d generator %q", name)
+	}
+	return g(seed, n)
+}
+
+func gen3D(name string, seed uint64, n int) []inplacehull.Point3 {
+	gens := map[string]func(uint64, int) []inplacehull.Point3{
+		"ball": workload.Ball, "sphere": workload.Sphere, "cap": workload.Cap,
+		"ballfew64": workload.BallFew(64), "moment": workload.MomentCurve,
+	}
+	g, ok := gens[name]
+	if !ok {
+		fatalf("unknown 3-d generator %q", name)
+	}
+	return g(seed, n)
+}
+
+func run2D(algo string, seed uint64, pts []inplacehull.Point, show int) []inplacehull.Point {
+	start := time.Now()
+	switch algo {
+	case "hull2d", "presorted", "logstar":
+		m := inplacehull.NewMachine()
+		rnd := inplacehull.NewRand(seed)
+		var chain []inplacehull.Point
+		var err error
+		switch algo {
+		case "hull2d":
+			var res inplacehull.Hull2DResult
+			res, err = inplacehull.Hull2D(m, rnd, pts)
+			chain = res.Chain
+		case "presorted":
+			var res inplacehull.PresortedResult
+			res, err = inplacehull.PresortedHull(m, rnd, dedupeSorted(pts))
+			chain = res.Chain
+		case "logstar":
+			var res inplacehull.PresortedResult
+			res, err = inplacehull.LogStarHull(m, rnd, dedupeSorted(pts))
+			chain = res.Chain
+		}
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("algorithm      %s\n", algo)
+		fmt.Printf("points         %d\n", len(pts))
+		fmt.Printf("hull vertices  %d\n", len(chain))
+		fmt.Printf("PRAM steps     %d\n", m.Time())
+		fmt.Printf("PRAM work      %d\n", m.Work())
+		fmt.Printf("peak procs     %d\n", m.PeakProcessors())
+		fmt.Printf("wall time      %v\n", time.Since(start).Round(time.Microsecond))
+		printChain(chain, show)
+		return chain
+	case "ks", "chan", "quickhull", "monotone":
+		algos := map[string]func([]inplacehull.Point) []inplacehull.Point{
+			"ks": inplacehull.KirkpatrickSeidel, "chan": inplacehull.ChanUpper,
+			"quickhull": inplacehull.QuickHullUpper, "monotone": inplacehull.UpperHull,
+		}
+		chain := algos[algo](pts)
+		fmt.Printf("algorithm      %s (sequential)\n", algo)
+		fmt.Printf("points         %d\n", len(pts))
+		fmt.Printf("hull vertices  %d\n", len(chain))
+		fmt.Printf("wall time      %v\n", time.Since(start).Round(time.Microsecond))
+		printChain(chain, show)
+		return chain
+	default:
+		fatalf("unknown algorithm %q", algo)
+	}
+	return nil
+}
+
+func run3D(algo string, seed uint64, pts []inplacehull.Point3, show int) {
+	start := time.Now()
+	switch algo {
+	case "hull3d":
+		m := inplacehull.NewMachine()
+		res, err := inplacehull.Hull3D(m, inplacehull.NewRand(seed), pts)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("algorithm      hull3d\n")
+		fmt.Printf("points         %d\n", len(pts))
+		fmt.Printf("cap facets     %d\n", len(res.Facets))
+		fmt.Printf("PRAM steps     %d\n", m.Time())
+		fmt.Printf("PRAM work      %d\n", m.Work())
+		fmt.Printf("3d levels      %d (total depth %d)\n", res.Stats.Levels, res.Stats.TotalDepth)
+		fmt.Printf("wall time      %v\n", time.Since(start).Round(time.Microsecond))
+	case "incremental3d", "giftwrap3d":
+		var h inplacehull.Hull3DExact
+		var err error
+		if algo == "incremental3d" {
+			h, err = inplacehull.Incremental3D(inplacehull.NewRand(seed), pts)
+		} else {
+			h, err = inplacehull.GiftWrap3D(pts)
+		}
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("algorithm      %s (sequential)\n", algo)
+		fmt.Printf("points         %d\n", len(pts))
+		fmt.Printf("hull vertices  %d\n", len(h.Vertices()))
+		fmt.Printf("hull faces     %d\n", len(h.Faces))
+		fmt.Printf("wall time      %v\n", time.Since(start).Round(time.Microsecond))
+	}
+}
+
+func printChain(chain []inplacehull.Point, show int) {
+	if show == 0 || show >= len(chain) {
+		for _, p := range chain {
+			fmt.Printf("  %g %g\n", p.X, p.Y)
+		}
+		return
+	}
+	for _, p := range chain[:show] {
+		fmt.Printf("  %g %g\n", p.X, p.Y)
+	}
+	fmt.Printf("  … (%d more)\n", len(chain)-show)
+}
+
+func dedupeSorted(pts []inplacehull.Point) []inplacehull.Point {
+	s := workload.Sorted(pts)
+	out := s[:0]
+	for i, p := range s {
+		if i > 0 && p.X == out[len(out)-1].X {
+			if p.Y > out[len(out)-1].Y {
+				out[len(out)-1] = p
+			}
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func readPoints(f *os.File) []inplacehull.Point {
+	var pts []inplacehull.Point
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var x, y float64
+		if _, err := fmt.Sscan(sc.Text(), &x, &y); err == nil {
+			pts = append(pts, inplacehull.Point{X: x, Y: y})
+		}
+	}
+	return pts
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

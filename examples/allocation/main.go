@@ -1,0 +1,35 @@
+// Processor allocation (§5, Lemma 7): record a real run's per-step
+// live-processor profile and simulate it on p real processors — the
+// schedule follows T = t + w/p + t_c·log t, near-ideal speedup until p
+// reaches the program's parallelism w/t, then saturation.
+package main
+
+import (
+	"fmt"
+
+	"inplacehull"
+	"inplacehull/internal/alloc"
+	"inplacehull/internal/workload"
+)
+
+func main() {
+	pts := workload.Disk(3, 1<<14)
+	m := inplacehull.NewMachine(inplacehull.WithProfile())
+	if _, err := inplacehull.Hull2D(m, inplacehull.NewRand(3), pts); err != nil {
+		panic(err)
+	}
+	profile := m.Profile()
+	t := int64(len(profile))
+	w := alloc.Work(profile)
+	fmt.Printf("recorded profile: t = %d steps, w = %d work, parallelism w/t = %d\n\n",
+		t, w, w/t)
+	fmt.Printf("%10s %14s %14s %10s\n", "p", "simulated T", "Lemma 7 bound", "speedup")
+	for _, p := range []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 1024, 4096, 1 << 16} {
+		sim := alloc.SimulatedTime(profile, p, alloc.DefaultTc)
+		bound := alloc.Bounds(profile, p, alloc.DefaultTc)
+		fmt.Printf("%10d %14d %14d %10.1f\n", p, sim, bound,
+			alloc.Speedup(profile, p, alloc.DefaultTc))
+	}
+	fmt.Println("\nspeedup is ~p until p approaches w/t, then flattens at the")
+	fmt.Println("program's parallelism — the envelope Lemma 7 describes.")
+}

@@ -1,0 +1,58 @@
+// 3-d pipeline: run the §4.3 parallel algorithm next to the exact
+// sequential baselines and compare costs across hull-size regimes
+// (Theorem 6's min{n log² h, n log n} work bound).
+package main
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"inplacehull"
+	"inplacehull/internal/workload"
+)
+
+func main() {
+	const n = 1 << 11
+	gens := []workload.Gen3D{
+		{Name: "ballfew32 (h small)", Gen: workload.BallFew(32)},
+		{Name: "ball (h sublinear)", Gen: workload.Ball},
+		{Name: "sphere (h=n)", Gen: workload.Sphere},
+	}
+	fmt.Printf("n = %d\n\n", n)
+	fmt.Printf("%-20s %8s %10s %12s %12s %12s %10s\n",
+		"workload", "facets", "steps", "work", "work/bound", "incr. time", "gift time")
+	for _, g := range gens {
+		pts := g.Gen(5, n)
+
+		m := inplacehull.NewMachine()
+		res, err := inplacehull.Hull3D(m, inplacehull.NewRand(5), pts)
+		if err != nil {
+			fmt.Printf("%-20s ERROR %v\n", g.Name, err)
+			continue
+		}
+		lgn := math.Log2(float64(n))
+		lgh := math.Log2(float64(len(res.Facets)) + 2)
+		bound := math.Min(float64(n)*lgh*lgh, float64(n)*lgn)
+
+		t0 := time.Now()
+		if _, err := inplacehull.Incremental3D(inplacehull.NewRand(5), pts); err != nil {
+			panic(err)
+		}
+		incr := time.Since(t0)
+
+		t0 = time.Now()
+		giftStr := "-"
+		if len(res.Facets) < 300 { // gift wrapping is O(n·h): only cheap regimes
+			if _, err := inplacehull.GiftWrap3D(pts); err == nil {
+				giftStr = time.Since(t0).Round(time.Millisecond).String()
+			}
+		}
+		fmt.Printf("%-20s %8d %10d %12d %12.1f %12v %10s\n",
+			g.Name, len(res.Facets), m.Time(), m.Work(),
+			float64(m.Work())/bound, incr.Round(time.Millisecond), giftStr)
+	}
+	fmt.Println("\nwork/bound flat across regimes is Theorem 6's work claim;")
+	fmt.Println("gift wrapping (O(n·h)) is only viable when h is small — the")
+	fmt.Println("regime where output-sensitive bounds beat n log n.")
+}

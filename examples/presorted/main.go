@@ -1,0 +1,63 @@
+// Pre-sorted hulls: the Section 2 algorithms side by side. The
+// constant-time algorithm holds its step count flat as n grows (Lemma
+// 2.5) at the price of O(n log n) processors; the log* algorithm stays
+// within O(n) processors and a near-flat (log* n) step count (Theorem 2).
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"inplacehull"
+	"inplacehull/internal/workload"
+)
+
+func main() {
+	fmt.Printf("%8s | %s constant-time (§2.2) %s | %s log* (§2.5)\n",
+		"n", "", "", "")
+	fmt.Printf("%8s | %8s %12s %12s | %8s %12s %12s\n",
+		"", "steps", "work", "peak procs", "steps", "work", "peak procs")
+	for _, n := range []int{1 << 10, 1 << 12, 1 << 14, 1 << 16} {
+		pts := prep(workload.Gaussian(11, n))
+
+		m1 := inplacehull.NewMachine()
+		r1, err := inplacehull.PresortedHull(m1, inplacehull.NewRand(3), pts)
+		if err != nil {
+			panic(err)
+		}
+		m2 := inplacehull.NewMachine()
+		r2, err := inplacehull.LogStarHull(m2, inplacehull.NewRand(3), pts)
+		if err != nil {
+			panic(err)
+		}
+		if len(r1.Chain) != len(r2.Chain) {
+			panic("algorithms disagree")
+		}
+		fmt.Printf("%8d | %8d %12d %12d | %8d %12d %12d\n",
+			len(pts), m1.Time(), m1.Work(), m1.PeakProcessors(),
+			m2.Time(), m2.Work(), m2.PeakProcessors())
+	}
+	fmt.Println("\nconstant-time: flat steps, n·log n-scale processors")
+	fmt.Println("log*:          near-flat steps, linear-scale processors")
+}
+
+func prep(pts []inplacehull.Point) []inplacehull.Point {
+	s := append([]inplacehull.Point(nil), pts...)
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].X != s[j].X {
+			return s[i].X < s[j].X
+		}
+		return s[i].Y < s[j].Y
+	})
+	out := s[:0]
+	for i, p := range s {
+		if i > 0 && p.X == out[len(out)-1].X {
+			if p.Y > out[len(out)-1].Y {
+				out[len(out)-1] = p
+			}
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}

@@ -1,0 +1,45 @@
+// Quickstart: compute the upper hull of unsorted points on the simulated
+// CRCW PRAM, check it against the sequential reference, and read off the
+// model costs the paper's Theorem 5 is about.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"inplacehull"
+	"inplacehull/internal/workload"
+)
+
+func main() {
+	// 50k points uniform in a disk: the expected hull size is ≈ n^(1/3).
+	pts := workload.Disk(42, 50_000)
+
+	m := inplacehull.NewMachine()
+	rnd := inplacehull.NewRand(42)
+	res, err := inplacehull.Hull2D(m, rnd, pts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := inplacehull.VerifyHull2D(pts, res); err != nil {
+		log.Fatalf("verification failed: %v", err)
+	}
+
+	n := float64(len(pts))
+	h := float64(len(res.Chain))
+	fmt.Printf("points                 %d\n", len(pts))
+	fmt.Printf("upper-hull vertices    %d\n", len(res.Chain))
+	fmt.Printf("PRAM steps (time)      %d   (log2 n = %.1f)\n", m.Time(), math.Log2(n))
+	fmt.Printf("PRAM work              %d\n", m.Work())
+	fmt.Printf("work / (n·log2 h)      %.2f  (Theorem 5's O(1) ratio)\n",
+		float64(m.Work())/(n*math.Log2(h+2)))
+	fmt.Printf("recursion levels       %d\n", res.Stats.Levels)
+	fmt.Printf("bridges failure-swept  %d\n", res.Stats.BridgeFailures)
+
+	// Every input point knows the hull edge above it — the paper's output
+	// contract. Spot-check one point.
+	p := 12345
+	e := res.Edges[res.EdgeOf[p]]
+	fmt.Printf("point %v lies under edge %v–%v\n", pts[p], e.U, e.W)
+}

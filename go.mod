@@ -1,0 +1,3 @@
+module inplacehull
+
+go 1.22

@@ -1,0 +1,188 @@
+// Package inplacehull is a Go reproduction of Ghouse & Goodrich,
+// "In-Place Techniques for Parallel Convex Hull Algorithms" (SPAA 1991):
+// randomized CRCW PRAM algorithms for 2- and 3-dimensional convex hulls,
+// executed and measured on a simulated PRAM.
+//
+// The public API re-exports the library's building blocks:
+//
+//   - NewMachine creates the simulated CRCW PRAM every parallel algorithm
+//     runs on; its counters report parallel time (steps), work (live
+//     processor activations), peak processors and work space.
+//   - PresortedHull (§2.2, O(1) steps, O(n log n) processors) and
+//     LogStarHull (§2.5, O(log* n) steps, O(n) processors) take points
+//     sorted by strictly increasing x.
+//   - Hull2D (§4.1, O(log n) steps, O(n log h) work) and Hull3D (§4.3,
+//     O(log² n) steps, O(min{n log² h, n log n}) work) take unsorted
+//     points.
+//   - The sequential baselines (UpperHull, KirkpatrickSeidel, ChanUpper,
+//     QuickHullUpper, Jarvis, Graham, Incremental3D, GiftWrap3D) provide
+//     reference results and comparison curves.
+//
+// A minimal session:
+//
+//	m := inplacehull.NewMachine()
+//	rnd := inplacehull.NewRand(42)
+//	res, err := inplacehull.Hull2D(m, rnd, points)
+//	// res.Chain is the upper hull; res.EdgeOf[i] is the hull edge above
+//	// point i; m.Time() and m.Work() are the measured PRAM costs.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record.
+package inplacehull
+
+import (
+	"inplacehull/internal/geom"
+	"inplacehull/internal/hull2d"
+	"inplacehull/internal/hull3d"
+	"inplacehull/internal/pram"
+	"inplacehull/internal/presorted"
+	"inplacehull/internal/rng"
+	"inplacehull/internal/unsorted"
+)
+
+// Core geometric types.
+type (
+	// Point is a point in the plane.
+	Point = geom.Point
+	// Point3 is a point in space.
+	Point3 = geom.Point3
+	// Edge is a directed upper-hull edge (U.X < W.X).
+	Edge = geom.Edge
+)
+
+// Machine is the simulated CRCW PRAM (see internal/pram for the model).
+type Machine = pram.Machine
+
+// MachineOption configures NewMachine.
+type MachineOption = pram.Option
+
+// NewMachine returns a fresh simulated CRCW PRAM.
+func NewMachine(opts ...MachineOption) *Machine { return pram.New(opts...) }
+
+// WithWorkers bounds the OS-level parallelism used to execute PRAM steps.
+func WithWorkers(w int) MachineOption { return pram.WithWorkers(w) }
+
+// WithProfile records per-step live-processor counts for the §5
+// processor-allocation analysis (package alloc).
+func WithProfile() MachineOption { return pram.WithProfile() }
+
+// Rand is the deterministic splittable random stream the randomized
+// algorithms consume.
+type Rand = rng.Stream
+
+// NewRand returns a stream seeded deterministically from seed.
+func NewRand(seed uint64) *Rand { return rng.New(seed) }
+
+// Results of the parallel algorithms.
+type (
+	// PresortedResult is the output of PresortedHull and LogStarHull.
+	PresortedResult = presorted.Result
+	// Hull2DResult is the output of Hull2D.
+	Hull2DResult = unsorted.Result2D
+	// Hull2DOptions tunes the §4.1 constants.
+	Hull2DOptions = unsorted.Options
+	// Hull3DResult is the output of Hull3D.
+	Hull3DResult = unsorted.Result3D
+	// Hull3DOptions tunes the §4.3 constants.
+	Hull3DOptions = unsorted.Options3D
+)
+
+// PresortedHull computes the upper hull of points sorted by strictly
+// increasing x in O(1) measured PRAM steps with O(n log n) processors
+// (§2.2, Lemma 2.5).
+func PresortedHull(m *Machine, rnd *Rand, pts []Point) (PresortedResult, error) {
+	return presorted.ConstantTime(m, rnd, pts)
+}
+
+// LogStarHull computes the upper hull of pre-sorted points in O(log* n)
+// measured steps with O(n) processors (§2.5, Theorem 2).
+func LogStarHull(m *Machine, rnd *Rand, pts []Point) (PresortedResult, error) {
+	return presorted.LogStar(m, rnd, pts)
+}
+
+// OptimalReport is the output of OptimalHull (§2.6).
+type OptimalReport = presorted.OptimalReport
+
+// OptimalHull computes the upper hull of pre-sorted points with the §2.6
+// processor budget: O(log* n) time scheduled on n/log*(n) processors via
+// the Lemma 7 simulation (the paper defers the construction to its full
+// version; see DESIGN.md §5).
+func OptimalHull(m *Machine, rnd *Rand, pts []Point) (OptimalReport, error) {
+	return presorted.Optimal(m, rnd, pts)
+}
+
+// Hull2D computes the upper hull of unsorted points in O(log n) measured
+// steps and O(n log h) work (§4.1, Theorem 5).
+func Hull2D(m *Machine, rnd *Rand, pts []Point) (Hull2DResult, error) {
+	return unsorted.Hull2D(m, rnd, pts)
+}
+
+// Hull2DWithOptions is Hull2D with explicit §4.1 constants.
+func Hull2DWithOptions(m *Machine, rnd *Rand, pts []Point, opt Hull2DOptions) (Hull2DResult, error) {
+	return unsorted.Hull2DOpts(m, rnd, pts, opt)
+}
+
+// Hull3D computes the upper-hull cap structure of unsorted 3-d points in
+// O(log² n) measured steps and O(min{n log² h, n log n}) work (§4.3,
+// Theorem 6). See Hull3DResult for the output contract.
+func Hull3D(m *Machine, rnd *Rand, pts []Point3) (Hull3DResult, error) {
+	return unsorted.Hull3D(m, rnd, pts)
+}
+
+// Hull3DWithOptions is Hull3D with explicit §4.3 constants.
+func Hull3DWithOptions(m *Machine, rnd *Rand, pts []Point3, opt Hull3DOptions) (Hull3DResult, error) {
+	return unsorted.Hull3DOpts(m, rnd, pts, opt)
+}
+
+// FullHullResult is the output of FullHull2DParallel.
+type FullHullResult = unsorted.FullResult
+
+// FullHull2DParallel computes the complete convex polygon by running the
+// §4.1 algorithm on the points and their reflection and stitching the
+// chains (the paper states its algorithms for upper hulls; this is the
+// standard completion).
+func FullHull2DParallel(m *Machine, rnd *Rand, pts []Point) (FullHullResult, error) {
+	return unsorted.FullHull2D(m, rnd, pts)
+}
+
+// VerifyHull2D checks a Hull2D result against the sequential reference
+// oracle; nil means the output satisfies the §4.1 contract.
+func VerifyHull2D(pts []Point, res Hull2DResult) error {
+	return unsorted.CheckAgainstReference(pts, res)
+}
+
+// Sequential baselines (see internal/hull2d and internal/hull3d).
+
+// UpperHull is the O(n log n) monotone-chain reference.
+func UpperHull(pts []Point) []Point { return hull2d.UpperHull(pts) }
+
+// FullHull is the full convex polygon in CCW order.
+func FullHull(pts []Point) []Point { return hull2d.FullHull(pts) }
+
+// KirkpatrickSeidel is the sequential O(n log h) marriage-before-conquest
+// algorithm [21] whose work bound Theorem 5 matches.
+func KirkpatrickSeidel(pts []Point) []Point { return hull2d.KirkpatrickSeidel(pts) }
+
+// ChanUpper is Chan's O(n log h) algorithm.
+func ChanUpper(pts []Point) []Point { return hull2d.ChanUpper(pts) }
+
+// QuickHullUpper is the quickhull upper chain.
+func QuickHullUpper(pts []Point) []Point { return hull2d.QuickHullUpper(pts) }
+
+// Jarvis is the O(n·h) gift-wrapping full hull.
+func Jarvis(pts []Point) []Point { return hull2d.Jarvis(pts) }
+
+// Graham is the classic Graham scan full hull.
+func Graham(pts []Point) []Point { return hull2d.Graham(pts) }
+
+// Hull3DExact is the full 3-d hull structure from the randomized
+// incremental baseline.
+type Hull3DExact = hull3d.Hull
+
+// Incremental3D computes the exact full 3-d hull in expected O(n log n).
+func Incremental3D(rnd *Rand, pts []Point3) (Hull3DExact, error) {
+	return hull3d.Incremental(rnd, pts)
+}
+
+// GiftWrap3D computes the full 3-d hull in O(n·h) (general position).
+func GiftWrap3D(pts []Point3) (Hull3DExact, error) { return hull3d.GiftWrap(pts) }

@@ -1,0 +1,74 @@
+// Package alloc implements the §5 processor-allocation analysis (Lemma 7,
+// Matias–Vishkin): a program written for n virtual processors, with work w
+// and time t, runs on p real processors in
+//
+//	T = t + w/p + t_c·log t
+//
+// time, where t_c is the per-reallocation scheduling cost. Given the
+// per-step live-processor profile recorded by a pram.Machine created
+// WithProfile, SimulatedTime computes the simulated schedule length
+// exactly: each step of w_s live processors costs ⌈w_s/p⌉ rounds (Brent),
+// plus the Matias–Vishkin reallocation term.
+package alloc
+
+import "math"
+
+// DefaultTc is the default per-reallocation cost constant t_c.
+const DefaultTc = 1
+
+// SimulatedTime returns the number of rounds a p-processor machine needs
+// to execute a program with the given per-step live-processor profile,
+// including the t_c·log t reallocation overhead of Lemma 7.
+func SimulatedTime(profile []int64, p int, tc int64) int64 {
+	if p < 1 {
+		p = 1
+	}
+	var total int64
+	for _, live := range profile {
+		if live <= 0 {
+			total++
+			continue
+		}
+		total += (live + int64(p) - 1) / int64(p)
+	}
+	t := int64(len(profile))
+	if t > 0 {
+		total += tc * int64(math.Ceil(math.Log2(float64(t)+1)))
+	}
+	return total
+}
+
+// Bounds returns the Lemma 7 prediction T = t + w/p + t_c·log t for the
+// profile's aggregate t and w — the curve the measured schedule is compared
+// against in experiment E10.
+func Bounds(profile []int64, p int, tc int64) int64 {
+	var w int64
+	for _, live := range profile {
+		w += live
+	}
+	t := int64(len(profile))
+	pred := t + (w+int64(p)-1)/int64(p)
+	if t > 0 {
+		pred += tc * int64(math.Ceil(math.Log2(float64(t)+1)))
+	}
+	return pred
+}
+
+// Work returns the total work of a profile.
+func Work(profile []int64) int64 {
+	var w int64
+	for _, live := range profile {
+		w += live
+	}
+	return w
+}
+
+// Speedup returns T(1)/T(p) for the profile: the strong-scaling curve.
+func Speedup(profile []int64, p int, tc int64) float64 {
+	t1 := SimulatedTime(profile, 1, tc)
+	tp := SimulatedTime(profile, p, tc)
+	if tp == 0 {
+		return 0
+	}
+	return float64(t1) / float64(tp)
+}

@@ -1,0 +1,120 @@
+package alloc_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"inplacehull/internal/alloc"
+
+	"inplacehull/internal/pram"
+	"inplacehull/internal/rng"
+	"inplacehull/internal/unsorted"
+	"inplacehull/internal/workload"
+)
+
+func TestSimulatedTimeExtremes(t *testing.T) {
+	profile := []int64{10, 20, 30}
+	// p = 1: T = w + overhead.
+	if got := alloc.SimulatedTime(profile, 1, 0); got != 60 {
+		t.Fatalf("T(1) = %d, want 60", got)
+	}
+	// p huge: T = t + overhead.
+	if got := alloc.SimulatedTime(profile, 1<<30, 0); got != 3 {
+		t.Fatalf("T(∞) = %d, want 3", got)
+	}
+}
+
+func TestSimulatedTimeBrentBound(t *testing.T) {
+	if err := quick.Check(func(seed uint64, pRaw uint8) bool {
+		s := rng.New(seed)
+		p := int(pRaw)%64 + 1
+		profile := make([]int64, s.Intn(50)+1)
+		var w int64
+		for i := range profile {
+			profile[i] = int64(s.Intn(1000))
+			w += profile[i]
+		}
+		tt := int64(len(profile))
+		got := alloc.SimulatedTime(profile, p, 0)
+		// Brent: t ≤ T ≤ t + w/p.
+		return got >= tt && got <= tt+w/int64(p)+tt
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimulatedTimeMonotoneInP(t *testing.T) {
+	profile := []int64{100, 1, 1000, 50, 7}
+	prev := alloc.SimulatedTime(profile, 1, alloc.DefaultTc)
+	for p := 2; p <= 256; p *= 2 {
+		cur := alloc.SimulatedTime(profile, p, alloc.DefaultTc)
+		if cur > prev {
+			t.Fatalf("T(%d) = %d > T(%d) = %d", p, cur, p/2, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestProfileFromRealRun(t *testing.T) {
+	// Record a real hull run's profile and verify Lemma 7's shape: the
+	// measured schedule is within the t + w/p + tc·log t prediction.
+	pts := workload.Disk(3, 2000)
+	m := pram.New(pram.WithProfile())
+	if _, err := unsorted.Hull2D(m, rng.New(3), pts); err != nil {
+		t.Fatal(err)
+	}
+	profile := m.Profile()
+	if len(profile) == 0 {
+		t.Fatal("no profile recorded")
+	}
+	var w int64
+	for _, v := range profile {
+		w += v
+	}
+	if w != m.Work() {
+		t.Fatalf("profile work %d != machine work %d", w, m.Work())
+	}
+	if int64(len(profile)) != m.Time() {
+		t.Fatalf("profile length %d != machine time %d", len(profile), m.Time())
+	}
+	for _, p := range []int{1, 4, 16, 64, 256} {
+		got := alloc.SimulatedTime(profile, p, alloc.DefaultTc)
+		bound := alloc.Bounds(profile, p, alloc.DefaultTc)
+		if got > bound {
+			t.Fatalf("p=%d: simulated %d exceeds Lemma 7 bound %d", p, got, bound)
+		}
+	}
+}
+
+func TestSpeedupSaturates(t *testing.T) {
+	pts := workload.Disk(5, 4000)
+	m := pram.New(pram.WithProfile())
+	if _, err := unsorted.Hull2D(m, rng.New(5), pts); err != nil {
+		t.Fatal(err)
+	}
+	profile := m.Profile()
+	s16 := alloc.Speedup(profile, 16, alloc.DefaultTc)
+	s1 := alloc.Speedup(profile, 1, alloc.DefaultTc)
+	if s1 != 1 {
+		t.Fatalf("speedup at p=1 is %v", s1)
+	}
+	if s16 < 4 {
+		t.Fatalf("speedup at p=16 only %.2f", s16)
+	}
+	// Beyond the parallelism of the program, speedup must flatten: the
+	// ratio of consecutive doublings approaches 1.
+	sHuge := alloc.Speedup(profile, 1<<20, alloc.DefaultTc)
+	sHuge2 := alloc.Speedup(profile, 1<<21, alloc.DefaultTc)
+	if sHuge2 > sHuge*1.01 {
+		t.Fatalf("speedup still growing at saturation: %.2f → %.2f", sHuge, sHuge2)
+	}
+}
+
+func TestWork(t *testing.T) {
+	if alloc.Work([]int64{1, 2, 3}) != 6 {
+		t.Fatal("Work sum")
+	}
+	if alloc.Work(nil) != 0 {
+		t.Fatal("Work of empty profile")
+	}
+}

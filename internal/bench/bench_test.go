@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAllExperimentsRunQuick(t *testing.T) {
+	exps := All()
+	if len(exps) < 12 {
+		t.Fatalf("registry has %d experiments, want ≥ 12", len(exps))
+	}
+	for _, e := range exps {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables := e.Run(Config{Seed: 1, Quick: true})
+			if len(tables) == 0 {
+				t.Fatalf("%s produced no tables", e.ID)
+			}
+			for _, tb := range tables {
+				if len(tb.Rows) == 0 {
+					t.Fatalf("%s table %q has no rows", e.ID, tb.Title)
+				}
+				for _, note := range tb.Notes {
+					if strings.Contains(note, "ERROR") {
+						t.Fatalf("%s reported %s", e.ID, note)
+					}
+				}
+				var buf bytes.Buffer
+				tb.Fprint(&buf)
+				if !strings.Contains(buf.String(), tb.Title) {
+					t.Fatal("printed table missing title")
+				}
+			}
+		})
+	}
+}
+
+func TestRegistryLookup(t *testing.T) {
+	if _, ok := Get("E1"); !ok {
+		t.Fatal("E1 missing")
+	}
+	if _, ok := Get("E99"); ok {
+		t.Fatal("phantom experiment")
+	}
+	ids := All()
+	for i := 1; i < len(ids); i++ {
+		if expNum(ids[i-1].ID) > expNum(ids[i].ID) {
+			t.Fatal("registry not sorted")
+		}
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tb := Table{Title: "T", Columns: []string{"a", "long-column"}}
+	tb.Add(1, 2.5)
+	tb.Add("xyz", "w")
+	var buf bytes.Buffer
+	tb.Fprint(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "long-column") || !strings.Contains(out, "xyz") {
+		t.Fatalf("bad table output:\n%s", out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := Table{Title: "T", Columns: []string{"a", "b"}}
+	tb.Add(1, `x,"y`)
+	var buf bytes.Buffer
+	tb.CSV(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "# T\n") || !strings.Contains(out, "a,b\n") {
+		t.Fatalf("csv header wrong:\n%s", out)
+	}
+	if !strings.Contains(out, `1,"x,""y"`) {
+		t.Fatalf("csv quoting wrong:\n%s", out)
+	}
+}

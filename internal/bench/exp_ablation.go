@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"strconv"
+	"time"
+
+	"inplacehull/internal/lp"
+	"inplacehull/internal/pram"
+	"inplacehull/internal/rng"
+	"inplacehull/internal/unsorted"
+	"inplacehull/internal/workload"
+)
+
+func init() {
+	Register(Experiment{
+		ID:    "E13",
+		Claim: "Ablations of the design choices DESIGN.md calls out (base size k, phase length, fallback switch, base-solver)",
+		Run: func(cfg Config) []Table {
+			n := 1 << 13
+			if cfg.Quick {
+				n = 1 << 11
+			}
+			pts := workload.Disk(cfg.Seed, n)
+
+			// (a) Base-problem size k = s^(1/3) capped at MaxK: larger
+			// bases shorten the survivor schedule (fewer steps) but pay
+			// k³-scale brute-force work per base.
+			ta := Table{
+				Title:   "E13a — base-size cap (MaxK) ablation, unsorted 2-d, disk n=" + strconv.Itoa(n),
+				Columns: []string{"MaxK", "steps", "work", "levels", "swept"},
+			}
+			maxKs := []int{4, 8, 16, 32, 64}
+			if cfg.Quick {
+				maxKs = []int{4, 16, 32}
+			}
+			for _, k := range maxKs {
+				m := pram.New()
+				res, err := unsorted.Hull2DOpts(m, rng.New(cfg.Seed+2), pts, unsorted.Options{MaxK: k})
+				if err != nil {
+					ta.Notes = append(ta.Notes, "ERROR: "+err.Error())
+					continue
+				}
+				ta.Add(k, m.Time(), m.Work(), res.Stats.Levels, res.Stats.BridgeFailures)
+			}
+			ta.Notes = append(ta.Notes,
+				"the paper's k = s^(1/3) balances sample-convergence against the k³ brute-force base cost")
+
+			// (b) Phase length: how often the problem numbering is
+			// compacted (§4.1 step 3).
+			tb := Table{
+				Title:   "E13b — phase-length ablation",
+				Columns: []string{"PhaseIters", "steps", "work", "phases"},
+			}
+			for _, ph := range []int{1, 2, 4, 8, 1 << 20} {
+				m := pram.New()
+				res, err := unsorted.Hull2DOpts(m, rng.New(cfg.Seed+3), pts, unsorted.Options{PhaseIters: ph})
+				if err != nil {
+					tb.Notes = append(tb.Notes, "ERROR: "+err.Error())
+					continue
+				}
+				tb.Add(ph, m.Time(), m.Work(), res.Stats.Phases)
+			}
+
+			// (c) Fallback switch on an h = n workload: the O(n log n)
+			// path (sort + segmented pre-sorted hull) versus riding the
+			// recursion to the end.
+			tc := Table{
+				Title:   "E13c — fallback-switch ablation, circle (h = n)",
+				Columns: []string{"threshold", "fell back", "steps", "work"},
+			}
+			circ := workload.Circle(cfg.Seed, n)
+			for _, th := range []int{4, n / 8, n + 1} {
+				m := pram.New()
+				res, err := unsorted.Hull2DOpts(m, rng.New(cfg.Seed+4), circ, unsorted.Options{FallbackThreshold: th, PhaseIters: 2})
+				if err != nil {
+					tc.Notes = append(tc.Notes, "ERROR: "+err.Error())
+					continue
+				}
+				tc.Add(th, res.Stats.FellBack, m.Time(), m.Work())
+			}
+			tc.Notes = append(tc.Notes,
+				"threshold 4 switches almost immediately (the paper's l ≥ n^(1/32) regime); n+1 never switches")
+
+			// (d) Base-solver ablation: the sequential comparators for one
+			// bridge — Seidel's randomized LP (expected O(n)) vs the
+			// O(n³)-processor brute force executed sequentially.
+			td := Table{
+				Title:   "E13d — sequential bridge solvers (wall clock)",
+				Columns: []string{"n", "seidel", "brute force"},
+			}
+			for _, bn := range sizes(cfg, []int{128, 512}, []int{64, 256, 512}) {
+				bpts := workload.Disk(cfg.Seed, bn)
+				a := bpts[0].X
+				t0 := time.Now()
+				if _, ok := lp.SeidelBridge2D(rng.New(cfg.Seed), bpts, a); !ok {
+					td.Notes = append(td.Notes, "seidel failed")
+					continue
+				}
+				seidelD := time.Since(t0)
+				t0 = time.Now()
+				mm := pram.New()
+				lp.BruteForce2D(mm, bpts, a)
+				bruteD := time.Since(t0)
+				td.Add(bn, seidelD.String(), bruteD.String())
+			}
+			td.Notes = append(td.Notes,
+				"Seidel scales linearly, brute force cubically: why §3.3 keeps base problems at Θ(k) = Θ(p^(1/3))")
+			return []Table{ta, tb, tc, td}
+		},
+	})
+}

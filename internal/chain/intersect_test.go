@@ -1,0 +1,71 @@
+package chain
+
+import (
+	"testing"
+
+	"inplacehull/internal/geom"
+)
+
+func TestIntersectChainsBasic(t *testing.T) {
+	// Chain a descends from high-left; chain b ascends to high-right;
+	// they cross once.
+	a := Chain{V: []geom.Point{{X: 0, Y: 10}, {X: 5, Y: 8}, {X: 10, Y: 0}}}
+	b := Chain{V: []geom.Point{{X: 0, Y: 0}, {X: 6, Y: 6}, {X: 10, Y: 7}}}
+	ia, ib, ok := IntersectChains(a, b)
+	if !ok {
+		t.Fatal("no crossing found")
+	}
+	// Verify: the reported edges actually straddle each other.
+	au, aw := a.V[ia], a.V[ia+1]
+	bu, bw := b.V[ib], b.V[ib+1]
+	// The crossing x must lie in both spans.
+	lo := maxF(au.X, bu.X)
+	hi := minF(aw.X, bw.X)
+	if lo > hi {
+		t.Fatalf("edges (%d,%d) do not overlap in x", ia, ib)
+	}
+	// Sign of height difference flips across the overlap.
+	da, _ := a.HeightAt(lo)
+	db, _ := b.HeightAt(lo)
+	ea, _ := a.HeightAt(hi)
+	eb, _ := b.HeightAt(hi)
+	if (da-db)*(ea-eb) > 0 {
+		t.Fatalf("no sign flip across reported edges: %v vs %v", da-db, ea-eb)
+	}
+}
+
+func TestIntersectChainsNoCrossing(t *testing.T) {
+	a := Chain{V: []geom.Point{{X: 0, Y: 10}, {X: 10, Y: 9}}}
+	b := Chain{V: []geom.Point{{X: 0, Y: 0}, {X: 10, Y: 1}}}
+	if _, _, ok := IntersectChains(a, b); ok {
+		t.Fatal("disjoint-height chains reported a crossing")
+	}
+}
+
+func TestIntersectChainsDisjointX(t *testing.T) {
+	a := Chain{V: []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 1}}}
+	b := Chain{V: []geom.Point{{X: 5, Y: 0}, {X: 6, Y: 1}}}
+	if _, _, ok := IntersectChains(a, b); ok {
+		t.Fatal("x-disjoint chains reported a crossing")
+	}
+}
+
+func TestIntersectChainsEmpty(t *testing.T) {
+	if _, _, ok := IntersectChains(Chain{}, Chain{V: []geom.Point{{X: 0, Y: 0}}}); ok {
+		t.Fatal("empty chain reported a crossing")
+	}
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,153 @@
+// Package compact implements approximate compaction (the interface of
+// Ragde's Lemma 2.1) and the paper's in-place approximate compaction built
+// on top of it (Lemma 3.2).
+//
+// Ragde's original technique is deterministic, via perfect hash functions
+// found by number theory. We substitute a randomized dart-throwing
+// compactor with the same interface and O(1) step cost: each of at most k
+// marked elements claims a uniformly random cell of an output area of size
+// k⁴ through a CRCW claim-write; collisions retry for a constant number of
+// rounds. With k elements and k⁴ cells, a fixed element collides in one
+// round with probability < k/k⁴ = k⁻³, so all elements place within d
+// rounds except with probability ≤ k·k^(−3d) — far below the e^(−Ω(k^r))
+// failure terms the paper's analysis already absorbs (see DESIGN.md,
+// substitution table). Overflow (more than k marked elements) surfaces as a
+// placement failure, which callers treat exactly as Lemma 2.1's "k ≥ n^(1/4)
+// detected" outcome.
+package compact
+
+import (
+	"inplacehull/internal/pram"
+	"inplacehull/internal/rng"
+)
+
+// Rounds is the constant number of dart-throwing rounds d. Each round is
+// O(1) PRAM steps.
+const Rounds = 6
+
+// AreaSize returns the output-area size Ragde's lemma guarantees for bound
+// k: k⁴, never less than 16 so tiny bounds keep a comfortable load factor.
+func AreaSize(k int) int {
+	if k < 2 {
+		return 16
+	}
+	a := k * k
+	a *= a
+	if a < 16 {
+		a = 16
+	}
+	return a
+}
+
+// ApproxCompact compresses the marked indices of a virtual array into a
+// small area. ids enumerates the n candidate positions; bit(p) reports
+// whether position p is marked. On success it returns an output area of
+// size AreaSize(k) in which every marked index appears exactly once (empty
+// cells hold −1) and ok = true. If more than k positions are marked — or
+// the dart throwing fails, which has probability ≤ k^(1−3·Rounds) — it
+// returns ok = false, the analogue of Lemma 2.1 detecting k ≥ n^(1/4).
+//
+// Cost: O(Rounds) = O(1) steps with n processors, Θ(k⁴) work space.
+func ApproxCompact(m *pram.Machine, rnd *rng.Stream, n int, k int, bit func(p int) bool) (area []int32, ok bool) {
+	size := AreaSize(k)
+	// The lemma's regime is k < n^(1/4), where k⁴ < n; outside it an area
+	// larger than the input is pointless — cap at n (never below a small
+	// floor so tiny inputs keep a workable load factor).
+	if size > n && n >= 64 {
+		size = n
+	}
+	area, ok = CompactIntoArea(m, rnd, n, size, bit)
+	if !ok {
+		return nil, false
+	}
+	// Threshold detection (the "determine whether k < n^(1/4)" half of
+	// Lemma 2.1): more than k placed elements is a detected overflow. One
+	// counting step over the area in the model.
+	m.Charge(1, int64(len(area)))
+	placed := 0
+	for _, v := range area {
+		if v >= 0 {
+			placed++
+		}
+	}
+	if placed > k {
+		return nil, false
+	}
+	return area, true
+}
+
+// CompactIntoArea is ApproxCompact with an explicit output-area size, for
+// callers that compact into a fixed work space (the bridge-finding step 4
+// compacts survivors into its 16k-cell base area). The success probability
+// degrades gracefully with the load factor: an element collides in one
+// round with probability below (marked count)/size.
+func CompactIntoArea(m *pram.Machine, rnd *rng.Stream, n int, size int, bit func(p int) bool) (area []int32, ok bool) {
+	if size < 4 {
+		size = 4
+	}
+	release := m.AllocScratch(int64(size))
+	defer release()
+
+	cells := make([]pram.ClaimCell, size)
+	pram.ResetClaims(cells)
+	placed := make([]bool, n)
+	frozen := make([]bool, size) // finalized cells; no further claims allowed
+	// Per-processor random streams, split deterministically by id.
+	base := rnd.Split(0xc0)
+
+	for round := 0; round < Rounds; round++ {
+		r := uint64(round)
+		// §3.1 step 2: each unplaced marked element attempts to write its
+		// id to a random unoccupied cell. Picking an occupied (frozen) cell
+		// counts as a failed attempt; the element retries next round.
+		m.Step(n, func(p int) bool {
+			if !bit(p) || placed[p] {
+				return false
+			}
+			slot := base.Split(uint64(p)*Rounds + r).Intn(size)
+			if !frozen[slot] {
+				cells[slot].Claim(int64(p))
+			}
+			return true
+		})
+		// §3.1 steps 3–4: uncontested writers keep their cell (frozen);
+		// contested cells are released and all their claimants retry.
+		m.Step(size, func(s int) bool {
+			if frozen[s] {
+				return false
+			}
+			owner := cells[s].Owner()
+			if owner < 0 {
+				return false
+			}
+			if cells[s].Contested() {
+				cells[s].Reset()
+			} else {
+				frozen[s] = true
+				placed[owner] = true
+			}
+			return true
+		})
+	}
+	// Check for stragglers with one OR step.
+	var unplaced pram.OrCell
+	m.Step(n, func(p int) bool {
+		if bit(p) && !placed[p] {
+			unplaced.Set()
+			return true
+		}
+		return false
+	})
+	if unplaced.Get() {
+		return nil, false
+	}
+	area = make([]int32, size)
+	m.StepAll(size, func(s int) {
+		if frozen[s] {
+			area[s] = int32(cells[s].Owner())
+		} else {
+			area[s] = -1
+		}
+	})
+	return area, true
+}

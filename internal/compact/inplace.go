@@ -1,0 +1,173 @@
+package compact
+
+import (
+	"math"
+	"sort"
+
+	"inplacehull/internal/pram"
+	"inplacehull/internal/rng"
+)
+
+// InPlaceCompact is the paper's Lemma 3.2: compact the at most k marked
+// positions of a virtual array of size size into a small output area
+// *without moving any input element* — only group occupancy bits and group
+// ids pass through the (o(size)) work space.
+//
+// Structure, following the proof of Lemma 3.2: split the array into groups;
+// each marked element raises its group's occupancy bit (one concurrent
+// write); the occupied group ids are approximately compacted (Lemma 2.1 /
+// ApproxCompact); every occupied group is then split into sub-groups and
+// the process repeats, ignoring groups found empty. After O(1/δ) rounds the
+// groups are single cells and the compacted "group ids" are the marked
+// positions themselves.
+//
+// The δ parameter trades rounds for work space exactly as in the lemma:
+// each round splits occupied groups by a factor of about size^δ. It returns
+// the marked positions (in arbitrary order) and ok = true, or ok = false if
+// more than k positions are marked (detection, as in the lemma) or a
+// compaction round fails.
+//
+// Cost: O(1/δ) = O(1) steps; work space Θ(k⁴ + size^δ·k).
+func InPlaceCompact(m *pram.Machine, rnd *rng.Stream, size, k int, delta float64, bit func(p int) bool) ([]int, bool) {
+	return InPlaceCompactArea(m, rnd, size, k, AreaSize(k), delta, bit)
+}
+
+// InPlaceCompactArea is InPlaceCompact with an explicit per-round output
+// area (see CompactIntoArea): at most `outArea` cells of work space are used
+// per compaction round instead of the lemma's k⁴, trading failure
+// probability for space. The bridge-finding step 4 uses this to compact
+// survivors into its 16k-cell base area.
+func InPlaceCompactArea(m *pram.Machine, rnd *rng.Stream, size, k, outArea int, delta float64, bit func(p int) bool) ([]int, bool) {
+	if size <= 0 {
+		return nil, true
+	}
+	if delta <= 0 || delta > 1 {
+		delta = 0.5
+	}
+	// Split factor per round: size^δ, at least 2.
+	split := intPow(size, delta)
+	if split < 2 {
+		split = 2
+	}
+
+	type group struct{ start, length int }
+	groups := []group{{0, size}}
+	round := 0
+	for {
+		round++
+		allUnit := true
+		for _, g := range groups {
+			if g.length > 1 {
+				allUnit = false
+				break
+			}
+		}
+		if allUnit {
+			out := make([]int, 0, len(groups))
+			for _, g := range groups {
+				out = append(out, g.start)
+			}
+			if len(out) > k {
+				// Threshold detection, as in Lemma 3.2: "one can determine
+				// whether k < m^ε".
+				return nil, false
+			}
+			return out, true
+		}
+		if round > 64 {
+			// Termination guard; with split ≥ 2 the group length halves
+			// every round, so 64 rounds always suffice for any int size.
+			return nil, false
+		}
+
+		// Sub-divide every occupied group and mark occupancy bits with one
+		// synchronous step over all member positions (each element's
+		// standing-by processor writes its sub-group's bit).
+		type sub struct{ start, length int }
+		subs := make([]sub, 0, len(groups)*split)
+		for _, g := range groups {
+			if g.length <= 1 {
+				subs = append(subs, sub{g.start, g.length})
+				continue
+			}
+			per := (g.length + split - 1) / split
+			for s := g.start; s < g.start+g.length; s += per {
+				l := per
+				if s+l > g.start+g.length {
+					l = g.start + g.length - s
+				}
+				subs = append(subs, sub{s, l})
+			}
+		}
+		release := m.AllocScratch(int64(len(subs)))
+		occ := make([]pram.OrCell, len(subs))
+		// Map position → sub-group index for the scatter step. Sub-groups
+		// are contiguous runs; precompute a lookup by binary search per
+		// element (O(1)-ish; charged as one step, as the model's processors
+		// know their group id).
+		starts := make([]int, len(subs))
+		for i, sg := range subs {
+			starts[i] = sg.start
+		}
+		m.Step(size, func(p int) bool {
+			if !bit(p) {
+				return false
+			}
+			i := findSub(starts, p)
+			if i >= 0 && p < subs[i].start+subs[i].length {
+				occ[i].Set()
+			}
+			return true
+		})
+
+		// Approximately compact the occupied sub-group ids (at most k of
+		// them, since every occupied sub-group holds a marked element).
+		area, ok := CompactIntoArea(m, rnd.Split(uint64(round)), len(subs), outArea, func(i int) bool {
+			return occ[i].Get()
+		})
+		release()
+		if !ok {
+			return nil, false
+		}
+		groups = groups[:0]
+		for _, v := range area {
+			if v >= 0 {
+				groups = append(groups, group{subs[v].start, subs[v].length})
+			}
+		}
+		// The compacted area lists occupied groups in arbitrary (dart)
+		// order; keep the group table sorted by start so the next round's
+		// position→sub-group lookup can binary-search it. (In the model
+		// each element's processor knows its group id directly; the sort
+		// is an implementation artifact over ≤ k⁴ bookkeeping records.)
+		sort.Slice(groups, func(i, j int) bool { return groups[i].start < groups[j].start })
+	}
+}
+
+// findSub returns the index i with starts[i] ≤ p < starts[i+1] (or the last
+// index), assuming starts is sorted ascending; −1 if p < starts[0].
+func findSub(starts []int, p int) int {
+	lo, hi := 0, len(starts)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if starts[mid] <= p {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo - 1
+}
+
+// intPow returns ⌈n^e⌉ for 0 < e ≤ 1 computed in floating point.
+func intPow(n int, e float64) int {
+	if n <= 1 {
+		return 1
+	}
+	v := math.Pow(float64(n), e)
+	r := int(v)
+	if float64(r) < v {
+		r++
+	}
+	return r
+}

@@ -1,0 +1,36 @@
+package geom
+
+import "testing"
+
+func BenchmarkOrientationFastPath(b *testing.B) {
+	p1, p2, p3 := Point{0.1, 0.2}, Point{0.9, 0.3}, Point{0.4, 0.8}
+	for i := 0; i < b.N; i++ {
+		Orientation(p1, p2, p3)
+	}
+}
+
+func BenchmarkOrientationExactPath(b *testing.B) {
+	// Exactly collinear: always takes the math/big fallback.
+	p1, p2, p3 := Point{0.1, 0.1}, Point{0.2, 0.2}, Point{0.3, 0.3}
+	for i := 0; i < b.N; i++ {
+		Orientation(p1, p2, p3)
+	}
+}
+
+func BenchmarkOrientation3FastPath(b *testing.B) {
+	a := Point3{0.1, 0.2, 0.3}
+	c := Point3{0.9, 0.1, 0.4}
+	d := Point3{0.3, 0.8, 0.1}
+	e := Point3{0.5, 0.5, 0.9}
+	for i := 0; i < b.N; i++ {
+		Orientation3(a, c, d, e)
+	}
+}
+
+func BenchmarkSlopeCmp(b *testing.B) {
+	p, q := Point{0, 0}, Point{1, 0.5}
+	r, s := Point{0.2, 0.1}, Point{1.5, 0.9}
+	for i := 0; i < b.N; i++ {
+		SlopeCmp(p, q, r, s)
+	}
+}

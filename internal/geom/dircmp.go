@@ -1,0 +1,51 @@
+package geom
+
+import (
+	"math"
+	"math/big"
+)
+
+// diffCrossSign returns the exact sign of
+//
+//	(a1−a2)·(b1−b2) − (c1−c2)·(d1−d2)
+//
+// for float64 inputs, using a floating-point filter with a math/big.Rat
+// fallback. This is the common core of the slope- and direction-comparison
+// predicates the Kirkpatrick–Seidel bridge search needs to be robust.
+func diffCrossSign(a1, a2, b1, b2, c1, c2, d1, d2 float64) int {
+	l := (a1 - a2) * (b1 - b2)
+	r := (c1 - c2) * (d1 - d2)
+	det := l - r
+	sum := math.Abs(l) + math.Abs(r)
+	const errBound = 8.8817841970012523e-16 // 4·eps, covers the two inexact subtractions per product
+	if det > errBound*sum {
+		return 1
+	}
+	if det < -errBound*sum {
+		return -1
+	}
+	rat := func(x float64) *big.Rat { return new(big.Rat).SetFloat64(x) }
+	sub := func(x, y float64) *big.Rat { return new(big.Rat).Sub(rat(x), rat(y)) }
+	lr := new(big.Rat).Mul(sub(a1, a2), sub(b1, b2))
+	rr := new(big.Rat).Mul(sub(c1, c2), sub(d1, d2))
+	return lr.Cmp(rr)
+}
+
+// SlopeCmp compares the slope of segment (p, q) with the slope of segment
+// (r, s), exactly: −1, 0, or +1. Both segments must have positive x-extent
+// (p.X < q.X and r.X < s.X).
+func SlopeCmp(p, q, r, s Point) int {
+	// slope(pq) − slope(rs) has the sign of (qy−py)(sx−rx) − (sy−ry)(qx−px)
+	// because both denominators are positive.
+	return diffCrossSign(q.Y, p.Y, s.X, r.X, s.Y, r.Y, q.X, p.X)
+}
+
+// DirCmp compares points u and v along the direction orthogonal to segment
+// (p, q): the sign of ⟨u − v, n⟩ where n = (−(q.Y−p.Y), q.X−p.X) is the
+// upward normal of the segment. Positive means u is farther than v in the
+// direction "above" the segment's slope — i.e. u.Y − K·u.X > v.Y − K·v.X
+// for K = slope(p, q), evaluated exactly.
+func DirCmp(u, v, p, q Point) int {
+	// (uy−vy)(qx−px) − (ux−vx)(qy−py)
+	return diffCrossSign(u.Y, v.Y, q.X, p.X, u.X, v.X, q.Y, p.Y)
+}

@@ -1,0 +1,123 @@
+package geom
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSlopeCmpBasic(t *testing.T) {
+	p, q := Point{0, 0}, Point{1, 1} // slope 1
+	r, s := Point{0, 0}, Point{2, 1} // slope 0.5
+	if SlopeCmp(p, q, r, s) != 1 {
+		t.Fatal("slope 1 vs 0.5")
+	}
+	if SlopeCmp(r, s, p, q) != -1 {
+		t.Fatal("slope 0.5 vs 1")
+	}
+	if SlopeCmp(p, q, Point{5, 5}, Point{7, 7}) != 0 {
+		t.Fatal("equal slopes")
+	}
+}
+
+func TestSlopeCmpMatchesFloat(t *testing.T) {
+	if err := quick.Check(func(v [8]int8) bool {
+		p := Point{float64(v[0]), float64(v[1])}
+		q := Point{float64(v[2]), float64(v[3])}
+		r := Point{float64(v[4]), float64(v[5])}
+		s := Point{float64(v[6]), float64(v[7])}
+		if p.X >= q.X || r.X >= s.X {
+			return true // precondition
+		}
+		s1 := (q.Y - p.Y) / (q.X - p.X)
+		s2 := (s.Y - r.Y) / (s.X - r.X)
+		got := SlopeCmp(p, q, r, s)
+		// Small-integer slopes are exact in float64, so the signs agree.
+		switch {
+		case s1 < s2:
+			return got == -1
+		case s1 > s2:
+			return got == 1
+		default:
+			return got == 0
+		}
+	}, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSlopeCmpAntisymmetric(t *testing.T) {
+	if err := quick.Check(func(v [8]int8) bool {
+		p := Point{float64(v[0]), float64(v[1])}
+		q := Point{float64(v[2]), float64(v[3])}
+		r := Point{float64(v[4]), float64(v[5])}
+		s := Point{float64(v[6]), float64(v[7])}
+		if p.X >= q.X || r.X >= s.X {
+			return true
+		}
+		return SlopeCmp(p, q, r, s) == -SlopeCmp(r, s, p, q)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirCmpBasic(t *testing.T) {
+	// Direction of segment (0,0)-(1,0): DirCmp compares y-offsets.
+	p, q := Point{0, 0}, Point{1, 0}
+	if DirCmp(Point{5, 3}, Point{7, 1}, p, q) != 1 {
+		t.Fatal("higher point must compare greater")
+	}
+	if DirCmp(Point{5, 1}, Point{7, 3}, p, q) != -1 {
+		t.Fatal("lower point must compare smaller")
+	}
+	if DirCmp(Point{5, 2}, Point{7, 2}, p, q) != 0 {
+		t.Fatal("equal offsets")
+	}
+}
+
+func TestDirCmpConsistentWithObjective(t *testing.T) {
+	// DirCmp(u, v, p, q) must equal the sign of
+	// (u.Y − K·u.X) − (v.Y − K·v.X) for K = slope(p, q), on exact inputs.
+	if err := quick.Check(func(v [8]int8) bool {
+		u := Point{float64(v[0]), float64(v[1])}
+		w := Point{float64(v[2]), float64(v[3])}
+		p := Point{float64(v[4]), float64(v[5])}
+		q := Point{float64(v[6]), float64(v[7])}
+		if p.X >= q.X {
+			return true
+		}
+		got := DirCmp(u, w, p, q)
+		// Denominator-cleared comparison; exact in float64 for
+		// small-integer inputs.
+		lhs := (u.Y-w.Y)*(q.X-p.X) - (u.X-w.X)*(q.Y-p.Y)
+		switch {
+		case lhs > 0:
+			return got == 1
+		case lhs < 0:
+			return got == -1
+		default:
+			return got == 0
+		}
+	}, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirCmpIrreflexive(t *testing.T) {
+	u := Point{3, 4}
+	if DirCmp(u, u, Point{0, 0}, Point{1, 2}) != 0 {
+		t.Fatal("DirCmp(u, u, …) must be 0")
+	}
+}
+
+func TestDiffCrossSignExactNearTie(t *testing.T) {
+	// Products that cancel exactly must give 0 through the exact path.
+	if diffCrossSign(1e-30, 0, 2e-30, 0, 2e-30, 0, 1e-30, 0) != 0 {
+		t.Fatal("exact tie misclassified")
+	}
+	// One-ulp perturbations must be detected.
+	a := 1e-30
+	b := 2e-30
+	if diffCrossSign(a, 0, b, 0, b, 0, a, 0) != 0 {
+		t.Fatal("symmetric product not zero")
+	}
+}

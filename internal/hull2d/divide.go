@@ -1,0 +1,74 @@
+package hull2d
+
+import "inplacehull/internal/geom"
+
+// DivideAndConquerUpper computes the upper hull by the divide-and-conquer
+// scheme of Atallah–Goodrich [5,6]: split the sorted points in half,
+// recurse, and merge the two sub-hulls with their common upper tangent.
+// O(n log n) sequentially; the same merge tree is what their CREW
+// algorithm evaluates level-parallel in O(log n) time. It cross-checks the
+// tangent primitives of internal/chain at every merge.
+func DivideAndConquerUpper(pts []geom.Point) []geom.Point {
+	s := sortUnique(pts)
+	if len(s) <= 2 {
+		return tinyUpper(s)
+	}
+	// Collapse duplicate x-columns to their top point so every chain is
+	// strictly x-monotone.
+	cols := s[:0]
+	for _, p := range s {
+		if len(cols) > 0 && cols[len(cols)-1].X == p.X {
+			if p.Y > cols[len(cols)-1].Y {
+				cols[len(cols)-1] = p
+			}
+			continue
+		}
+		cols = append(cols, p)
+	}
+	return dcUpper(cols)
+}
+
+func dcUpper(s []geom.Point) []geom.Point {
+	if len(s) <= 2 {
+		return append([]geom.Point(nil), s...)
+	}
+	mid := len(s) / 2
+	left := dcUpper(s[:mid])
+	right := dcUpper(s[mid:])
+	return mergeUpper(left, right)
+}
+
+// mergeUpper joins two x-disjoint upper chains with their common tangent.
+func mergeUpper(a, b []geom.Point) []geom.Point {
+	i, j := upperTangent(a, b)
+	out := make([]geom.Point, 0, i+1+len(b)-j)
+	out = append(out, a[:i+1]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// upperTangent returns indices (i, j) of the common upper tangent between
+// x-disjoint upper chains a (left) and b (right): every vertex of both
+// chains lies on or below the line a[i]–b[j]. The classic two-pointer
+// walk: advance each side while its neighbor improves the tangent.
+func upperTangent(a, b []geom.Point) (int, int) {
+	i, j := len(a)-1, 0
+	for {
+		moved := false
+		// Retract i while its predecessor lies on or above the candidate
+		// line (collinear predecessors also retract, keeping the hull
+		// strict).
+		for i > 0 && geom.Orientation(a[i], b[j], a[i-1]) >= 0 {
+			i--
+			moved = true
+		}
+		// Advance j while its successor lies on or above the candidate.
+		for j < len(b)-1 && geom.Orientation(a[i], b[j], b[j+1]) >= 0 {
+			j++
+			moved = true
+		}
+		if !moved {
+			return i, j
+		}
+	}
+}

@@ -1,0 +1,28 @@
+package hull2d
+
+import (
+	"testing"
+
+	"inplacehull/internal/workload"
+)
+
+func TestDivideAndConquerMatchesReference(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		for i, pts := range samplePointSets(seed) {
+			want := UpperHull(pts)
+			got := DivideAndConquerUpper(pts)
+			if !equalChains(got, want) {
+				t.Fatalf("seed %d set %d: dc %v != reference %v", seed, i, got, want)
+			}
+		}
+	}
+}
+
+func TestDivideAndConquerLarge(t *testing.T) {
+	pts := workload.Circle(9, 20000)
+	want := UpperHull(pts)
+	got := DivideAndConquerUpper(pts)
+	if !equalChains(got, want) {
+		t.Fatalf("dc disagrees on large circle: %d vs %d vertices", len(got), len(want))
+	}
+}

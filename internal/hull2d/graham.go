@@ -1,0 +1,69 @@
+package hull2d
+
+import (
+	"sort"
+
+	"inplacehull/internal/geom"
+)
+
+// Graham returns the full convex hull (CCW from the lexicographic minimum)
+// by the classic Graham scan [18]: sort by angle around the bottommost
+// point, then a single stack pass. O(n log n).
+func Graham(pts []geom.Point) []geom.Point {
+	s := sortUnique(pts)
+	n := len(s)
+	if n <= 2 {
+		return s
+	}
+	// Pivot: lowest y, then lowest x.
+	piv := 0
+	for i, p := range s {
+		if p.Y < s[piv].Y || (p.Y == s[piv].Y && p.X < s[piv].X) {
+			piv = i
+		}
+	}
+	s[0], s[piv] = s[piv], s[0]
+	origin := s[0]
+	rest := s[1:]
+	sort.Slice(rest, func(i, j int) bool {
+		o := geom.Orientation(origin, rest[i], rest[j])
+		if o != 0 {
+			return o > 0 // smaller polar angle first (CCW order)
+		}
+		return geom.Dist2(origin, rest[i]) < geom.Dist2(origin, rest[j])
+	})
+	// Collinear points with the maximum angle must be in decreasing
+	// distance so the scan closes the polygon correctly.
+	i := len(rest) - 1
+	for i > 0 && geom.Orientation(origin, rest[i-1], rest[len(rest)-1]) == 0 {
+		i--
+	}
+	for l, r := i, len(rest)-1; l < r; l, r = l+1, r-1 {
+		rest[l], rest[r] = rest[r], rest[l]
+	}
+
+	stack := []geom.Point{origin}
+	for _, p := range rest {
+		for len(stack) >= 2 && geom.Orientation(stack[len(stack)-2], stack[len(stack)-1], p) <= 0 {
+			stack = stack[:len(stack)-1]
+		}
+		stack = append(stack, p)
+	}
+	// Pop trailing points collinear with the closing edge back to the
+	// origin (the classic Graham closure fix-up).
+	for len(stack) >= 3 && geom.Orientation(stack[len(stack)-2], stack[len(stack)-1], origin) <= 0 {
+		stack = stack[:len(stack)-1]
+	}
+	// Rotate so the polygon starts at the lexicographic minimum, matching
+	// FullHull's convention.
+	start := 0
+	for i, p := range stack {
+		if geom.LexLess(p, stack[start]) {
+			start = i
+		}
+	}
+	out := make([]geom.Point, 0, len(stack))
+	out = append(out, stack[start:]...)
+	out = append(out, stack[:start]...)
+	return out
+}

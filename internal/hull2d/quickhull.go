@@ -1,0 +1,64 @@
+package hull2d
+
+import "inplacehull/internal/geom"
+
+// QuickHullUpper returns the upper hull by the quickhull recursion:
+// repeatedly take the point farthest above the current chord and split.
+// Expected O(n log n) on random inputs, O(n²) worst case.
+func QuickHullUpper(pts []geom.Point) []geom.Point {
+	s := sortUnique(pts)
+	if len(s) <= 1 {
+		return s
+	}
+	l, r := s[0], s[len(s)-1]
+	if l.X == r.X {
+		// All points on a vertical line: upper hull is the top point.
+		return []geom.Point{s[len(s)-1]}
+	}
+	// The upper hull runs between the *topmost* points of the extreme
+	// columns, not the lexicographic extremes.
+	l, r = topOfVerticals(s, l, r)
+	var above []geom.Point
+	for _, p := range s {
+		if geom.AboveLine(p, l, r) {
+			above = append(above, p)
+		}
+	}
+	chain := []geom.Point{l}
+	quickUpper(l, r, above, &chain)
+	chain = append(chain, r)
+	return chain
+}
+
+// quickUpper appends to chain the hull vertices strictly between l and r,
+// given the points strictly above segment (l, r).
+func quickUpper(l, r geom.Point, pts []geom.Point, chain *[]geom.Point) {
+	if len(pts) == 0 {
+		return
+	}
+	// Farthest point above the chord; ties broken toward smaller x so the
+	// recursion is deterministic.
+	far := pts[0]
+	base := geom.LineThrough(l, r)
+	best := far.Y - base.Eval(far.X)
+	for _, p := range pts[1:] {
+		d := p.Y - base.Eval(p.X)
+		if d > best || (d == best && p.X < far.X) {
+			far, best = p, d
+		}
+	}
+	var left, right []geom.Point
+	for _, p := range pts {
+		if p == far {
+			continue
+		}
+		if geom.AboveLine(p, l, far) {
+			left = append(left, p)
+		} else if geom.AboveLine(p, far, r) {
+			right = append(right, p)
+		}
+	}
+	quickUpper(l, far, left, chain)
+	*chain = append(*chain, far)
+	quickUpper(far, r, right, chain)
+}

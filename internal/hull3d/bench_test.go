@@ -1,0 +1,31 @@
+package hull3d
+
+import (
+	"strconv"
+	"testing"
+
+	"inplacehull/internal/rng"
+	"inplacehull/internal/workload"
+)
+
+func BenchmarkIncremental(b *testing.B) {
+	for _, n := range []int{1 << 10, 1 << 13} {
+		ball := workload.Ball(1, n)
+		b.Run("ball/"+strconv.Itoa(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Incremental(rng.New(uint64(i)), ball); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkGiftWrapSmallH(b *testing.B) {
+	pts := workload.BallFew(32)(1, 1<<12)
+	for i := 0; i < b.N; i++ {
+		if _, err := GiftWrap(pts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

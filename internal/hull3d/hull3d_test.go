@@ -1,0 +1,178 @@
+package hull3d
+
+import (
+	"testing"
+	"testing/quick"
+
+	"inplacehull/internal/geom"
+	"inplacehull/internal/rng"
+	"inplacehull/internal/workload"
+)
+
+func TestIncrementalTetrahedron(t *testing.T) {
+	pts := []geom.Point3{
+		{X: 0, Y: 0, Z: 0}, {X: 1, Y: 0, Z: 0}, {X: 0, Y: 1, Z: 0}, {X: 0, Y: 0, Z: 1},
+	}
+	h, err := Incremental(rng.New(1), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Faces) != 4 {
+		t.Fatalf("tetrahedron has %d faces", len(h.Faces))
+	}
+	if err := h.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIncrementalInteriorPoint(t *testing.T) {
+	pts := []geom.Point3{
+		{X: 0, Y: 0, Z: 0}, {X: 4, Y: 0, Z: 0}, {X: 0, Y: 4, Z: 0}, {X: 0, Y: 0, Z: 4},
+		{X: 0.5, Y: 0.5, Z: 0.5}, // interior
+	}
+	h, err := Incremental(rng.New(2), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Vertices()) != 4 {
+		t.Fatalf("interior point on hull: vertices %v", h.Vertices())
+	}
+	if err := h.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIncrementalWorkloads(t *testing.T) {
+	for _, g := range workload.Gens3D {
+		for seed := uint64(1); seed <= 2; seed++ {
+			pts := g.Gen(seed, 600)
+			h, err := Incremental(rng.New(seed+5), pts)
+			if err != nil {
+				t.Fatalf("%s: %v", g.Name, err)
+			}
+			if err := h.Verify(); err != nil {
+				t.Fatalf("%s: %v", g.Name, err)
+			}
+		}
+	}
+}
+
+func TestIncrementalSphereAllVertices(t *testing.T) {
+	pts := workload.Sphere(3, 300)
+	h, err := Incremental(rng.New(3), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(h.Vertices()); got != 300 {
+		t.Fatalf("sphere hull has %d vertices, want 300", got)
+	}
+	// Euler: F = 2V − 4 for a triangulated sphere.
+	if len(h.Faces) != 2*300-4 {
+		t.Fatalf("faces %d, want %d", len(h.Faces), 2*300-4)
+	}
+}
+
+func TestIncrementalDegenerateInputs(t *testing.T) {
+	if _, err := Incremental(rng.New(1), []geom.Point3{{X: 1, Y: 1, Z: 1}, {X: 1, Y: 1, Z: 1}, {X: 1, Y: 1, Z: 1}, {X: 1, Y: 1, Z: 1}}); err == nil {
+		t.Fatal("coincident points accepted")
+	}
+	line := make([]geom.Point3, 10)
+	for i := range line {
+		line[i] = geom.Point3{X: float64(i), Y: 2 * float64(i), Z: -float64(i)}
+	}
+	if _, err := Incremental(rng.New(1), line); err == nil {
+		t.Fatal("collinear points accepted")
+	}
+	plane := make([]geom.Point3, 10)
+	s := rng.New(9)
+	for i := range plane {
+		plane[i] = geom.Point3{X: s.Float64(), Y: s.Float64(), Z: 0}
+	}
+	if _, err := Incremental(rng.New(1), plane); err == nil {
+		t.Fatal("coplanar points accepted")
+	}
+}
+
+func TestIncrementalDeterministic(t *testing.T) {
+	pts := workload.Ball(7, 500)
+	h1, e1 := Incremental(rng.New(11), pts)
+	h2, e2 := Incremental(rng.New(11), pts)
+	if e1 != nil || e2 != nil {
+		t.Fatal(e1, e2)
+	}
+	if len(h1.Faces) != len(h2.Faces) {
+		t.Fatal("nondeterministic face count")
+	}
+}
+
+func TestGiftWrapMatchesIncremental(t *testing.T) {
+	for _, gen := range []func(uint64, int) []geom.Point3{workload.Ball, workload.BallFew(32)} {
+		pts := gen(13, 200)
+		gw, err := GiftWrap(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := gw.Verify(); err != nil {
+			t.Fatal(err)
+		}
+		inc, err := Incremental(rng.New(13), pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v1, v2 := gw.Vertices(), inc.Vertices()
+		if len(v1) != len(v2) {
+			t.Fatalf("vertex sets differ: %d vs %d", len(v1), len(v2))
+		}
+		for i := range v1 {
+			if v1[i] != v2[i] {
+				t.Fatalf("vertex sets differ at %d", i)
+			}
+		}
+	}
+}
+
+func TestUpperFaces(t *testing.T) {
+	pts := workload.Ball(17, 400)
+	h, err := Incremental(rng.New(17), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up := h.UpperFaces()
+	if len(up) == 0 || len(up) >= len(h.Faces) {
+		t.Fatalf("upper faces %d of %d", len(up), len(h.Faces))
+	}
+	if err := VerifyUpper(pts, up); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaceAbove(t *testing.T) {
+	pts := []geom.Point3{
+		{X: 0, Y: 0, Z: 0}, {X: 4, Y: 0, Z: 0}, {X: 0, Y: 4, Z: 0}, {X: 1, Y: 1, Z: 3},
+	}
+	h, err := Incremental(rng.New(1), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up := h.UpperFaces()
+	if i := FaceAbove(pts, up, 1, 1); i < 0 {
+		t.Fatal("no face above the centroid")
+	}
+	if i := FaceAbove(pts, up, 100, 100); i >= 0 {
+		t.Fatal("face above a far-away point")
+	}
+}
+
+func TestIncrementalQuick(t *testing.T) {
+	if err := quick.Check(func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw)%60 + 8
+		pts := workload.Ball(seed, n)
+		h, err := Incremental(rng.New(seed^0x5555), pts)
+		if err != nil {
+			return false
+		}
+		return h.Verify() == nil
+	}, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,322 @@
+// Package hull3d provides the three-dimensional convex hull substrate the
+// 3-d algorithms of the paper need: a randomized incremental full-hull
+// construction with conflict lists (the O(n log n) baseline, also standing
+// in for the Reif–Sen fallback — see DESIGN.md), gift wrapping (the O(n·h)
+// output-sensitive comparator), upper-hull facet extraction, and a
+// verification oracle.
+package hull3d
+
+import (
+	"fmt"
+
+	"inplacehull/internal/geom"
+	"inplacehull/internal/rng"
+)
+
+// Tri is a hull facet: indices into the input point slice, oriented so the
+// outward normal follows the right-hand rule (Orientation3(A, B, C, inner)
+// < 0 for interior points).
+type Tri struct {
+	A, B, C int
+}
+
+// Hull is a convex hull in three dimensions.
+type Hull struct {
+	Pts   []geom.Point3
+	Faces []Tri
+}
+
+type face struct {
+	v        [3]int
+	dead     bool
+	conflict []int // unprocessed points that see this face
+}
+
+// visible reports whether point p sees face f strictly from outside.
+func visible(pts []geom.Point3, f *face, p int) bool {
+	return geom.Orientation3(pts[f.v[0]], pts[f.v[1]], pts[f.v[2]], pts[p]) > 0
+}
+
+// Incremental computes the full convex hull by randomized incremental
+// insertion with conflict lists: expected O(n log n) for points in general
+// position. Inputs where all points are coplanar yield an error (callers
+// handle flat data with the 2-d algorithms).
+func Incremental(rnd *rng.Stream, pts []geom.Point3) (Hull, error) {
+	n := len(pts)
+	if n < 4 {
+		return Hull{}, fmt.Errorf("hull3d: need at least 4 points, have %d", n)
+	}
+	order := rnd.Perm(n)
+
+	// Initial simplex: the first four affinely independent points of the
+	// random order.
+	i0 := order[0]
+	i1 := -1
+	for _, i := range order[1:] {
+		if pts[i] != pts[i0] {
+			i1 = i
+			break
+		}
+	}
+	if i1 < 0 {
+		return Hull{}, fmt.Errorf("hull3d: all points coincide")
+	}
+	i2 := -1
+	for _, i := range order {
+		if i == i0 || i == i1 {
+			continue
+		}
+		if !collinear3(pts[i0], pts[i1], pts[i]) {
+			i2 = i
+			break
+		}
+	}
+	if i2 < 0 {
+		return Hull{}, fmt.Errorf("hull3d: all points collinear")
+	}
+	i3 := -1
+	for _, i := range order {
+		if i == i0 || i == i1 || i == i2 {
+			continue
+		}
+		if geom.Orientation3(pts[i0], pts[i1], pts[i2], pts[i]) != 0 {
+			i3 = i
+			break
+		}
+	}
+	if i3 < 0 {
+		return Hull{}, fmt.Errorf("hull3d: all points coplanar")
+	}
+
+	// Orient the simplex: faces outward.
+	if geom.Orientation3(pts[i0], pts[i1], pts[i2], pts[i3]) > 0 {
+		i1, i2 = i2, i1
+	}
+	// Now i3 is on the negative side of (i0, i1, i2): that face is outward.
+	faces := []*face{
+		{v: [3]int{i0, i1, i2}},
+		{v: [3]int{i0, i3, i1}},
+		{v: [3]int{i1, i3, i2}},
+		{v: [3]int{i2, i3, i0}},
+	}
+	inSimplex := map[int]bool{i0: true, i1: true, i2: true, i3: true}
+
+	// Bipartite conflict lists (de Berg et al.): every unprocessed point
+	// is listed on *every* face it currently sees, and keeps its own list
+	// of those faces. A point with no live listed face is interior — the
+	// standard lemma guarantees any point seeing a new cone face saw one
+	// of the two faces incident on its horizon edge before the update.
+	processed := make([]bool, n)
+	for i := range inSimplex {
+		processed[i] = true
+	}
+	pt2faces := make([][]*face, n)
+	link := func(p int, f *face) {
+		f.conflict = append(f.conflict, p)
+		pt2faces[p] = append(pt2faces[p], f)
+	}
+	for _, p := range order {
+		if processed[p] {
+			continue
+		}
+		for _, f := range faces {
+			if visible(pts, f, p) {
+				link(p, f)
+			}
+		}
+	}
+
+	// Directed-edge adjacency: edge (u, v) of a face maps to that face;
+	// the neighbor across is edgeFace[(v, u)].
+	type edge struct{ u, v int }
+	edgeFace := make(map[edge]*face)
+	register := func(f *face) {
+		edgeFace[edge{f.v[0], f.v[1]}] = f
+		edgeFace[edge{f.v[1], f.v[2]}] = f
+		edgeFace[edge{f.v[2], f.v[0]}] = f
+	}
+	unregister := func(f *face) {
+		delete(edgeFace, edge{f.v[0], f.v[1]})
+		delete(edgeFace, edge{f.v[1], f.v[2]})
+		delete(edgeFace, edge{f.v[2], f.v[0]})
+	}
+	for _, f := range faces {
+		register(f)
+	}
+
+	for _, p := range order {
+		if processed[p] {
+			continue
+		}
+		processed[p] = true
+		var start *face
+		for _, f := range pt2faces[p] {
+			if !f.dead {
+				start = f
+				break
+			}
+		}
+		pt2faces[p] = nil
+		if start == nil {
+			continue // interior
+		}
+		// BFS over adjacent visible faces.
+		visibleSet := map[*face]bool{start: true}
+		queue := []*face{start}
+		for len(queue) > 0 {
+			f := queue[0]
+			queue = queue[1:]
+			for e := 0; e < 3; e++ {
+				u, v := f.v[e], f.v[(e+1)%3]
+				g := edgeFace[edge{v, u}]
+				if g == nil || g.dead || visibleSet[g] {
+					continue
+				}
+				if visible(pts, g, p) {
+					visibleSet[g] = true
+					queue = append(queue, g)
+				}
+			}
+		}
+		// Horizon: directed edges of visible faces whose across-neighbor
+		// survives; remember that neighbor for conflict inheritance.
+		type hEdge struct {
+			u, v     int
+			dead, ok *face // the dying face on the edge and its survivor
+		}
+		var horizon []hEdge
+		for f := range visibleSet {
+			for e := 0; e < 3; e++ {
+				u, v := f.v[e], f.v[(e+1)%3]
+				g := edgeFace[edge{v, u}]
+				if g == nil || !visibleSet[g] {
+					horizon = append(horizon, hEdge{u: u, v: v, dead: f, ok: g})
+				}
+			}
+		}
+		// Kill visible faces (their conflict lists stay readable for the
+		// inheritance step below, then are released).
+		for f := range visibleSet {
+			f.dead = true
+			unregister(f)
+		}
+		// New cone: one face per horizon edge, keeping the edge direction
+		// so the across-neighbor relationship with the survivor holds.
+		// Conflicts of the new face come from the union of the conflicts
+		// of the two faces incident on its horizon edge.
+		for _, he := range horizon {
+			nf := &face{v: [3]int{he.u, he.v, p}}
+			register(nf)
+			faces = append(faces, nf)
+			seen := map[int]bool{}
+			inherit := func(src *face) {
+				if src == nil {
+					return
+				}
+				for _, q := range src.conflict {
+					if q == p || processed[q] || seen[q] {
+						continue
+					}
+					seen[q] = true
+					if visible(pts, nf, q) {
+						link(q, nf)
+					}
+				}
+			}
+			inherit(he.dead)
+			inherit(he.ok)
+		}
+		for f := range visibleSet {
+			f.conflict = nil
+		}
+	}
+
+	h := Hull{Pts: pts}
+	for _, f := range faces {
+		if !f.dead {
+			h.Faces = append(h.Faces, Tri{A: f.v[0], B: f.v[1], C: f.v[2]})
+		}
+	}
+	return h, nil
+}
+
+func collinear3(a, b, c geom.Point3) bool {
+	cr := b.Sub(a).Cross(c.Sub(a))
+	if cr.X != 0 || cr.Y != 0 || cr.Z != 0 {
+		// Fast accept; confirm robustly only when the cross product is
+		// suspiciously tiny relative to the inputs.
+		const eps = 1e-18
+		if cr.Dot(cr) > eps {
+			return false
+		}
+	}
+	// Exact confirmation via three projections.
+	ab := geom.Orientation(geom.Point{X: a.X, Y: a.Y}, geom.Point{X: b.X, Y: b.Y}, geom.Point{X: c.X, Y: c.Y})
+	ac := geom.Orientation(geom.Point{X: a.X, Y: a.Z}, geom.Point{X: b.X, Y: b.Z}, geom.Point{X: c.X, Y: c.Z})
+	bc := geom.Orientation(geom.Point{X: a.Y, Y: a.Z}, geom.Point{X: b.Y, Y: b.Z}, geom.Point{X: c.Y, Y: c.Z})
+	return ab == 0 && ac == 0 && bc == 0
+}
+
+// Vertices returns the sorted set of distinct vertex indices on the hull.
+func (h Hull) Vertices() []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, f := range h.Faces {
+		for _, v := range []int{f.A, f.B, f.C} {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	sortInts(out)
+	return out
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// Verify checks the hull invariants exactly: every input point lies on or
+// inside every face's supporting plane, and every face edge is shared with
+// exactly one other face with opposite direction (closed 2-manifold).
+func (h Hull) Verify() error {
+	if len(h.Faces) < 4 {
+		return fmt.Errorf("hull3d: only %d faces", len(h.Faces))
+	}
+	for _, f := range h.Faces {
+		a, b, c := h.Pts[f.A], h.Pts[f.B], h.Pts[f.C]
+		for i, p := range h.Pts {
+			if geom.Orientation3(a, b, c, p) > 0 {
+				return fmt.Errorf("hull3d: point %d (%v) outside face (%d,%d,%d)", i, p, f.A, f.B, f.C)
+			}
+		}
+	}
+	type edge struct{ u, v int }
+	count := map[edge]int{}
+	for _, f := range h.Faces {
+		count[edge{f.A, f.B}]++
+		count[edge{f.B, f.C}]++
+		count[edge{f.C, f.A}]++
+	}
+	for e, c := range count {
+		if c != 1 {
+			return fmt.Errorf("hull3d: directed edge (%d,%d) appears %d times", e.u, e.v, c)
+		}
+		if count[edge{e.v, e.u}] != 1 {
+			return fmt.Errorf("hull3d: edge (%d,%d) has no twin", e.u, e.v)
+		}
+	}
+	// Euler characteristic for a triangulated sphere: V − E + F = 2.
+	v := len(h.Vertices())
+	eCnt := len(count) / 2
+	fCnt := len(h.Faces)
+	if v-eCnt+fCnt != 2 {
+		return fmt.Errorf("hull3d: Euler characteristic %d", v-eCnt+fCnt)
+	}
+	return nil
+}

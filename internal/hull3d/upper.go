@@ -1,0 +1,64 @@
+package hull3d
+
+import (
+	"fmt"
+
+	"inplacehull/internal/geom"
+)
+
+// UpperFaces returns the facets of the upper hull: the faces of the full
+// hull whose outward normal has strictly positive z-component ("the face
+// above it" in §4.3's output contract). The faces are reoriented so their
+// xy-projection is counter-clockwise.
+func (h Hull) UpperFaces() []Tri {
+	var out []Tri
+	for _, f := range h.Faces {
+		a, b, c := h.Pts[f.A], h.Pts[f.B], h.Pts[f.C]
+		// The z-sign of the outward normal is exactly the 2-d orientation
+		// of the face's xy-projection (outward + upward ⇔ CCW projection).
+		if geom.Orientation(pxy(a), pxy(b), pxy(c)) > 0 {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func pxy(p geom.Point3) geom.Point { return geom.Point{X: p.X, Y: p.Y} }
+
+// FaceAbove returns the index (into faces) of an upper face whose
+// xy-projection contains (x, y), or −1 if none. Linear scan; used by the
+// verification oracle and examples, not by the PRAM algorithms.
+func FaceAbove(pts []geom.Point3, faces []Tri, x, y float64) int {
+	q := geom.Point{X: x, Y: y}
+	for i, f := range faces {
+		a, b, c := pxy(pts[f.A]), pxy(pts[f.B]), pxy(pts[f.C])
+		if geom.Orientation(a, b, q) >= 0 &&
+			geom.Orientation(b, c, q) >= 0 &&
+			geom.Orientation(c, a, q) >= 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// VerifyUpper checks the §4.3 output contract: every input point lies on
+// or below the plane of every upper face... more precisely, every point is
+// below (or on) the upper envelope: for the face above its xy-location,
+// the point must not be above that face's plane, and no input point may be
+// above any upper face's plane inside its projection.
+func VerifyUpper(pts []geom.Point3, faces []Tri) error {
+	for _, p := range pts {
+		i := FaceAbove(pts, faces, p.X, p.Y)
+		if i < 0 {
+			continue // outside the hull's xy-shadow boundary only by fp-degeneracy
+		}
+		f := faces[i]
+		a, b, c := pts[f.A], pts[f.B], pts[f.C]
+		// Orient upward: projection CCW means Orientation3(a,b,c,·) > 0 is
+		// above the plane.
+		if geom.Orientation3(a, b, c, p) > 0 {
+			return fmt.Errorf("hull3d: point %v above upper face (%d,%d,%d)", p, f.A, f.B, f.C)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,63 @@
+package lp
+
+import (
+	"strconv"
+	"testing"
+
+	"inplacehull/internal/geom"
+	"inplacehull/internal/pram"
+	"inplacehull/internal/rng"
+	"inplacehull/internal/workload"
+)
+
+func BenchmarkBridge2D(b *testing.B) {
+	for _, n := range []int{1 << 12, 1 << 16} {
+		pts := workload.Disk(1, n)
+		k := 1
+		for k*k*k < n {
+			k++
+		}
+		b.Run(strconv.Itoa(n), func(b *testing.B) {
+			fails := 0
+			for i := 0; i < b.N; i++ {
+				m := pram.New()
+				res := Bridge2D(m, rng.New(uint64(i)), n,
+					func(v int) geom.Point { return pts[v] },
+					func(v int) bool { return true }, n, pts[0], k)
+				if !res.OK {
+					fails++ // expected occasionally: callers failure-sweep
+				}
+			}
+			b.ReportMetric(float64(fails)/float64(b.N), "fail-rate")
+		})
+	}
+}
+
+func BenchmarkSeidelBridge2D(b *testing.B) {
+	for _, n := range []int{1 << 12, 1 << 16} {
+		pts := workload.Disk(1, n)
+		b.Run(strconv.Itoa(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, ok := SeidelBridge2D(rng.New(uint64(i)), pts, pts[0].X); !ok {
+					b.Fatal("failed")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkBridge3D(b *testing.B) {
+	n := 1 << 12
+	pts := workload.Ball(1, n)
+	fails := 0
+	for i := 0; i < b.N; i++ {
+		m := pram.New()
+		res := Bridge3D(m, rng.New(uint64(i)), n,
+			func(v int) geom.Point3 { return pts[v] },
+			func(v int) bool { return true }, n, pts[0], 8)
+		if !res.OK {
+			fails++ // expected occasionally: callers failure-sweep
+		}
+	}
+	b.ReportMetric(float64(fails)/float64(b.N), "fail-rate")
+}

@@ -1,0 +1,179 @@
+package lp
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// The paper closes with "it would be interesting to see how these results
+// generalize to higher dimensions". The building block that generalizes
+// immediately is Observation 2.2: brute-force linear programming in fixed
+// dimension d — every d-tuple of constraints is a candidate basis, checked
+// against all constraints, in O(1) time with n^(d+1) processors. This file
+// provides that primitive for arbitrary fixed d over exact rational
+// arithmetic: the d-dimensional facet LP
+//
+//	minimize  a·q + c   subject to   a·x_i + c ≥ z_i  for all i,
+//
+// where each point is (x_i, z_i) ∈ R^(d−1) × R — the "upper hull facet
+// above the query q" in d dimensions, exactly the probe the paper's
+// divide-and-conquer repeats in 2-d and 3-d.
+
+// PointD is a point in R^d, given as base coordinates X (length d−1) and
+// height Z.
+type PointD struct {
+	X []float64
+	Z float64
+}
+
+// SolutionD is an LP basis: the d points whose common hyperplane supports
+// the optimum.
+type SolutionD struct {
+	Basis []PointD
+	// A and C are the hyperplane coefficients (z = A·x + C) as exact
+	// rationals.
+	A []*big.Rat
+	C *big.Rat
+}
+
+// ValueAt returns the hyperplane height at q, exactly.
+func (s SolutionD) ValueAt(q []float64) *big.Rat {
+	v := new(big.Rat).Set(s.C)
+	for i, a := range s.A {
+		t := new(big.Rat).Mul(a, new(big.Rat).SetFloat64(q[i]))
+		v.Add(v, t)
+	}
+	return v
+}
+
+// Violates reports whether point p lies strictly above the hyperplane.
+func (s SolutionD) Violates(p PointD) bool {
+	h := s.ValueAt(p.X)
+	return new(big.Rat).SetFloat64(p.Z).Cmp(h) > 0
+}
+
+// BruteForceFacetD solves the d-dimensional facet LP at query q (length
+// d−1) over pts by enumerating every d-subset: Observation 2.2 in general
+// dimension, executed sequentially with exact arithmetic (the model charge
+// is the caller's concern; this is the substrate primitive). Points whose
+// base coordinates are affinely dependent are skipped as bases. Returns
+// ok = false if no bounded basis exists (q outside the shadow of every
+// affinely independent d-subset, or fewer than d points).
+func BruteForceFacetD(pts []PointD, q []float64) (SolutionD, bool) {
+	if len(pts) == 0 {
+		return SolutionD{}, false
+	}
+	d := len(pts[0].X) + 1
+	if len(q) != d-1 {
+		panic(fmt.Sprintf("lp: query has %d coordinates, want %d", len(q), d-1))
+	}
+	for _, p := range pts {
+		if len(p.X) != d-1 {
+			panic("lp: inconsistent point dimensions")
+		}
+	}
+	if len(pts) < d {
+		return SolutionD{}, false
+	}
+	idx := make([]int, d)
+	for i := range idx {
+		idx[i] = i
+	}
+	var best SolutionD
+	haveBest := false
+	for {
+		basis := make([]PointD, d)
+		for i, j := range idx {
+			basis[i] = pts[j]
+		}
+		if a, c, ok := hyperplaneThrough(basis); ok {
+			cand := SolutionD{Basis: basis, A: a, C: c}
+			feasible := true
+			for _, p := range pts {
+				if cand.Violates(p) {
+					feasible = false
+					break
+				}
+			}
+			if feasible {
+				if !haveBest || cand.ValueAt(q).Cmp(best.ValueAt(q)) < 0 {
+					best = cand
+					haveBest = true
+				}
+			}
+		}
+		if !nextCombination(idx, len(pts)) {
+			break
+		}
+	}
+	return best, haveBest
+}
+
+// hyperplaneThrough solves for z = a·x + c through the d given points by
+// exact Gaussian elimination; ok = false if their base coordinates are
+// affinely dependent.
+func hyperplaneThrough(basis []PointD) (a []*big.Rat, c *big.Rat, ok bool) {
+	d := len(basis)
+	// Unknowns: a_0 … a_(d−2), c — a d×d rational system.
+	m := make([][]*big.Rat, d)
+	for r, p := range basis {
+		row := make([]*big.Rat, d+1)
+		for j := 0; j < d-1; j++ {
+			row[j] = new(big.Rat).SetFloat64(p.X[j])
+		}
+		row[d-1] = big.NewRat(1, 1)
+		row[d] = new(big.Rat).SetFloat64(p.Z)
+		m[r] = row
+	}
+	// Forward elimination with partial (non-zero) pivoting.
+	for col := 0; col < d; col++ {
+		piv := -1
+		for r := col; r < d; r++ {
+			if m[r][col].Sign() != 0 {
+				piv = r
+				break
+			}
+		}
+		if piv < 0 {
+			return nil, nil, false
+		}
+		m[col], m[piv] = m[piv], m[col]
+		for r := col + 1; r < d; r++ {
+			if m[r][col].Sign() == 0 {
+				continue
+			}
+			f := new(big.Rat).Quo(m[r][col], m[col][col])
+			for j := col; j <= d; j++ {
+				t := new(big.Rat).Mul(f, m[col][j])
+				m[r][j] = new(big.Rat).Sub(m[r][j], t)
+			}
+		}
+	}
+	// Back substitution.
+	sol := make([]*big.Rat, d)
+	for r := d - 1; r >= 0; r-- {
+		v := new(big.Rat).Set(m[r][d])
+		for j := r + 1; j < d; j++ {
+			t := new(big.Rat).Mul(m[r][j], sol[j])
+			v.Sub(v, t)
+		}
+		sol[r] = v.Quo(v, m[r][r])
+	}
+	return sol[:d-1], sol[d-1], true
+}
+
+// nextCombination advances idx to the next d-combination of [0, n);
+// returns false after the last one.
+func nextCombination(idx []int, n int) bool {
+	d := len(idx)
+	for i := d - 1; i >= 0; i-- {
+		if idx[i] < n-d+i {
+			idx[i]++
+			for j := i + 1; j < d; j++ {
+				idx[j] = idx[j-1] + 1
+			}
+			return true
+		}
+	}
+	return false
+}

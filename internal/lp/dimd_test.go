@@ -1,0 +1,125 @@
+package lp
+
+import (
+	"math"
+	"math/big"
+	"testing"
+
+	"inplacehull/internal/rng"
+	"inplacehull/internal/workload"
+)
+
+func TestBruteForceFacetDMatches2D(t *testing.T) {
+	pts2 := workload.Disk(3, 40)
+	var pts []PointD
+	for _, p := range pts2 {
+		pts = append(pts, PointD{X: []float64{p.X}, Z: p.Y})
+	}
+	a := pts2[0].X
+	sol, ok := BruteForceFacetD(pts, []float64{a})
+	if !ok {
+		t.Fatal("d=2 failed")
+	}
+	ref, _ := solveBase2D(pts2, a)
+	v, _ := sol.ValueAt([]float64{a}).Float64()
+	rv := ref.ValueAt(a)
+	if math.Abs(v-rv) > 1e-9*math.Max(1, math.Abs(rv)) {
+		t.Fatalf("d=2 value %v != reference %v", v, rv)
+	}
+}
+
+func TestBruteForceFacetDMatches3D(t *testing.T) {
+	pts3 := workload.Ball(5, 25)
+	var pts []PointD
+	for _, p := range pts3 {
+		pts = append(pts, PointD{X: []float64{p.X, p.Y}, Z: p.Z})
+	}
+	sx, sy := pts3[0].X, pts3[0].Y
+	sol, ok := BruteForceFacetD(pts, []float64{sx, sy})
+	if !ok {
+		t.Fatal("d=3 failed")
+	}
+	ref, _ := solveBase3D(pts3, sx, sy)
+	v, _ := sol.ValueAt([]float64{sx, sy}).Float64()
+	rv := ref.ValueAt(sx, sy)
+	if math.Abs(v-rv) > 1e-9*math.Max(1, math.Abs(rv)) {
+		t.Fatalf("d=3 value %v != reference %v", v, rv)
+	}
+}
+
+func TestBruteForceFacetD4(t *testing.T) {
+	// Points on the 4-d paraboloid z = |x|²: the facet LP at any interior
+	// query must be feasible and support all points from above.
+	s := rng.New(7)
+	var pts []PointD
+	for i := 0; i < 18; i++ {
+		x := []float64{s.NormFloat64(), s.NormFloat64(), s.NormFloat64()}
+		z := -(x[0]*x[0] + x[1]*x[1] + x[2]*x[2]) // concave: upper hull rich
+		pts = append(pts, PointD{X: x, Z: z})
+	}
+	q := []float64{0, 0, 0}
+	sol, ok := BruteForceFacetD(pts, q)
+	if !ok {
+		t.Fatal("d=4 failed")
+	}
+	if len(sol.Basis) != 4 {
+		t.Fatalf("basis size %d, want 4", len(sol.Basis))
+	}
+	for _, p := range pts {
+		if sol.Violates(p) {
+			t.Fatalf("point above the d=4 facet")
+		}
+	}
+}
+
+func TestBruteForceFacetDDegenerate(t *testing.T) {
+	// Too few points.
+	if _, ok := BruteForceFacetD([]PointD{{X: []float64{0}, Z: 0}}, []float64{0}); ok {
+		t.Fatal("single point accepted")
+	}
+	// All base coordinates equal: no affinely independent basis.
+	pts := []PointD{
+		{X: []float64{1, 1}, Z: 0},
+		{X: []float64{1, 1}, Z: 1},
+		{X: []float64{1, 1}, Z: 2},
+	}
+	if _, ok := BruteForceFacetD(pts, []float64{1, 1}); ok {
+		t.Fatal("degenerate base accepted")
+	}
+}
+
+func TestHyperplaneThrough(t *testing.T) {
+	// z = 2x + 3y + 1 through three of its points.
+	basis := []PointD{
+		{X: []float64{0, 0}, Z: 1},
+		{X: []float64{1, 0}, Z: 3},
+		{X: []float64{0, 1}, Z: 4},
+	}
+	a, c, ok := hyperplaneThrough(basis)
+	if !ok {
+		t.Fatal("failed")
+	}
+	if a[0].Cmp(big.NewRat(2, 1)) != 0 || a[1].Cmp(big.NewRat(3, 1)) != 0 || c.Cmp(big.NewRat(1, 1)) != 0 {
+		t.Fatalf("plane = %v, %v, %v", a[0], a[1], c)
+	}
+}
+
+func TestNextCombination(t *testing.T) {
+	idx := []int{0, 1}
+	var seen [][2]int
+	for {
+		seen = append(seen, [2]int{idx[0], idx[1]})
+		if !nextCombination(idx, 4) {
+			break
+		}
+	}
+	want := [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}
+	if len(seen) != len(want) {
+		t.Fatalf("saw %d combinations, want %d", len(seen), len(want))
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("combination %d = %v, want %v", i, seen[i], want[i])
+		}
+	}
+}

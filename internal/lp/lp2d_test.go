@@ -1,0 +1,283 @@
+package lp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"inplacehull/internal/geom"
+	"inplacehull/internal/hull2d"
+	"inplacehull/internal/pram"
+	"inplacehull/internal/rng"
+	"inplacehull/internal/workload"
+)
+
+// refBridge returns the reference bridge over x = a: the upper-hull edge
+// (or vertex) of pts whose x-span contains a.
+func refBridge(pts []geom.Point, a float64) (geom.Point, geom.Point, bool) {
+	uh := hull2d.UpperHull(pts)
+	if len(uh) == 0 {
+		return geom.Point{}, geom.Point{}, false
+	}
+	if len(uh) == 1 {
+		return uh[0], uh[0], true
+	}
+	for i := 0; i+1 < len(uh); i++ {
+		if uh[i].X <= a && a <= uh[i+1].X {
+			return uh[i], uh[i+1], true
+		}
+	}
+	return geom.Point{}, geom.Point{}, false
+}
+
+// sameSupport reports whether sol supports the hull at a at the same
+// height as the reference bridge (u, w). When a coincides with a hull
+// vertex's x, two adjacent edges are both optimal caps, so endpoint
+// equality is too strict; the support value is the invariant.
+func sameSupport(sol Solution2D, u, w geom.Point, a float64) bool {
+	var ref float64
+	if u == w || u.X == w.X {
+		ref = u.Y
+	} else {
+		ref = u.Y + (w.Y-u.Y)*(a-u.X)/(w.X-u.X)
+	}
+	v := sol.ValueAt(a)
+	scale := math.Max(1, math.Max(math.Abs(ref), math.Abs(v)))
+	return math.Abs(v-ref) <= 1e-9*scale
+}
+
+// checkCap verifies that sol is a valid cap over a for pts: no point above
+// it, basis points are input points, and a is within the x-span.
+func checkCap(t *testing.T, pts []geom.Point, sol Solution2D, a float64) {
+	t.Helper()
+	if !(sol.U.X <= a && a <= sol.W.X) {
+		t.Fatalf("cap [%v, %v] does not straddle a=%v", sol.U, sol.W, a)
+	}
+	in := map[geom.Point]bool{}
+	for _, p := range pts {
+		in[p] = true
+	}
+	if !in[sol.U] || !in[sol.W] {
+		t.Fatalf("cap endpoints not input points: %v %v", sol.U, sol.W)
+	}
+	for _, p := range pts {
+		if sol.Violates(p) {
+			t.Fatalf("point %v above cap %v-%v", p, sol.U, sol.W)
+		}
+	}
+}
+
+func TestBruteForce2DMatchesReference(t *testing.T) {
+	for seed := uint64(1); seed <= 10; seed++ {
+		pts := workload.Disk(seed, 40)
+		a := pts[0].X
+		m := pram.New()
+		sol, ok := BruteForce2D(m, pts, a)
+		if !ok {
+			t.Fatal("brute force failed")
+		}
+		checkCap(t, pts, sol, a)
+		u, w, ok := refBridge(pts, a)
+		if !ok {
+			t.Fatal("no reference bridge")
+		}
+		if !sameSupport(sol, u, w, a) {
+			t.Fatalf("seed %d: bridge (%v,%v) != reference (%v,%v)", seed, sol.U, sol.W, u, w)
+		}
+	}
+}
+
+func TestBruteForce2DConstantSteps(t *testing.T) {
+	steps := func(n int) int64 {
+		pts := workload.Disk(3, n)
+		m := pram.New()
+		BruteForce2D(m, pts, pts[0].X)
+		return m.Time()
+	}
+	if s1, s2 := steps(10), steps(60); s2 != s1 {
+		t.Fatalf("brute force steps changed with base size: %d → %d", s1, s2)
+	}
+}
+
+func TestBruteForce2DDegenerate(t *testing.T) {
+	m := pram.New()
+	// All points share x: degenerate top-point solution.
+	pts := []geom.Point{{X: 1, Y: 0}, {X: 1, Y: 5}, {X: 1, Y: 3}}
+	sol, ok := BruteForce2D(m, pts, 1)
+	if !ok || !sol.Degenerate() || sol.U != (geom.Point{X: 1, Y: 5}) {
+		t.Fatalf("degenerate solution wrong: %+v ok=%v", sol, ok)
+	}
+	// Single point.
+	sol, ok = BruteForce2D(m, pts[:1], 1)
+	if !ok || sol.U != pts[0] {
+		t.Fatalf("single-point base: %+v", sol)
+	}
+	// Empty base.
+	if _, ok := BruteForce2D(m, nil, 0); ok {
+		t.Fatal("empty base must fail")
+	}
+}
+
+func TestBridge2DFindsHullEdge(t *testing.T) {
+	gens := []func(uint64, int) []geom.Point{workload.Disk, workload.Circle, workload.Gaussian}
+	for gi, gen := range gens {
+		for seed := uint64(1); seed <= 3; seed++ {
+			pts := gen(seed, 2000)
+			n := len(pts)
+			// Splitter: a random point.
+			sp := pts[rng.New(seed).Intn(n)]
+			m := pram.New()
+			res := Bridge2D(m, rng.New(seed+77), n,
+				func(v int) geom.Point { return pts[v] },
+				func(v int) bool { return true }, n, sp, 13)
+			if !res.OK {
+				t.Fatalf("gen %d seed %d: bridge finding failed (iters %d)", gi, seed, res.Iterations)
+			}
+			checkCap(t, pts, res.Sol, sp.X)
+			u, w, _ := refBridge(pts, sp.X)
+			if !sameSupport(res.Sol, u, w, sp.X) {
+				t.Fatalf("gen %d seed %d: bridge (%v,%v) != reference (%v,%v)",
+					gi, seed, res.Sol.U, res.Sol.W, u, w)
+			}
+		}
+	}
+}
+
+func TestBridge2DConstantStepsInN(t *testing.T) {
+	steps := func(n int) int64 {
+		pts := workload.Disk(5, n)
+		m := pram.New()
+		k := 1
+		for k*k*k < n {
+			k++
+		}
+		res := Bridge2D(m, rng.New(5), n,
+			func(v int) geom.Point { return pts[v] },
+			func(v int) bool { return true }, n, pts[0], k)
+		if !res.OK {
+			t.Fatal("bridge failed")
+		}
+		return m.Time()
+	}
+	s1, s2 := steps(1<<10), steps(1<<16)
+	// Steps may vary by a few (iteration count is random) but must not
+	// scale with n.
+	if s2 > 3*s1 {
+		t.Fatalf("bridge steps scaled with n: %d → %d", s1, s2)
+	}
+}
+
+func TestBridge2DOnSubset(t *testing.T) {
+	// The in-place property: find the bridge of the odd-indexed points
+	// only, without moving anything.
+	pts := workload.Disk(9, 3000)
+	n := len(pts)
+	live := func(v int) bool { return v%2 == 1 }
+	var sub []geom.Point
+	for v := 1; v < n; v += 2 {
+		sub = append(sub, pts[v])
+	}
+	sp := pts[1001] // odd index
+	m := pram.New()
+	res := Bridge2D(m, rng.New(10), n, func(v int) geom.Point { return pts[v] }, live, n/2, sp, 11)
+	if !res.OK {
+		t.Fatal("bridge failed")
+	}
+	checkCap(t, sub, res.Sol, sp.X)
+	u, w, _ := refBridge(sub, sp.X)
+	if !sameSupport(res.Sol, u, w, sp.X) {
+		t.Fatalf("subset bridge (%v,%v) != reference (%v,%v)", res.Sol.U, res.Sol.W, u, w)
+	}
+}
+
+func TestBatchBridge2DManyProblems(t *testing.T) {
+	// Partition points into 8 scattered problems; all bridges must be
+	// found simultaneously and match per-problem references.
+	pts := workload.Gaussian(11, 4000)
+	n := len(pts)
+	const q = 8
+	probOf := func(v int) int { return v % q }
+	problems := make([]Problem2D, q)
+	subs := make([][]geom.Point, q)
+	for v, p := range pts {
+		subs[v%q] = append(subs[v%q], p)
+	}
+	for j := 0; j < q; j++ {
+		problems[j] = Problem2D{Splitter: subs[j][0], K: 8, MLive: len(subs[j])}
+	}
+	m := pram.New()
+	res := BatchBridge2D(m, rng.New(12), n, func(v int) geom.Point { return pts[v] }, probOf, problems)
+	for j := 0; j < q; j++ {
+		if !res[j].OK {
+			t.Fatalf("problem %d failed", j)
+		}
+		checkCap(t, subs[j], res[j].Sol, problems[j].Splitter.X)
+		u, w, _ := refBridge(subs[j], problems[j].Splitter.X)
+		if !sameSupport(res[j].Sol, u, w, problems[j].Splitter.X) {
+			t.Fatalf("problem %d: (%v,%v) != (%v,%v)", j, res[j].Sol.U, res[j].Sol.W, u, w)
+		}
+	}
+}
+
+func TestBatchBridge2DSurvivorDecay(t *testing.T) {
+	// Lemma 4.1 shape: survivors must collapse to zero within the
+	// iteration budget, and the trace must be (weakly) decreasing in the
+	// tail.
+	Trace = true
+	defer func() { Trace = false }()
+	pts := workload.Circle(13, 1<<12)
+	n := len(pts)
+	m := pram.New()
+	k := 16
+	res := Bridge2D(m, rng.New(13), n, func(v int) geom.Point { return pts[v] },
+		func(v int) bool { return true }, n, pts[7], k)
+	if !res.OK {
+		t.Fatal("bridge failed")
+	}
+	tr := res.SurvivorTrace
+	if len(tr) == 0 || tr[len(tr)-1] != 0 {
+		t.Fatalf("survivor trace must end at 0: %v", tr)
+	}
+	if len(tr) > 1 && tr[len(tr)-2] != 0 && tr[0] < tr[len(tr)-2] {
+		t.Fatalf("survivors did not decay: %v", tr)
+	}
+}
+
+func TestSolution2DViolates(t *testing.T) {
+	s := Solution2D{U: geom.Point{X: 0, Y: 0}, W: geom.Point{X: 2, Y: 2}}
+	if !s.Violates(geom.Point{X: 1, Y: 2}) {
+		t.Fatal("above must violate")
+	}
+	if s.Violates(geom.Point{X: 1, Y: 1}) {
+		t.Fatal("on the line must not violate")
+	}
+	if s.Violates(geom.Point{X: 1, Y: 0}) {
+		t.Fatal("below must not violate")
+	}
+	d := Solution2D{U: geom.Point{X: 1, Y: 3}, W: geom.Point{X: 1, Y: 3}}
+	if !d.Degenerate() || !d.Violates(geom.Point{X: 0, Y: 4}) || d.Violates(geom.Point{X: 0, Y: 3}) {
+		t.Fatal("degenerate violation test wrong")
+	}
+}
+
+func TestBridge2DQuick(t *testing.T) {
+	if err := quick.Check(func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw)%100 + 4
+		s := rng.New(seed)
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Point{X: s.NormFloat64(), Y: s.NormFloat64()}
+		}
+		sp := pts[s.Intn(n)]
+		m := pram.New()
+		res := Bridge2D(m, s, n, func(v int) geom.Point { return pts[v] },
+			func(v int) bool { return true }, n, sp, 4)
+		if !res.OK {
+			return false
+		}
+		u, w, _ := refBridge(pts, sp.X)
+		return sameSupport(res.Sol, u, w, sp.X)
+	}, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

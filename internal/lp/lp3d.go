@@ -1,0 +1,412 @@
+package lp
+
+import (
+	"math"
+
+	"inplacehull/internal/compact"
+	"inplacehull/internal/geom"
+	"inplacehull/internal/pram"
+	"inplacehull/internal/rng"
+)
+
+// Solution3D is the basis of a 3-d bridge LP: the supporting plane through
+// A, B, C — the upper-hull facet above the splitter (Observation 2.4 in
+// three variables: minimize a·xs + b·ys + c subject to a·x_i + b·y_i + c ≥
+// z_i). Degenerate bases repeat points: a single point (horizontal plane)
+// or an edge (the plane through the edge, horizontal in the orthogonal
+// direction, realized by the top-point rule below).
+type Solution3D struct {
+	A, B, C geom.Point3
+}
+
+// Degenerate reports whether the basis has fewer than three distinct,
+// xy-affinely-independent points.
+func (s Solution3D) Degenerate() bool {
+	if s.A == s.B || s.B == s.C || s.A == s.C {
+		return true
+	}
+	return geom.Orientation(pxy(s.A), pxy(s.B), pxy(s.C)) == 0
+}
+
+func pxy(p geom.Point3) geom.Point { return geom.Point{X: p.X, Y: p.Y} }
+
+// Violates reports whether point z lies strictly above the solution plane,
+// evaluated exactly (Orientation3). For degenerate solutions the test is
+// against the horizontal plane through the highest basis point.
+func (s Solution3D) Violates(z geom.Point3) bool {
+	if s.Degenerate() {
+		top := math.Max(s.A.Z, math.Max(s.B.Z, s.C.Z))
+		return z.Z > top
+	}
+	// Orient (A, B, C) counter-clockwise seen from above so that
+	// Orientation3(A, B, C, z) > 0 means z strictly above the plane.
+	a, b, c := s.A, s.B, s.C
+	if geom.Orientation(pxy(a), pxy(b), pxy(c)) < 0 {
+		b, c = c, b
+	}
+	return geom.Orientation3(a, b, c, z) > 0
+}
+
+// ValueAt returns the plane height at (x, y); degenerate solutions report
+// the top basis z.
+func (s Solution3D) ValueAt(x, y float64) float64 {
+	if s.Degenerate() {
+		return math.Max(s.A.Z, math.Max(s.B.Z, s.C.Z))
+	}
+	return geom.PlaneThrough(s.A, s.B, s.C).Eval(x, y)
+}
+
+// solveBase3D solves the 3-d bridge LP at the splitter's (x, y) over a
+// small base by enumerating all triples (Observation 2.2 with d = 3). Pure
+// host computation; drivers charge the |base|⁴ model cost.
+func solveBase3D(base []geom.Point3, sx, sy float64) (Solution3D, bool) {
+	b := len(base)
+	if b == 0 {
+		return Solution3D{}, false
+	}
+	bestSet := false
+	var best Solution3D
+	var bestV float64
+	for i := 0; i < b; i++ {
+		for j := i + 1; j < b; j++ {
+			for l := j + 1; l < b; l++ {
+				p1, p2, p3 := base[i], base[j], base[l]
+				if geom.Orientation(pxy(p1), pxy(p2), pxy(p3)) == 0 {
+					continue // xy-collinear: not a plane basis
+				}
+				cand := Solution3D{A: p1, B: p2, C: p3}
+				// Feasible iff no base point lies strictly above. Basis
+				// points are on the plane by construction; skipping them
+				// avoids the exact-arithmetic zero-determinant path.
+				feasible := true
+				for _, z := range base {
+					if z == p1 || z == p2 || z == p3 {
+						continue
+					}
+					if cand.Violates(z) {
+						feasible = false
+						break
+					}
+				}
+				if !feasible {
+					continue
+				}
+				v := cand.ValueAt(sx, sy)
+				if !bestSet || v < bestV {
+					best, bestV, bestSet = cand, v, true
+				}
+			}
+		}
+	}
+	if !bestSet {
+		// All triples degenerate (or fewer than 3 points): the horizontal
+		// plane through the topmost point.
+		top := base[0]
+		for _, p := range base[1:] {
+			if p.Z > top.Z {
+				top = p
+			}
+		}
+		return Solution3D{A: top, B: top, C: top}, true
+	}
+	return best, true
+}
+
+// BruteForce3D is Observation 2.2 with d = 3 run end-to-end on the machine:
+// O(1) steps with |base|⁴ processors.
+func BruteForce3D(m *pram.Machine, base []geom.Point3, sx, sy float64) (Solution3D, bool) {
+	b := int64(len(base))
+	m.Charge(3, b*b*b*b)
+	return solveBase3D(base, sx, sy)
+}
+
+// Problem3D describes one 3-d facet-finding problem of a batch.
+type Problem3D struct {
+	// Splitter is the point above which the facet is sought.
+	Splitter geom.Point3
+	// K is the base-problem size parameter (the paper's k = p^(1/4)).
+	K int
+	// MLive is the (estimated) number of live positions.
+	MLive int
+}
+
+// Result3D is the outcome of one problem of a 3-d batch.
+type Result3D struct {
+	Sol           Solution3D
+	OK            bool
+	Iterations    int
+	SurvivorTrace []int
+	SweptIn       bool
+}
+
+// BatchBridge3D runs in-place facet finding (§3.3, 3-d case: base size
+// k = p^(1/4)) for all problems simultaneously over n virtual processors.
+// The structure is identical to BatchBridge2D; see that function.
+func BatchBridge3D(m *pram.Machine, rnd *rng.Stream, n int, pt func(int) geom.Point3, probID func(int) int, problems []Problem3D) []Result3D {
+	q := len(problems)
+	res := make([]Result3D, q)
+	if q == 0 {
+		return res
+	}
+	off := make([]int, q+1)
+	for j, pr := range problems {
+		k := pr.K
+		if k < 3 {
+			k = 3
+		}
+		off[j+1] = off[j] + SpaceFactor*k
+	}
+	totalCells := off[q]
+	release := m.AllocScratch(int64(totalCells))
+	defer release()
+
+	cells := make([]pram.ClaimCell, totalCells)
+	pram.ResetClaims(cells)
+	frozen := make([]bool, totalCells)
+
+	sols := make([]Solution3D, q)
+	haveSol := make([]bool, q)
+	finished := make([]bool, q)
+	prob := make([]float64, q)
+	for j, pr := range problems {
+		k := float64(max(3, pr.K))
+		prob[j] = math.Min(1, 2*k/math.Max(1, float64(pr.MLive)))
+	}
+
+	violates := func(v int) (int, bool) {
+		j := probID(v)
+		if j < 0 || finished[j] {
+			return j, false
+		}
+		if !haveSol[j] {
+			return j, true
+		}
+		s := sols[j]
+		p := pt(v)
+		if s.Degenerate() {
+			// As in the 2-d case: a degenerate (top-point / xy-collinear)
+			// solution is only terminal when every live point shares the
+			// basis' xy-footprint.
+			if s.Violates(p) {
+				return j, true
+			}
+			off := pxy(p) != pxy(s.A) && pxy(p) != pxy(s.B) && pxy(p) != pxy(s.C)
+			return j, off
+		}
+		return j, s.Violates(p)
+	}
+
+	solveRound := func(members [][]geom.Point3) {
+		var work int64
+		for j := range problems {
+			if finished[j] {
+				continue
+			}
+			base := members[j]
+			base = append(base, problems[j].Splitter)
+			if haveSol[j] {
+				base = append(base, sols[j].A, sols[j].B, sols[j].C)
+			}
+			b := int64(len(base))
+			work += b * b * b * b
+			if s, ok := solveBase3D(base, problems[j].Splitter.X, problems[j].Splitter.Y); ok {
+				sols[j] = s
+				haveSol[j] = true
+			}
+			res[j].Iterations++
+		}
+		m.Charge(3, work)
+	}
+
+	surviveRound := func() {
+		anyS := make([]pram.OrCell, q)
+		m.Step(n, func(v int) bool {
+			j, viol := violates(v)
+			if j < 0 || finished[j] {
+				return false
+			}
+			if viol {
+				anyS[j].Set()
+			}
+			return true
+		})
+		if Trace {
+			counts := make([]int, q)
+			for v := 0; v < n; v++ {
+				if j, viol := violates(v); j >= 0 && !finished[j] && viol {
+					counts[j]++
+				}
+			}
+			for j := range problems {
+				if !finished[j] {
+					res[j].SurvivorTrace = append(res[j].SurvivorTrace, counts[j])
+				}
+			}
+		}
+		for j := range problems {
+			if finished[j] {
+				continue
+			}
+			if !anyS[j].Get() {
+				finished[j] = true
+				res[j].Sol = sols[j]
+				res[j].OK = true
+			}
+		}
+	}
+
+	placed := make([]bool, n)
+	sampleRound := func(round uint64, forceProb bool) [][]geom.Point3 {
+		// §3.1 steps 1–4 with claim retries, as in BatchBridge2D.
+		for c := range cells {
+			frozen[c] = false
+			cells[c].Reset()
+		}
+		for v := range placed {
+			placed[v] = false
+		}
+		m.Charge(1, int64(totalCells)+int64(n))
+		base := rnd.Split(0xabc + round)
+		attempting := make([]bool, n)
+		m.Step(n, func(v int) bool {
+			j, viol := violates(v)
+			if j < 0 || finished[j] || !viol {
+				return false
+			}
+			p := prob[j]
+			if forceProb {
+				p = 1
+			}
+			attempting[v] = base.Split(uint64(v)).Bernoulli(p)
+			return true
+		})
+		for a := 0; a < sampleAttempts; a++ {
+			aa := uint64(a)
+			m.Step(n, func(v int) bool {
+				if !attempting[v] || placed[v] {
+					return false
+				}
+				j := probID(v)
+				s := base.Split(uint64(v)*sampleAttempts + aa + 0x9000)
+				span := off[j+1] - off[j]
+				slot := off[j] + s.Intn(span)
+				if !frozen[slot] {
+					cells[slot].Claim(int64(v))
+				}
+				return true
+			})
+			m.Step(totalCells, func(c int) bool {
+				if frozen[c] {
+					return false
+				}
+				owner := cells[c].Owner()
+				if owner < 0 {
+					return false
+				}
+				if cells[c].Contested() {
+					cells[c].Reset()
+				} else {
+					frozen[c] = true
+					placed[owner] = true
+				}
+				return true
+			})
+		}
+		m.Charge(1, int64(totalCells))
+		members := make([][]geom.Point3, q)
+		for j := 0; j < q; j++ {
+			capM := 4 * max(3, problems[j].K)
+			for c := off[j]; c < off[j+1] && len(members[j]) < capM; c++ {
+				if frozen[c] {
+					members[j] = append(members[j], pt(int(cells[c].Owner())))
+				}
+			}
+		}
+		return members
+	}
+
+	for j := 0; j < DefaultBeta; j++ {
+		members := sampleRound(uint64(j), false)
+		solveRound(members)
+		surviveRound()
+		allDone := true
+		for i := range finished {
+			if !finished[i] {
+				allDone = false
+			}
+			prob[i] = math.Min(1, 2*float64(max(3, problems[i].K))*prob[i])
+		}
+		if allDone {
+			return res
+		}
+	}
+
+	allDone := func() bool {
+		for i := range finished {
+			if !finished[i] {
+				return false
+			}
+		}
+		return true
+	}
+	for attempt := 0; attempt < terminalAttempts; attempt++ {
+		members := make([][]geom.Point3, q)
+		anyCompacted := false
+		// Disjoint per-problem compactions run concurrently in the model.
+		var fns []func(*pram.Machine)
+		for j := range problems {
+			if finished[j] {
+				continue
+			}
+			k := max(3, problems[j].K)
+			jj := j
+			fns = append(fns, func(sub *pram.Machine) {
+				ids, ok := compact.InPlaceCompactArea(sub, rnd.Split(0xf00+uint64(attempt)*64+uint64(jj)), n, SpaceFactor*k, SpaceFactor*k, 0.34, func(v int) bool {
+					pj, viol := violates(v)
+					return pj == jj && viol
+				})
+				if !ok {
+					return
+				}
+				res[jj].SweptIn = true
+				anyCompacted = true
+				for _, v := range ids {
+					members[jj] = append(members[jj], pt(v))
+				}
+			})
+		}
+		m.Concurrent(fns...)
+		if anyCompacted {
+			solveRound(members)
+			surviveRound()
+			if allDone() {
+				return res
+			}
+		}
+		members = sampleRound(0x40+uint64(attempt), true)
+		solveRound(members)
+		surviveRound()
+		if allDone() {
+			return res
+		}
+	}
+	for j := range problems {
+		if !finished[j] {
+			res[j].Sol = sols[j]
+			res[j].OK = false
+		}
+	}
+	return res
+}
+
+// Bridge3D runs a single in-place facet-finding problem (a batch of one).
+func Bridge3D(m *pram.Machine, rnd *rng.Stream, n int, pt func(int) geom.Point3, live func(int) bool, mLive int, splitter geom.Point3, k int) Result3D {
+	pid := func(v int) int {
+		if live(v) {
+			return 0
+		}
+		return -1
+	}
+	res := BatchBridge3D(m, rnd, n, pt, pid, []Problem3D{{Splitter: splitter, K: k, MLive: mLive}})
+	return res[0]
+}

@@ -1,0 +1,175 @@
+package lp
+
+import (
+	"math"
+	"testing"
+
+	"inplacehull/internal/hull3d"
+
+	"inplacehull/internal/geom"
+	"inplacehull/internal/pram"
+	"inplacehull/internal/rng"
+	"inplacehull/internal/workload"
+)
+
+// checkCap3 verifies sol is a valid cap for pts: no point strictly above,
+// and all basis points are input points.
+func checkCap3(t *testing.T, pts []geom.Point3, sol Solution3D) {
+	t.Helper()
+	in := map[geom.Point3]bool{}
+	for _, p := range pts {
+		in[p] = true
+	}
+	if !in[sol.A] || !in[sol.B] || !in[sol.C] {
+		t.Fatalf("basis not input points: %+v", sol)
+	}
+	for _, p := range pts {
+		if sol.Violates(p) {
+			t.Fatalf("point %v above solution plane %+v", p, sol)
+		}
+	}
+}
+
+func TestSolveBase3DSimple(t *testing.T) {
+	// A tetrahedron with an obvious top facet.
+	pts := []geom.Point3{
+		{X: 0, Y: 0, Z: 1}, {X: 1, Y: 0, Z: 1}, {X: 0, Y: 1, Z: 1},
+		{X: 0.3, Y: 0.3, Z: 0},
+	}
+	sol, ok := solveBase3D(pts, 0.3, 0.3)
+	if !ok {
+		t.Fatal("failed")
+	}
+	if sol.Degenerate() {
+		t.Fatalf("degenerate: %+v", sol)
+	}
+	if v := sol.ValueAt(0.3, 0.3); math.Abs(v-1) > 1e-12 {
+		t.Fatalf("value at splitter = %v, want 1", v)
+	}
+	checkCap3(t, pts, sol)
+}
+
+func TestSolveBase3DDegenerate(t *testing.T) {
+	// All points on one vertical line.
+	pts := []geom.Point3{{X: 1, Y: 1, Z: 0}, {X: 1, Y: 1, Z: 5}, {X: 1, Y: 1, Z: 2}}
+	sol, ok := solveBase3D(pts, 1, 1)
+	if !ok || !sol.Degenerate() {
+		t.Fatalf("expected degenerate: %+v ok=%v", sol, ok)
+	}
+	if sol.ValueAt(1, 1) != 5 {
+		t.Fatalf("degenerate top = %v", sol.ValueAt(1, 1))
+	}
+}
+
+func TestBruteForce3DMatchesFullEnumeration(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		pts := workload.Ball(seed, 24)
+		sp := pts[0]
+		m := pram.New()
+		sol, ok := BruteForce3D(m, pts, sp.X, sp.Y)
+		if !ok {
+			t.Fatal("failed")
+		}
+		checkCap3(t, pts, sol)
+	}
+}
+
+func TestBridge3DFindsFacet(t *testing.T) {
+	for _, gen := range []func(uint64, int) []geom.Point3{workload.Ball, workload.Sphere} {
+		for seed := uint64(1); seed <= 3; seed++ {
+			pts := gen(seed, 800)
+			n := len(pts)
+			sp := pts[rng.New(seed).Intn(n)]
+			m := pram.New()
+			res := Bridge3D(m, rng.New(seed+33), n,
+				func(v int) geom.Point3 { return pts[v] },
+				func(v int) bool { return true }, n, sp, 8)
+			if !res.OK {
+				t.Fatalf("seed %d: facet finding failed", seed)
+			}
+			checkCap3(t, pts, res.Sol)
+			// Compare against the exact upper envelope from the
+			// incremental hull: the solution plane must match the
+			// envelope height at the splitter (both are supporting
+			// structures through input points, so the values coincide).
+			h, err := hull3d.Incremental(rng.New(seed), pts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			up := h.UpperFaces()
+			fi := hull3d.FaceAbove(pts, up, sp.X, sp.Y)
+			if fi < 0 {
+				t.Fatal("no reference face above splitter")
+			}
+			f := up[fi]
+			rv := geom.PlaneThrough(pts[f.A], pts[f.B], pts[f.C]).Eval(sp.X, sp.Y)
+			v := res.Sol.ValueAt(sp.X, sp.Y)
+			if v > rv+1e-9*math.Max(1, math.Abs(rv)) {
+				t.Fatalf("seed %d: solution value %v above envelope %v", seed, v, rv)
+			}
+		}
+	}
+}
+
+func TestBridge3DConstantStepsInN(t *testing.T) {
+	steps := func(n int) int64 {
+		pts := workload.Ball(5, n)
+		m := pram.New()
+		res := Bridge3D(m, rng.New(5), n,
+			func(v int) geom.Point3 { return pts[v] },
+			func(v int) bool { return true }, n, pts[0], 8)
+		if !res.OK {
+			t.Fatal("bridge failed")
+		}
+		return m.Time()
+	}
+	s1, s2 := steps(1<<9), steps(1<<13)
+	if s2 > 3*s1 {
+		t.Fatalf("3-d bridge steps scaled with n: %d → %d", s1, s2)
+	}
+}
+
+func TestBatchBridge3DSubsets(t *testing.T) {
+	pts := workload.Ball(7, 1200)
+	n := len(pts)
+	const q = 4
+	probOf := func(v int) int { return v % q }
+	subs := make([][]geom.Point3, q)
+	for v, p := range pts {
+		subs[v%q] = append(subs[v%q], p)
+	}
+	problems := make([]Problem3D, q)
+	for j := 0; j < q; j++ {
+		problems[j] = Problem3D{Splitter: subs[j][0], K: 6, MLive: len(subs[j])}
+	}
+	m := pram.New()
+	res := BatchBridge3D(m, rng.New(8), n, func(v int) geom.Point3 { return pts[v] }, probOf, problems)
+	for j := 0; j < q; j++ {
+		if !res[j].OK {
+			t.Fatalf("problem %d failed", j)
+		}
+		checkCap3(t, subs[j], res[j].Sol)
+	}
+}
+
+func TestSolution3DViolates(t *testing.T) {
+	s := Solution3D{
+		A: geom.Point3{X: 0, Y: 0, Z: 0},
+		B: geom.Point3{X: 1, Y: 0, Z: 0},
+		C: geom.Point3{X: 0, Y: 1, Z: 0},
+	}
+	if !s.Violates(geom.Point3{X: 0.2, Y: 0.2, Z: 1}) {
+		t.Fatal("above must violate")
+	}
+	if s.Violates(geom.Point3{X: 0.2, Y: 0.2, Z: 0}) {
+		t.Fatal("on plane must not violate")
+	}
+	if s.Violates(geom.Point3{X: 0.2, Y: 0.2, Z: -1}) {
+		t.Fatal("below must not violate")
+	}
+	// Swapped orientation must give identical answers.
+	s2 := Solution3D{A: s.A, B: s.C, C: s.B}
+	if !s2.Violates(geom.Point3{X: 0.2, Y: 0.2, Z: 1}) || s2.Violates(geom.Point3{X: 0.2, Y: 0.2, Z: -1}) {
+		t.Fatal("violation must be orientation-independent")
+	}
+}

@@ -1,0 +1,121 @@
+package lp
+
+import (
+	"inplacehull/internal/geom"
+	"inplacehull/internal/rng"
+)
+
+// SeidelBridge2D solves the 2-d bridge LP at abscissa a — minimize the
+// height at a of a line lying above every point — by Seidel's randomized
+// incremental algorithm: expected O(n) violation tests, each violation
+// resolving a one-dimensional LP over the slopes of lines through the
+// violating point. All comparisons are exact (SlopeCmp / orientation), so
+// the returned basis is the true optimum.
+//
+// It is the sequential comparator for the parallel in-place procedure of
+// §3.3 (the "one processor" end of the spectrum the paper's work bounds
+// are measured against) and a fast exact solver for large base problems.
+//
+// Preconditions: pts must contain at least one point with x < a and one
+// with x > a (callers anchor the LP exactly as the parallel procedure
+// does); otherwise ok = false.
+func SeidelBridge2D(rnd *rng.Stream, pts []geom.Point, a float64) (Solution2D, bool) {
+	n := len(pts)
+	// Seed the incremental process with one point on each side of a, which
+	// keeps every prefix LP bounded.
+	l0, r0 := -1, -1
+	for i, p := range pts {
+		if p.X < a && l0 < 0 {
+			l0 = i
+		}
+		if p.X > a && r0 < 0 {
+			r0 = i
+		}
+	}
+	if l0 < 0 || r0 < 0 {
+		return Solution2D{}, false
+	}
+	order := rnd.Perm(n)
+	// Move the two seeds to the front, preserving the rest's randomness.
+	seedAt(order, l0, 0)
+	seedAt(order, r0, 1)
+
+	sol := Solution2D{U: pts[order[0]], W: pts[order[1]]}
+	if sol.U.X > sol.W.X {
+		sol.U, sol.W = sol.W, sol.U
+	}
+	for i := 2; i < n; i++ {
+		z := pts[order[i]]
+		if !sol.Violates(z) {
+			continue
+		}
+		// The optimum of the first i+1 constraints is tight at z: solve
+		// the 1-d LP over lines through z against the processed prefix.
+		sol = tightAt(z, pts, order[:i+1], a)
+	}
+	return sol, true
+}
+
+// seedAt swaps the element with value idx into position pos (searching
+// from pos onward, so earlier placed seeds stay put).
+func seedAt(order []int, idx, pos int) {
+	for i := pos; i < len(order); i++ {
+		if order[i] == idx {
+			order[pos], order[i] = order[i], order[pos]
+			return
+		}
+	}
+}
+
+// tightAt minimizes the height at a over lines through z that lie above
+// every point of pts[order]: a one-dimensional LP over the slope.
+//
+//   - z.X < a: height = z.Y + m·(a−z.X) with positive coefficient —
+//     minimize m; points right of z lower-bound m, so the optimum is the
+//     maximum slope(z, w) over w right of z.
+//   - z.X > a: symmetric — maximize m; the optimum is the minimum
+//     slope(z, w) over w left of z.
+//   - z.X == a: the height is z.Y for every slope; any feasible slope
+//     works, and the max-right-slope choice keeps the basis a valid cap.
+//
+// Feasibility of the chosen slope against the opposite side is guaranteed
+// by Seidel's invariant (the enlarged LP is feasible and its optimum is
+// tight at z). Comparisons are exact via SlopeCmp.
+func tightAt(z geom.Point, pts []geom.Point, order []int, a float64) Solution2D {
+	var best geom.Point
+	haveBest := false
+	wantMaxRight := z.X <= a
+	for _, oi := range order {
+		w := pts[oi]
+		if w == z {
+			continue
+		}
+		if wantMaxRight {
+			if w.X <= z.X {
+				continue
+			}
+			if !haveBest || geom.SlopeCmp(z, w, z, best) > 0 ||
+				(geom.SlopeCmp(z, w, z, best) == 0 && w.X > best.X) {
+				best, haveBest = w, true
+			}
+		} else {
+			if w.X >= z.X {
+				continue
+			}
+			if !haveBest || geom.SlopeCmp(w, z, best, z) < 0 ||
+				(geom.SlopeCmp(w, z, best, z) == 0 && w.X < best.X) {
+				best, haveBest = w, true
+			}
+		}
+	}
+	if !haveBest {
+		// No point on the constraining side of z within the prefix: the
+		// seeds guarantee this cannot happen for z off the line x = a;
+		// for z exactly at a fall back to a degenerate cap at z.
+		return Solution2D{U: z, W: z}
+	}
+	if wantMaxRight {
+		return Solution2D{U: z, W: best}
+	}
+	return Solution2D{U: best, W: z}
+}

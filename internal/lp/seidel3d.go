@@ -1,0 +1,124 @@
+package lp
+
+import (
+	"inplacehull/internal/geom"
+	"inplacehull/internal/rng"
+)
+
+// IncFacet3D solves the 3-d facet LP — minimize the plane height at
+// (sx, sy) subject to the plane lying above every point — by randomized
+// incremental insertion (the Seidel/Welzl scheme, with the violation
+// subproblem solved by an exact quadratic scan): expected O(n²·P(violate))
+// ≈ O(n·polylog) exact-predicate operations on random orders, worst case
+// O(n²) per violation. It is the sequential 3-d comparator for §3.3's
+// parallel facet finding, exact on all inputs in general position.
+//
+// Preconditions: the point set must contain three xy-affinely-independent
+// points whose xy-triangle has (sx, sy) inside its convex hull's shadow —
+// in practice, callers pass point sets containing the splitter, exactly as
+// the parallel procedure anchors its bases. Degenerate inputs (all
+// xy-collinear) return ok = false.
+func IncFacet3D(rnd *rng.Stream, pts []geom.Point3, sx, sy float64) (Solution3D, bool) {
+	n := len(pts)
+	if n < 3 {
+		return Solution3D{}, false
+	}
+	order := rnd.Perm(n)
+	// Initial basis: the first xy-affinely-independent triple.
+	i2 := -1
+	for t := 2; t < n; t++ {
+		if geom.Orientation(pxy(pts[order[0]]), pxy(pts[order[1]]), pxy(pts[order[t]])) != 0 {
+			i2 = t
+			break
+		}
+	}
+	if i2 < 0 {
+		return Solution3D{}, false
+	}
+	order[2], order[i2] = order[i2], order[2]
+	sol := Solution3D{A: pts[order[0]], B: pts[order[1]], C: pts[order[2]]}
+
+	for i := 3; i < n; i++ {
+		z := pts[order[i]]
+		if !sol.Violates(z) {
+			continue
+		}
+		next, ok := tight3At(z, pts, order[:i+1], sx, sy)
+		if !ok {
+			return Solution3D{}, false
+		}
+		sol = next
+	}
+	return sol, true
+}
+
+// tight3At finds the lowest-at-(sx,sy) plane through z above every point of
+// pts[order]: for each candidate second basis point w, the third point is
+// found by an exact pivot around the line zw, and the best feasible
+// candidate wins. O(len(order)²) exact predicates.
+func tight3At(z geom.Point3, pts []geom.Point3, order []int, sx, sy float64) (Solution3D, bool) {
+	bestSet := false
+	var best Solution3D
+	var bestV float64
+	for _, oi := range order {
+		w := pts[oi]
+		if w == z || pxy(w) == pxy(z) {
+			continue
+		}
+		u, ok := pivotAround(z, w, pts, order)
+		if !ok {
+			continue
+		}
+		cand := Solution3D{A: z, B: w, C: u}
+		if cand.Degenerate() {
+			continue
+		}
+		// Exact feasibility over the prefix.
+		feasible := true
+		for _, oj := range order {
+			q := pts[oj]
+			if q == z || q == w || q == u {
+				continue
+			}
+			if cand.Violates(q) {
+				feasible = false
+				break
+			}
+		}
+		if !feasible {
+			continue
+		}
+		v := cand.ValueAt(sx, sy)
+		if !bestSet || v < bestV {
+			best, bestV, bestSet = cand, v, true
+		}
+	}
+	return best, bestSet
+}
+
+// pivotAround returns the point u such that the plane (z, w, u) has every
+// other prefix point on or below it: one linear pass of exact
+// Orientation3 updates (the 3-d gift-wrap pivot, oriented so "above"
+// means the positive side of the upward-oriented plane).
+func pivotAround(z, w geom.Point3, pts []geom.Point3, order []int) (geom.Point3, bool) {
+	var u geom.Point3
+	have := false
+	for _, oi := range order {
+		c := pts[oi]
+		if c == z || c == w {
+			continue
+		}
+		if !have {
+			if geom.Orientation(pxy(z), pxy(w), pxy(c)) == 0 {
+				continue // xy-collinear with the axis: not a plane basis
+			}
+			u, have = c, true
+			continue
+		}
+		cand := Solution3D{A: z, B: w, C: u}
+		if !cand.Degenerate() && cand.Violates(c) {
+			u = c
+		}
+	}
+	return u, have
+}

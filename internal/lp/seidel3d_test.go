@@ -1,0 +1,72 @@
+package lp
+
+import (
+	"math"
+	"testing"
+
+	"inplacehull/internal/geom"
+	"inplacehull/internal/rng"
+	"inplacehull/internal/workload"
+)
+
+func TestIncFacet3DMatchesBruteForce(t *testing.T) {
+	for seed := uint64(1); seed <= 15; seed++ {
+		pts := workload.Ball(seed, 60)
+		sx, sy := pts[0].X, pts[0].Y
+		sol, ok := IncFacet3D(rng.New(seed+100), pts, sx, sy)
+		if !ok {
+			t.Fatalf("seed %d: failed", seed)
+		}
+		for _, p := range pts {
+			if sol.Violates(p) {
+				t.Fatalf("seed %d: point %v above solution", seed, p)
+			}
+		}
+		ref, ok := solveBase3D(pts, sx, sy)
+		if !ok {
+			t.Fatal("reference failed")
+		}
+		v, rv := sol.ValueAt(sx, sy), ref.ValueAt(sx, sy)
+		if math.Abs(v-rv) > 1e-9*math.Max(1, math.Abs(rv)) {
+			t.Fatalf("seed %d: value %v != reference %v", seed, v, rv)
+		}
+	}
+}
+
+func TestIncFacet3DSphere(t *testing.T) {
+	pts := workload.Sphere(7, 400)
+	sx, sy := pts[5].X, pts[5].Y
+	sol, ok := IncFacet3D(rng.New(7), pts, sx, sy)
+	if !ok {
+		t.Fatal("failed")
+	}
+	for _, p := range pts {
+		if sol.Violates(p) {
+			t.Fatalf("point %v above solution", p)
+		}
+	}
+}
+
+func TestIncFacet3DDegenerate(t *testing.T) {
+	// All points xy-collinear: no plane basis exists.
+	pts := make([]geom.Point3, 10)
+	for i := range pts {
+		x := float64(i)
+		pts[i] = geom.Point3{X: x, Y: 2 * x, Z: x * x}
+	}
+	if _, ok := IncFacet3D(rng.New(2), pts, 1, 2); ok {
+		t.Fatal("xy-collinear input accepted")
+	}
+	if _, ok := IncFacet3D(rng.New(2), pts[:2], 1, 2); ok {
+		t.Fatal("two points accepted")
+	}
+}
+
+func TestIncFacet3DDeterministic(t *testing.T) {
+	pts := workload.Ball(9, 200)
+	s1, ok1 := IncFacet3D(rng.New(5), pts, 0, 0)
+	s2, ok2 := IncFacet3D(rng.New(5), pts, 0, 0)
+	if !ok1 || !ok2 || s1 != s2 {
+		t.Fatal("nondeterministic")
+	}
+}

@@ -1,0 +1,121 @@
+package lp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"inplacehull/internal/geom"
+	"inplacehull/internal/rng"
+	"inplacehull/internal/workload"
+)
+
+func TestSeidelBridge2DMatchesBruteForce(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		pts := workload.Disk(seed, 200)
+		a := pts[3].X
+		sol, ok := SeidelBridge2D(rng.New(seed), pts, a)
+		if !ok {
+			t.Fatalf("seed %d: seidel failed", seed)
+		}
+		ref, ok := solveBase2D(pts, a)
+		if !ok {
+			t.Fatal("reference failed")
+		}
+		// Optimal values must coincide (bases may differ on ties).
+		v, rv := sol.ValueAt(a), ref.ValueAt(a)
+		if math.Abs(v-rv) > 1e-9*math.Max(1, math.Abs(rv)) {
+			t.Fatalf("seed %d: seidel value %v != brute value %v", seed, v, rv)
+		}
+		// And the solution must be feasible.
+		for _, p := range pts {
+			if sol.Violates(p) {
+				t.Fatalf("seed %d: point %v above seidel solution", seed, p)
+			}
+		}
+		if !(sol.U.X <= a && a <= sol.W.X) {
+			t.Fatalf("seed %d: solution does not straddle a", seed)
+		}
+	}
+}
+
+func TestSeidelBridge2DRequiresBothSides(t *testing.T) {
+	pts := []geom.Point{{X: 1, Y: 0}, {X: 2, Y: 1}, {X: 3, Y: 0}}
+	if _, ok := SeidelBridge2D(rng.New(1), pts, 0.5); ok {
+		t.Fatal("accepted one-sided input")
+	}
+	if _, ok := SeidelBridge2D(rng.New(1), pts, 5); ok {
+		t.Fatal("accepted one-sided input (right)")
+	}
+}
+
+func TestSeidelBridge2DQuick(t *testing.T) {
+	if err := quick.Check(func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw)%80 + 4
+		s := rng.New(seed)
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Point{X: s.NormFloat64(), Y: s.NormFloat64()}
+		}
+		// Pick a between two existing x's so both sides are non-empty.
+		lo, hi := pts[0].X, pts[0].X
+		for _, p := range pts {
+			lo, hi = math.Min(lo, p.X), math.Max(hi, p.X)
+		}
+		if lo == hi {
+			return true
+		}
+		a := (lo + hi) / 2
+		sol, ok := SeidelBridge2D(s.Split(9), pts, a)
+		if !ok {
+			return true // one side empty after midpoint rounding
+		}
+		ref, _ := solveBase2D(pts, a)
+		if math.Abs(sol.ValueAt(a)-ref.ValueAt(a)) > 1e-9*math.Max(1, math.Abs(ref.ValueAt(a))) {
+			return false
+		}
+		for _, p := range pts {
+			if sol.Violates(p) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeidelBridge2DCollinear(t *testing.T) {
+	// All points on one line: the solution must be the line itself.
+	pts := make([]geom.Point, 20)
+	for i := range pts {
+		x := float64(i)
+		pts[i] = geom.Point{X: x, Y: 2*x + 1}
+	}
+	sol, ok := SeidelBridge2D(rng.New(4), pts, 9.5)
+	if !ok {
+		t.Fatal("failed")
+	}
+	for _, p := range pts {
+		if sol.Violates(p) {
+			t.Fatalf("collinear point %v above solution", p)
+		}
+	}
+	if math.Abs(sol.ValueAt(9.5)-20) > 1e-12 {
+		t.Fatalf("value %v, want 20", sol.ValueAt(9.5))
+	}
+}
+
+func TestSeidelBridge2DLargeAgainstHull(t *testing.T) {
+	pts := workload.Circle(9, 5000)
+	a := 0.1234
+	sol, ok := SeidelBridge2D(rng.New(9), pts, a)
+	if !ok {
+		t.Fatal("failed")
+	}
+	for _, p := range pts {
+		if sol.Violates(p) {
+			t.Fatalf("point %v above solution", p)
+		}
+	}
+}

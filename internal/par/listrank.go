@@ -1,0 +1,39 @@
+package par
+
+import "inplacehull/internal/pram"
+
+// ListRank computes, for every node of a linked list given by next
+// pointers (next[i] = −1 at the tail), its distance to the tail — the
+// classic pointer-jumping primitive: O(log n) steps, O(n log n) work on an
+// EREW/CRCW PRAM. The paper's output structure ("the hull edges in a
+// binary tree" with per-point pointers) is exactly the kind of linked
+// structure list ranking linearizes.
+func ListRank(m *pram.Machine, next []int) []int64 {
+	n := len(next)
+	rank := make([]int64, n)
+	jump := make([]int, n)
+	m.StepAll(n, func(p int) {
+		jump[p] = next[p]
+		if next[p] != -1 {
+			rank[p] = 1
+		}
+	})
+	// ⌈log₂ n⌉ pointer-jumping rounds; double buffers keep the
+	// synchronous read-before-write discipline.
+	nextJump := make([]int, n)
+	nextRank := make([]int64, n)
+	for stride := 1; stride < n; stride <<= 1 {
+		m.StepAll(n, func(p int) {
+			if jump[p] != -1 {
+				nextRank[p] = rank[p] + rank[jump[p]]
+				nextJump[p] = jump[jump[p]]
+			} else {
+				nextRank[p] = rank[p]
+				nextJump[p] = -1
+			}
+		})
+		jump, nextJump = nextJump, jump
+		rank, nextRank = nextRank, rank
+	}
+	return rank
+}

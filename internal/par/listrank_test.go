@@ -1,0 +1,68 @@
+package par
+
+import (
+	"testing"
+	"testing/quick"
+
+	"inplacehull/internal/pram"
+	"inplacehull/internal/rng"
+)
+
+func TestListRankChain(t *testing.T) {
+	// 0 → 1 → 2 → 3 → ⊥
+	next := []int{1, 2, 3, -1}
+	m := pram.New()
+	rank := ListRank(m, next)
+	want := []int64{3, 2, 1, 0}
+	for i := range want {
+		if rank[i] != want[i] {
+			t.Fatalf("rank = %v, want %v", rank, want)
+		}
+	}
+}
+
+func TestListRankStepsLogarithmic(t *testing.T) {
+	n := 1 << 14
+	next := make([]int, n)
+	for i := range next {
+		next[i] = i + 1
+	}
+	next[n-1] = -1
+	m := pram.New()
+	ListRank(m, next)
+	if m.Time() > 20 {
+		t.Fatalf("list ranking took %d steps at n=2^14", m.Time())
+	}
+}
+
+func TestListRankQuick(t *testing.T) {
+	if err := quick.Check(func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw)%100 + 1
+		// Random permutation list: perm[i] is the node after node i.
+		s := rng.New(seed)
+		order := s.Perm(n) // order[k] = k-th node from the head
+		next := make([]int, n)
+		for k := 0; k+1 < n; k++ {
+			next[order[k]] = order[k+1]
+		}
+		next[order[n-1]] = -1
+		m := pram.New()
+		rank := ListRank(m, next)
+		for k, node := range order {
+			if rank[node] != int64(n-1-k) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestListRankSingleton(t *testing.T) {
+	m := pram.New()
+	rank := ListRank(m, []int{-1})
+	if len(rank) != 1 || rank[0] != 0 {
+		t.Fatalf("rank = %v", rank)
+	}
+}

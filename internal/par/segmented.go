@@ -1,0 +1,107 @@
+package par
+
+import "inplacehull/internal/pram"
+
+// Segmented primitives: the phase-boundary bookkeeping of §4.1 step 3
+// ("reassign the work space among the remaining problems") is, in PRAM
+// folklore, a segmented prefix sum — each subproblem's points are counted
+// and offset independently, all in one scan. These are the standard
+// work-efficient constructions.
+
+// SegmentedPrefixSum replaces xs with per-segment exclusive prefix sums:
+// seg[i] marks the first element of each segment. Returns the per-segment
+// totals in segment order. O(log n) steps, O(n) work — a Blelloch scan
+// over (value, flag) pairs with the segmented-sum operator.
+func SegmentedPrefixSum(m *pram.Machine, xs []int64, seg []bool) []int64 {
+	n := len(xs)
+	if n == 0 {
+		return nil
+	}
+	if len(seg) != n {
+		panic("par: seg length mismatch")
+	}
+	if !seg[0] {
+		panic("par: seg[0] must start the first segment")
+	}
+	pad := 1
+	for pad < n {
+		pad <<= 1
+	}
+	val := make([]int64, pad)
+	flg := make([]bool, pad)
+	m.StepAll(n, func(p int) {
+		val[p] = xs[p]
+		flg[p] = seg[p]
+	})
+	// Up-sweep with the segmented operator:
+	// (v1,f1) ⊕ (v2,f2) = (f2 ? v2 : v1+v2, f1∨f2).
+	type node struct {
+		v int64
+		f bool
+	}
+	// Save the up-sweep inputs per level for the down-sweep.
+	levels := [][]node{}
+	cur := make([]node, pad)
+	m.StepAll(pad, func(p int) { cur[p] = node{val[p], flg[p]} })
+	for width := pad; width > 1; width /= 2 {
+		levels = append(levels, cur)
+		next := make([]node, width/2)
+		c := cur
+		m.StepAll(width/2, func(p int) {
+			l, r := c[2*p], c[2*p+1]
+			v := l.v + r.v
+			if r.f {
+				v = r.v
+			}
+			next[p] = node{v, l.f || r.f}
+		})
+		cur = next
+	}
+	// Down-sweep: carry the prefix from the left, cut at segment flags.
+	carry := make([]int64, 1)
+	for li := len(levels) - 1; li >= 0; li-- {
+		lvl := levels[li]
+		nextCarry := make([]int64, len(lvl))
+		cIn := carry
+		m.StepAll(len(lvl)/2, func(p int) {
+			l := lvl[2*p]
+			nextCarry[2*p] = cIn[p]
+			if l.f {
+				nextCarry[2*p+1] = l.v
+			} else {
+				nextCarry[2*p+1] = cIn[p] + l.v
+			}
+		})
+		carry = nextCarry
+	}
+	m.StepAll(n, func(p int) {
+		if seg[p] {
+			xs[p] = 0
+		} else {
+			xs[p] = carry[p]
+		}
+	})
+	// Collect per-segment totals (exclusive prefix at the next segment
+	// start, plus that segment's span): one compaction pass.
+	startIdx := Compact(m, n, func(p int) bool { return seg[p] })
+	totals := make([]int64, len(startIdx))
+	m.StepAll(len(startIdx), func(s int) {
+		end := n
+		if s+1 < len(startIdx) {
+			end = startIdx[s+1]
+		}
+		var t int64
+		// Total = prefix at last element + its value; recover from the
+		// original values — but xs was overwritten, so recompute from the
+		// carries: prefix(last) + val(last).
+		t = xs[end-1] + val[end-1]
+		totals[s] = t
+	})
+	return totals
+}
+
+// Broadcast writes v to out[p] for every p in [0, n) in one step — the
+// CRCW broadcast (a single concurrent-read in the model).
+func Broadcast(m *pram.Machine, out []int64, v int64) {
+	m.StepAll(len(out), func(p int) { out[p] = v })
+}

@@ -1,0 +1,125 @@
+package par
+
+import (
+	"testing"
+	"testing/quick"
+
+	"inplacehull/internal/pram"
+	"inplacehull/internal/rng"
+)
+
+func TestSegmentedPrefixSumBasic(t *testing.T) {
+	m := pram.New()
+	xs := []int64{1, 2, 3, 4}
+	seg := []bool{true, false, true, false}
+	totals := SegmentedPrefixSum(m, xs, seg)
+	want := []int64{0, 1, 0, 3}
+	for i := range want {
+		if xs[i] != want[i] {
+			t.Fatalf("prefix[%d] = %d, want %d (all %v)", i, xs[i], want[i], xs)
+		}
+	}
+	if len(totals) != 2 || totals[0] != 3 || totals[1] != 7 {
+		t.Fatalf("totals = %v, want [3 7]", totals)
+	}
+}
+
+func TestSegmentedPrefixSumSingleSegment(t *testing.T) {
+	m := pram.New()
+	xs := []int64{5, 1, 2}
+	seg := []bool{true, false, false}
+	totals := SegmentedPrefixSum(m, xs, seg)
+	if xs[0] != 0 || xs[1] != 5 || xs[2] != 6 {
+		t.Fatalf("prefix = %v", xs)
+	}
+	if len(totals) != 1 || totals[0] != 8 {
+		t.Fatalf("totals = %v", totals)
+	}
+}
+
+func TestSegmentedPrefixSumQuick(t *testing.T) {
+	if err := quick.Check(func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw)%200 + 1
+		s := rng.New(seed)
+		xs := make([]int64, n)
+		seg := make([]bool, n)
+		seg[0] = true
+		for i := range xs {
+			xs[i] = int64(s.Intn(100))
+			if i > 0 {
+				seg[i] = s.Bernoulli(0.2)
+			}
+		}
+		orig := append([]int64(nil), xs...)
+		m := pram.New()
+		totals := SegmentedPrefixSum(m, xs, seg)
+		// Sequential reference.
+		var run int64
+		ti := -1
+		var refTotals []int64
+		for i := 0; i < n; i++ {
+			if seg[i] {
+				if ti >= 0 {
+					refTotals = append(refTotals, run)
+				}
+				run = 0
+				ti++
+			}
+			if xs[i] != run {
+				return false
+			}
+			run += orig[i]
+		}
+		refTotals = append(refTotals, run)
+		if len(totals) != len(refTotals) {
+			return false
+		}
+		for i := range totals {
+			if totals[i] != refTotals[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSegmentedPrefixSumSteps(t *testing.T) {
+	m := pram.New()
+	n := 1 << 14
+	xs := make([]int64, n)
+	seg := make([]bool, n)
+	seg[0] = true
+	for i := 0; i < n; i += 100 {
+		seg[i] = true
+	}
+	SegmentedPrefixSum(m, xs, seg)
+	if m.Time() > 80 {
+		t.Fatalf("segmented scan took %d steps at n=2^14", m.Time())
+	}
+}
+
+func TestSegmentedPrefixSumPanics(t *testing.T) {
+	m := pram.New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("seg[0]=false accepted")
+		}
+	}()
+	SegmentedPrefixSum(m, []int64{1, 2}, []bool{false, true})
+}
+
+func TestBroadcast(t *testing.T) {
+	m := pram.New()
+	out := make([]int64, 1000)
+	Broadcast(m, out, 42)
+	for _, v := range out {
+		if v != 42 {
+			t.Fatal("broadcast missed a cell")
+		}
+	}
+	if m.Time() != 1 {
+		t.Fatalf("broadcast took %d steps", m.Time())
+	}
+}

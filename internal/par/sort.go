@@ -1,0 +1,71 @@
+package par
+
+import (
+	"math"
+
+	"inplacehull/internal/pram"
+)
+
+// The fallback path of the unsorted hull algorithm (§4.1 step 3) needs "any
+// O(log n) time, n processor" hull algorithm. We substitute a parallel sort
+// followed by the library's pre-sorted constant-time hull (see DESIGN.md).
+// The sort is an order-preserving LSD radix sort on the IEEE-754 bit
+// patterns of the keys: digits of radixBits bits, one stable
+// counting-scatter pass per digit. Each pass is a single prefix sum over a
+// radixSize×n indicator matrix stored column-major, so the pass costs
+// O(log n) steps and O(radixSize·n) work; the whole sort is O(log n) steps
+// and O(n) work with a radix-sized constant — the usual CRCW trade.
+
+const radixBits = 4
+const radixSize = 1 << radixBits
+const radixPasses = 64 / radixBits
+
+// floatKey maps a float64 to a uint64 whose unsigned order matches the
+// float order (standard sign-flip trick; NaNs sort after +Inf).
+func floatKey(f float64) uint64 {
+	b := math.Float64bits(f)
+	if b&(1<<63) != 0 {
+		return ^b
+	}
+	return b | (1 << 63)
+}
+
+// SortByKey returns a permutation perm of [0, n) such that
+// key(perm[0]) ≤ key(perm[1]) ≤ … The sort is stable with respect to the
+// original indices, so equal keys keep index order.
+func SortByKey(m *pram.Machine, n int, key func(i int) float64) []int {
+	if n == 0 {
+		return nil
+	}
+	keys := make([]uint64, n)
+	perm := make([]int, n)
+	m.StepAll(n, func(p int) {
+		keys[p] = floatKey(key(p))
+		perm[p] = p
+	})
+	tmpKeys := make([]uint64, n)
+	tmpPerm := make([]int, n)
+	// flat[d*n + p] = 1 iff element p has digit d in the current pass.
+	// An exclusive prefix sum over flat, read column-major, is exactly the
+	// stable destination of each element.
+	flat := make([]int64, radixSize*n)
+
+	for pass := 0; pass < radixPasses; pass++ {
+		shift := uint(pass * radixBits)
+		m.StepAll(radixSize*n, func(q int) { flat[q] = 0 })
+		m.StepAll(n, func(p int) {
+			d := int((keys[p] >> shift) & (radixSize - 1))
+			flat[d*n+p] = 1
+		})
+		PrefixSum(m, flat)
+		m.StepAll(n, func(p int) {
+			d := int((keys[p] >> shift) & (radixSize - 1))
+			dst := flat[d*n+p]
+			tmpKeys[dst] = keys[p]
+			tmpPerm[dst] = perm[p]
+		})
+		keys, tmpKeys = tmpKeys, keys
+		perm, tmpPerm = tmpPerm, perm
+	}
+	return perm
+}

@@ -1,0 +1,26 @@
+package pram
+
+import "testing"
+
+func BenchmarkStepOverheadSequential(b *testing.B) {
+	m := New(WithWorkers(1))
+	for i := 0; i < b.N; i++ {
+		m.StepAll(1024, func(p int) {})
+	}
+}
+
+func BenchmarkStepOverheadParallel(b *testing.B) {
+	m := New()
+	for i := 0; i < b.N; i++ {
+		m.StepAll(1<<16, func(p int) {})
+	}
+}
+
+func BenchmarkClaimCellContention(b *testing.B) {
+	var c ClaimCell
+	m := New()
+	for i := 0; i < b.N; i++ {
+		c.Reset()
+		m.StepAll(1<<14, func(p int) { c.Claim(int64(p)) })
+	}
+}

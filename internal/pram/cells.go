@@ -1,0 +1,153 @@
+package pram
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Combining cells implement the concurrent-write resolutions of the CRCW
+// model. All of them are safe for any number of writers within a step and
+// produce schedule-independent results, so simulated runs are reproducible.
+
+// OrCell is a Common/collision CRCW cell holding a boolean OR of all writes.
+type OrCell struct{ v atomic.Bool }
+
+// Set writes true to the cell (concurrent writers all write the same value,
+// as in the Common CRCW model).
+func (c *OrCell) Set() { c.v.Store(true) }
+
+// Get reads the cell. Must only be called after the barrier of the step
+// that wrote it.
+func (c *OrCell) Get() bool { return c.v.Load() }
+
+// Reset clears the cell.
+func (c *OrCell) Reset() { c.v.Store(false) }
+
+// MaxCell resolves concurrent writes by keeping the maximum value written.
+type MaxCell struct{ v atomic.Int64 }
+
+// Init sets the cell to the given value (call before the writing step).
+func (c *MaxCell) Init(v int64) { c.v.Store(v) }
+
+// Write offers v; the cell retains the maximum across all writers.
+func (c *MaxCell) Write(v int64) {
+	for {
+		cur := c.v.Load()
+		if v <= cur || c.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Get reads the resolved value after the barrier.
+func (c *MaxCell) Get() int64 { return c.v.Load() }
+
+// MinCell resolves concurrent writes by keeping the minimum value written.
+type MinCell struct{ v atomic.Int64 }
+
+// Init sets the cell to the given value (typically math.MaxInt64).
+func (c *MinCell) Init(v int64) { c.v.Store(v) }
+
+// InitMax sets the cell to MaxInt64, the identity for Min.
+func (c *MinCell) InitMax() { c.v.Store(math.MaxInt64) }
+
+// Write offers v; the cell retains the minimum across all writers.
+func (c *MinCell) Write(v int64) {
+	for {
+		cur := c.v.Load()
+		if v >= cur || c.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Get reads the resolved value after the barrier.
+func (c *MinCell) Get() int64 { return c.v.Load() }
+
+// PriorityCell resolves concurrent writes in favor of the lowest-numbered
+// processor, the Priority CRCW rule (also a deterministic implementation of
+// the Arbitrary rule). Each write carries the writer's processor id and a
+// payload value.
+type PriorityCell struct {
+	v atomic.Uint64 // high 32 bits: proc id; low 32 bits: payload index
+}
+
+const priorityEmpty = ^uint64(0)
+
+// Reset empties the cell.
+func (c *PriorityCell) Reset() { c.v.Store(priorityEmpty) }
+
+// Write offers payload from processor proc (both must fit in 32 bits). The
+// write from the lowest proc wins.
+func (c *PriorityCell) Write(proc, payload int) {
+	enc := uint64(proc)<<32 | uint64(uint32(payload))
+	for {
+		cur := c.v.Load()
+		if enc >= cur || c.v.CompareAndSwap(cur, enc) {
+			return
+		}
+	}
+}
+
+// Get returns the winning payload and whether any write occurred.
+func (c *PriorityCell) Get() (payload int, ok bool) {
+	cur := c.v.Load()
+	if cur == priorityEmpty {
+		return 0, false
+	}
+	return int(uint32(cur)), true
+}
+
+// Winner returns the winning processor id and whether any write occurred.
+func (c *PriorityCell) Winner() (proc int, ok bool) {
+	cur := c.v.Load()
+	if cur == priorityEmpty {
+		return 0, false
+	}
+	return int(cur >> 32), true
+}
+
+// ClaimCell is the cell type used by the paper's random-sample procedure
+// (§3.1): several processors attempt to claim the cell by writing their id;
+// exactly one wins, and — crucially — every processor can afterwards detect
+// whether the cell it claimed was also attempted by someone else (a
+// "collision"), mirroring steps 2–3 of the procedure.
+type ClaimCell struct {
+	owner    atomic.Int64 // −1 when unclaimed; else winning id
+	attempts atomic.Int64 // number of claim attempts this round
+}
+
+// Reset returns the cell to the unclaimed state.
+func (c *ClaimCell) Reset() {
+	c.owner.Store(-1)
+	c.attempts.Store(0)
+}
+
+// Claim attempts to claim the cell for id. The lowest id among concurrent
+// claimants wins deterministically.
+func (c *ClaimCell) Claim(id int64) {
+	c.attempts.Add(1)
+	for {
+		cur := c.owner.Load()
+		if cur != -1 && cur <= id {
+			return
+		}
+		if c.owner.CompareAndSwap(cur, id) {
+			return
+		}
+	}
+}
+
+// Owner returns the claiming id, or −1 if unclaimed.
+func (c *ClaimCell) Owner() int64 { return c.owner.Load() }
+
+// Contested reports whether more than one processor attempted this cell —
+// the collision test of §3.1 step 3.
+func (c *ClaimCell) Contested() bool { return c.attempts.Load() > 1 }
+
+// ResetClaims resets a slice of claim cells (helper for per-round reuse).
+func ResetClaims(cells []ClaimCell) {
+	for i := range cells {
+		cells[i].Reset()
+	}
+}

@@ -1,0 +1,126 @@
+package pram
+
+import (
+	"math"
+	"testing"
+)
+
+func TestOrCell(t *testing.T) {
+	var c OrCell
+	if c.Get() {
+		t.Fatal("zero value must be false")
+	}
+	m := New()
+	m.StepAll(1000, func(p int) {
+		if p == 777 {
+			c.Set()
+		}
+	})
+	if !c.Get() {
+		t.Fatal("Set lost")
+	}
+	c.Reset()
+	if c.Get() {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestMaxCellConcurrent(t *testing.T) {
+	var c MaxCell
+	c.Init(math.MinInt64)
+	m := New()
+	m.StepAll(100000, func(p int) { c.Write(int64(p * 3)) })
+	if c.Get() != 99999*3 {
+		t.Fatalf("MaxCell = %d", c.Get())
+	}
+}
+
+func TestMinCellConcurrent(t *testing.T) {
+	var c MinCell
+	c.InitMax()
+	m := New()
+	m.StepAll(100000, func(p int) { c.Write(int64(p + 7)) })
+	if c.Get() != 7 {
+		t.Fatalf("MinCell = %d", c.Get())
+	}
+}
+
+func TestPriorityCellLowestWriterWins(t *testing.T) {
+	var c PriorityCell
+	c.Reset()
+	m := New()
+	m.StepAll(100000, func(p int) {
+		if p >= 500 {
+			c.Write(p, p*2)
+		}
+	})
+	payload, ok := c.Get()
+	if !ok || payload != 1000 {
+		t.Fatalf("priority payload = %d ok=%v, want 1000", payload, ok)
+	}
+	proc, ok := c.Winner()
+	if !ok || proc != 500 {
+		t.Fatalf("priority winner = %d, want 500", proc)
+	}
+}
+
+func TestPriorityCellEmpty(t *testing.T) {
+	var c PriorityCell
+	c.Reset()
+	if _, ok := c.Get(); ok {
+		t.Fatal("empty cell reported a value")
+	}
+	if _, ok := c.Winner(); ok {
+		t.Fatal("empty cell reported a winner")
+	}
+}
+
+func TestClaimCellSingleClaimant(t *testing.T) {
+	var c ClaimCell
+	c.Reset()
+	c.Claim(42)
+	if c.Owner() != 42 {
+		t.Fatalf("owner = %d", c.Owner())
+	}
+	if c.Contested() {
+		t.Fatal("single claimant must not be contested")
+	}
+}
+
+func TestClaimCellContention(t *testing.T) {
+	var c ClaimCell
+	c.Reset()
+	m := New()
+	m.StepAll(100000, func(p int) {
+		if p == 10 || p == 20 {
+			c.Claim(int64(p))
+		}
+	})
+	if c.Owner() != 10 {
+		t.Fatalf("lowest claimant must win, got %d", c.Owner())
+	}
+	if !c.Contested() {
+		t.Fatal("two claimants must be contested")
+	}
+}
+
+func TestClaimCellUnclaimed(t *testing.T) {
+	var c ClaimCell
+	c.Reset()
+	if c.Owner() != -1 {
+		t.Fatal("unclaimed cell must report −1")
+	}
+}
+
+func TestResetClaims(t *testing.T) {
+	cells := make([]ClaimCell, 10)
+	for i := range cells {
+		cells[i].Claim(int64(i))
+	}
+	ResetClaims(cells)
+	for i := range cells {
+		if cells[i].Owner() != -1 || cells[i].Contested() {
+			t.Fatalf("cell %d not reset", i)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package pram
+
+import "testing"
+
+func TestConcurrentTimeIsMax(t *testing.T) {
+	m := New()
+	m.Concurrent(
+		func(sub *Machine) { sub.Charge(10, 100) },
+		func(sub *Machine) { sub.Charge(3, 50) },
+		func(sub *Machine) { sub.Charge(7, 10) },
+	)
+	if m.Time() != 10 {
+		t.Fatalf("Time = %d, want max(10,3,7) = 10", m.Time())
+	}
+	if m.Work() != 160 {
+		t.Fatalf("Work = %d, want 100+50+10 = 160", m.Work())
+	}
+}
+
+func TestConcurrentEmpty(t *testing.T) {
+	m := New()
+	m.Concurrent()
+	if m.Time() != 0 || m.Work() != 0 {
+		t.Fatal("empty Concurrent must be free")
+	}
+}
+
+func TestConcurrentRealSteps(t *testing.T) {
+	m := New()
+	m.Concurrent(
+		func(sub *Machine) {
+			for i := 0; i < 5; i++ {
+				sub.StepAll(100, func(p int) {})
+			}
+		},
+		func(sub *Machine) {
+			sub.StepAll(1000, func(p int) {})
+		},
+	)
+	if m.Time() != 5 {
+		t.Fatalf("Time = %d, want 5", m.Time())
+	}
+	if m.Work() != 1500 {
+		t.Fatalf("Work = %d, want 1500", m.Work())
+	}
+}
+
+func TestConcurrentNested(t *testing.T) {
+	m := New()
+	m.Concurrent(func(sub *Machine) {
+		sub.Concurrent(
+			func(s2 *Machine) { s2.Charge(4, 40) },
+			func(s2 *Machine) { s2.Charge(6, 60) },
+		)
+		sub.Charge(1, 1)
+	})
+	if m.Time() != 7 {
+		t.Fatalf("nested Time = %d, want 6+1", m.Time())
+	}
+	if m.Work() != 101 {
+		t.Fatalf("nested Work = %d, want 101", m.Work())
+	}
+}
+
+func TestConcurrentSpaceSums(t *testing.T) {
+	m := New()
+	m.Concurrent(
+		func(sub *Machine) { sub.AllocScratch(100)() },
+		func(sub *Machine) { sub.AllocScratch(50)() },
+	)
+	if m.PeakSpace() != 150 {
+		t.Fatalf("PeakSpace = %d, want 150 (concurrent spaces add)", m.PeakSpace())
+	}
+}
+
+func TestProfileRecording(t *testing.T) {
+	m := New(WithProfile())
+	m.StepAll(10, func(p int) {})
+	m.Steps(3, 5, func(p int) bool { return true })
+	m.Charge(2, 8)
+	prof := m.Profile()
+	if len(prof) != 6 {
+		t.Fatalf("profile length %d, want 6", len(prof))
+	}
+	var w int64
+	for _, v := range prof {
+		w += v
+	}
+	if w != m.Work() {
+		t.Fatalf("profile work %d != %d", w, m.Work())
+	}
+	m.ResetCounters()
+	if len(m.Profile()) != 0 {
+		t.Fatal("profile not reset")
+	}
+}
+
+func TestProfileOffByDefault(t *testing.T) {
+	m := New()
+	m.StepAll(10, func(p int) {})
+	if len(m.Profile()) != 0 {
+		t.Fatal("profile recorded without WithProfile")
+	}
+}

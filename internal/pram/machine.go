@@ -1,0 +1,312 @@
+// Package pram simulates a synchronous CRCW PRAM, the machine model all of
+// the paper's algorithms are stated in.
+//
+// The paper's theorems are claims about two quantities the real hardware of
+// 1991 never existed to measure: parallel time (the number of synchronous
+// steps) and work (the total number of live processor activations). This
+// package makes both measurable. A Machine executes programs as a sequence
+// of Steps; each Step runs one instruction for every virtual processor in a
+// range, with a barrier between steps. Underneath, a pool of goroutine
+// workers executes the virtual processors in coarse-grained chunks — the
+// goroutines provide real concurrency but never change the counted
+// semantics, which depend only on the step structure.
+//
+// Concurrent-write semantics are provided by combining cells (OrCell,
+// MaxCell, PriorityCell, ClaimCell): within a step, any number of
+// processors may write to the same cell, and the value visible after the
+// barrier is deterministic (Priority resolution — the lowest-numbered
+// processor wins — which is a valid implementation of the Arbitrary CRCW
+// model the paper assumes, and makes every run reproducible). Programs must
+// not read a plain memory cell in the same step that writes it; the
+// algorithms in this library are structured so reads always precede writes
+// across a barrier, as in the model.
+package pram
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Machine is a simulated CRCW PRAM with instrumentation.
+type Machine struct {
+	workers int
+
+	steps     atomic.Int64 // parallel time: number of synchronous steps
+	work      atomic.Int64 // total live processor activations
+	peakProcs atomic.Int64 // max processors live in any single step
+	scratch   atomic.Int64 // currently allocated scratch cells
+	peakSpace atomic.Int64 // peak scratch allocation ("o(n) work space")
+
+	profileMu sync.Mutex
+	profile   []int64 // live processors per step, when profiling is on
+	profiling bool
+}
+
+// Option configures a Machine.
+type Option func(*Machine)
+
+// WithWorkers sets the number of real goroutine workers used to execute the
+// virtual processors of each step. The default is runtime.GOMAXPROCS(0).
+func WithWorkers(w int) Option {
+	return func(m *Machine) {
+		if w > 0 {
+			m.workers = w
+		}
+	}
+}
+
+// WithProfile records the live-processor count of every step, enabling the
+// Matias–Vishkin simulation analysis of internal/alloc (§5).
+func WithProfile() Option {
+	return func(m *Machine) { m.profiling = true }
+}
+
+// New returns a fresh machine with zeroed counters.
+func New(opts ...Option) *Machine {
+	m := &Machine{workers: runtime.GOMAXPROCS(0)}
+	for _, o := range opts {
+		o(m)
+	}
+	return m
+}
+
+// Time returns the number of synchronous PRAM steps executed so far.
+func (m *Machine) Time() int64 { return m.steps.Load() }
+
+// Work returns the total number of live processor activations so far.
+func (m *Machine) Work() int64 { return m.work.Load() }
+
+// PeakProcessors returns the largest number of processors that were live in
+// any single step — the machine-size requirement of the program.
+func (m *Machine) PeakProcessors() int64 { return m.peakProcs.Load() }
+
+// PeakSpace returns the peak number of scratch cells allocated at once.
+func (m *Machine) PeakSpace() int64 { return m.peakSpace.Load() }
+
+// ResetCounters zeroes all instrumentation counters.
+func (m *Machine) ResetCounters() {
+	m.steps.Store(0)
+	m.work.Store(0)
+	m.peakProcs.Store(0)
+	m.scratch.Store(0)
+	m.peakSpace.Store(0)
+	m.profileMu.Lock()
+	m.profile = nil
+	m.profileMu.Unlock()
+}
+
+// Snapshot is a point-in-time copy of the machine's counters.
+type Snapshot struct {
+	Time, Work, PeakProcessors, PeakSpace int64
+}
+
+// Snap returns the current counters.
+func (m *Machine) Snap() Snapshot {
+	return Snapshot{
+		Time:           m.Time(),
+		Work:           m.Work(),
+		PeakProcessors: m.PeakProcessors(),
+		PeakSpace:      m.PeakSpace(),
+	}
+}
+
+// Delta returns the counter increases since an earlier snapshot.
+func (m *Machine) Delta(since Snapshot) Snapshot {
+	now := m.Snap()
+	return Snapshot{
+		Time:           now.Time - since.Time,
+		Work:           now.Work - since.Work,
+		PeakProcessors: now.PeakProcessors, // peaks are absolute, not differential
+		PeakSpace:      now.PeakSpace,
+	}
+}
+
+// seqThreshold is the virtual-processor count below which a step runs on the
+// calling goroutine; spawning workers for tiny steps would only add noise.
+const seqThreshold = 4096
+
+// Step executes one synchronous PRAM step over virtual processors
+// [0, n). f(p) performs processor p's instruction and reports whether the
+// processor was live (performed work). Time increases by one; work
+// increases by the number of live processors. f must follow the CRCW
+// discipline described in the package comment.
+func (m *Machine) Step(n int, f func(p int) bool) {
+	if n <= 0 {
+		return
+	}
+	m.steps.Add(1)
+	live := m.runChunks(n, f)
+	m.work.Add(live)
+	m.bumpPeak(live)
+	m.record(live, 1)
+}
+
+// record appends per-step live counts to the profile when enabled.
+func (m *Machine) record(live, steps int64) {
+	if !m.profiling {
+		return
+	}
+	m.profileMu.Lock()
+	for i := int64(0); i < steps; i++ {
+		m.profile = append(m.profile, live)
+	}
+	m.profileMu.Unlock()
+}
+
+// Profile returns a copy of the per-step live-processor counts recorded so
+// far (empty unless the machine was created WithProfile).
+func (m *Machine) Profile() []int64 {
+	m.profileMu.Lock()
+	defer m.profileMu.Unlock()
+	out := make([]int64, len(m.profile))
+	copy(out, m.profile)
+	return out
+}
+
+// StepAll is Step for programs in which every processor in [0, n) is live.
+func (m *Machine) StepAll(n int, f func(p int)) {
+	m.Step(n, func(p int) bool { f(p); return true })
+}
+
+// Steps executes k identical-shape synchronous steps at once: f(p) is
+// invoked once per processor but is charged as k steps of n processors.
+// It exists for primitives whose per-processor code is a short sequential
+// loop of known length k (e.g. a processor walking its O(log n) ancestors);
+// running it as one Go-level pass with honest accounting avoids k separate
+// barrier sweeps without changing any counted quantity.
+func (m *Machine) Steps(k int64, n int, f func(p int) bool) {
+	if n <= 0 || k <= 0 {
+		return
+	}
+	m.steps.Add(k)
+	live := m.runChunks(n, f)
+	m.work.Add(live * k)
+	m.bumpPeak(live)
+	m.record(live, k)
+}
+
+// Charge adds steps time and work to the counters without executing
+// anything. It is used when a sub-computation was executed outside the
+// machine (e.g. by a documented sequential substitute) and its PRAM cost is
+// charged explicitly; every use site documents the charge.
+func (m *Machine) Charge(steps, work int64) {
+	m.steps.Add(steps)
+	m.work.Add(work)
+	if steps > 0 && work > 0 {
+		// A charge of w work over s steps implies w/s simultaneous
+		// processors.
+		m.bumpPeak((work + steps - 1) / steps)
+	}
+	if steps > 0 {
+		per := work / steps
+		m.record(per, steps-1)
+		m.record(work-per*(steps-1), 1)
+	} else if work > 0 {
+		// Work with no step: fold into the previous step's count.
+		if m.profiling {
+			m.profileMu.Lock()
+			if len(m.profile) > 0 {
+				m.profile[len(m.profile)-1] += work
+			} else {
+				m.profile = append(m.profile, work)
+			}
+			m.profileMu.Unlock()
+		}
+	}
+}
+
+func (m *Machine) bumpPeak(live int64) {
+	for {
+		cur := m.peakProcs.Load()
+		if live <= cur || m.peakProcs.CompareAndSwap(cur, live) {
+			return
+		}
+	}
+}
+
+// Concurrent composes subprograms that run side by side on disjoint data
+// (e.g. per-problem compactions, each in its own work space): the composite
+// costs the *maximum* of the subprograms' times — they share the machine's
+// steps — while work and space add up. Each fn receives a fresh sub-machine
+// whose counters are merged into m afterwards. The fns themselves are
+// executed one after another host-side; only the accounting is concurrent,
+// which is sound because the subprograms touch disjoint state.
+func (m *Machine) Concurrent(fns ...func(sub *Machine)) {
+	var maxTime, sumWork, sumSpace, maxProcs int64
+	for _, fn := range fns {
+		sub := New(WithWorkers(m.workers))
+		fn(sub)
+		if t := sub.Time(); t > maxTime {
+			maxTime = t
+		}
+		sumWork += sub.Work()
+		sumSpace += sub.PeakSpace()
+		maxProcs += sub.PeakProcessors()
+	}
+	m.Charge(maxTime, sumWork)
+	if sumSpace > 0 {
+		release := m.AllocScratch(sumSpace)
+		release()
+	}
+	m.bumpPeak(maxProcs)
+}
+
+// AllocScratch records the allocation of n scratch cells and returns a
+// release function; pairing Alloc/release tracks the peak "work space" the
+// in-place techniques are allowed (o(n)).
+func (m *Machine) AllocScratch(n int64) (release func()) {
+	cur := m.scratch.Add(n)
+	for {
+		pk := m.peakSpace.Load()
+		if cur <= pk || m.peakSpace.CompareAndSwap(pk, cur) {
+			break
+		}
+	}
+	var once sync.Once
+	return func() { once.Do(func() { m.scratch.Add(-n) }) }
+}
+
+// runChunks executes f for p in [0, n) across the worker pool and returns
+// the number of live processors.
+func (m *Machine) runChunks(n int, f func(p int) bool) int64 {
+	if n < seqThreshold || m.workers <= 1 {
+		var live int64
+		for p := 0; p < n; p++ {
+			if f(p) {
+				live++
+			}
+		}
+		return live
+	}
+	workers := m.workers
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	var live atomic.Int64
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			var l int64
+			for p := lo; p < hi; p++ {
+				if f(p) {
+					l++
+				}
+			}
+			live.Add(l)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return live.Load()
+}

@@ -1,0 +1,118 @@
+package presorted
+
+import (
+	"fmt"
+	"math"
+
+	"inplacehull/internal/chain"
+	"inplacehull/internal/geom"
+	"inplacehull/internal/pram"
+	"inplacehull/internal/rng"
+)
+
+// LogStar computes the upper hull of pre-sorted points in O(log* n)
+// measured PRAM steps with O(n) processors per step (§2.5):
+//
+//  1. split the input into contiguous groups of ⌈log^b n⌉ points (b = 2),
+//  2. solve every group recursively — the groups run *concurrently*, so
+//     the recursion contributes max-depth, not sum, to the step count;
+//     the recursion bottoms out at a constant size solved by brute force
+//     (Observation 2.3, O(1) steps with g³ processors),
+//  3. merge the group hulls with the constant-time algorithm run
+//     point-hull invariantly (Lemma 2.6): the tree-of-bridges of §2.2 is
+//     solved again, but each constraint is now a whole group hull and the
+//     primitive operations are the Atallah–Goodrich hull operations
+//     (extreme vertex in a direction, tangents) instead of point
+//     predicates.
+//
+// The recursion depth obeys T(n) = T(log² n) + O(1) = O(log* n).
+func LogStar(m *pram.Machine, rnd *rng.Stream, pts []geom.Point) (Result, error) {
+	if err := checkSorted(pts); err != nil {
+		return Result{}, err
+	}
+	return logStar(m, rnd, pts, 0)
+}
+
+// baseSize is the recursion floor: inputs this small are solved by the
+// brute-force hull of Observation 2.3 (O(1) steps, n³ processors; we
+// charge the folklore O(k)-time n^(1+1/k) variant of Lemma 2.4 with k=3).
+const baseSize = 64
+
+func logStar(m *pram.Machine, rnd *rng.Stream, pts []geom.Point, depth int) (Result, error) {
+	n := len(pts)
+	if depth > 8 {
+		return Result{}, fmt.Errorf("presorted: log* recursion too deep (%d)", depth)
+	}
+	if n <= baseSize {
+		return baseHull(m, pts), nil
+	}
+	lg := math.Log2(float64(n))
+	g := int(math.Ceil(lg * lg))
+	if g >= n {
+		g = n/2 + 1
+	}
+	nGroups := (n + g - 1) / g
+
+	// Step 1+2: recurse on the groups, concurrently composed.
+	groupRes := make([]Result, nGroups)
+	groupErr := make([]error, nGroups)
+	fns := make([]func(*pram.Machine), nGroups)
+	for gi := 0; gi < nGroups; gi++ {
+		gi := gi
+		lo, hi := gi*g, (gi+1)*g
+		if hi > n {
+			hi = n
+		}
+		fns[gi] = func(sub *pram.Machine) {
+			groupRes[gi], groupErr[gi] = logStar(sub, rnd.Split(uint64(gi)+0x10), pts[lo:hi], depth+1)
+		}
+	}
+	m.Concurrent(fns...)
+	for gi := range groupErr {
+		if groupErr[gi] != nil {
+			return Result{}, groupErr[gi]
+		}
+	}
+	hulls := make([]chain.Chain, nGroups)
+	offsets := make([]int, nGroups)
+	for gi := range hulls {
+		hulls[gi] = chain.Chain{V: groupRes[gi].Chain}
+		offsets[gi] = gi * g
+	}
+
+	// Step 3: the point-hull-invariant constant-time merge.
+	return mergeHulls(m, rnd.Split(0x3E), pts, g, hulls, groupRes)
+}
+
+// baseHull solves a constant-size input directly: the chain via a scan and
+// every point's covering edge, charged as the brute-force constant-time
+// hull (Lemma 2.4 with k = 3: O(3) steps, n^(4/3) processors).
+func baseHull(m *pram.Machine, pts []geom.Point) Result {
+	n := len(pts)
+	m.Charge(3, int64(math.Ceil(math.Pow(float64(n+1), 4.0/3))))
+	res := Result{EdgeOf: make([]int, n)}
+	if n == 0 {
+		return res
+	}
+	var h []geom.Point
+	for _, p := range pts {
+		for len(h) >= 2 && geom.Orientation(h[len(h)-2], h[len(h)-1], p) >= 0 {
+			h = h[:len(h)-1]
+		}
+		h = append(h, p)
+	}
+	res.Chain = h
+	for i := 0; i+1 < len(h); i++ {
+		res.Edges = append(res.Edges, geom.Edge{U: h[i], W: h[i+1]})
+	}
+	for p := 0; p < n; p++ {
+		res.EdgeOf[p] = -1
+		for i, e := range res.Edges {
+			if e.Covers(pts[p].X) && !geom.AboveLine(pts[p], e.U, e.W) {
+				res.EdgeOf[p] = i
+				break
+			}
+		}
+	}
+	return res
+}

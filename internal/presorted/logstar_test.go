@@ -1,0 +1,90 @@
+package presorted
+
+import (
+	"testing"
+
+	"inplacehull/internal/pram"
+	"inplacehull/internal/rng"
+	"inplacehull/internal/workload"
+)
+
+func TestLogStarSmall(t *testing.T) {
+	pts := prep(workload.Disk(1, 40)) // below baseSize: direct path
+	m := pram.New()
+	res, err := LogStar(m, rng.New(1), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verify(t, pts, res)
+}
+
+func TestLogStarWorkloads(t *testing.T) {
+	for _, g := range workload.Gens2D {
+		for seed := uint64(1); seed <= 2; seed++ {
+			pts := prep(g.Gen(seed, 3000))
+			m := pram.New()
+			res, err := LogStar(m, rng.New(seed*3+5), pts)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", g.Name, seed, err)
+			}
+			verify(t, pts, res)
+		}
+	}
+}
+
+func TestLogStarStepsNearFlat(t *testing.T) {
+	// Theorem 2's measurable content: steps grow like log* n — going from
+	// 2^10 to 2^16 should barely move the count.
+	steps := func(n int) int64 {
+		pts := prep(workload.Disk(7, n))
+		m := pram.New()
+		if _, err := LogStar(m, rng.New(7), pts); err != nil {
+			t.Fatal(err)
+		}
+		return m.Time()
+	}
+	s1, s2 := steps(1<<10), steps(1<<16)
+	if float64(s2) > 2.5*float64(s1) {
+		t.Fatalf("log* steps scaled: %d → %d", s1, s2)
+	}
+}
+
+func TestLogStarWorkNearLinear(t *testing.T) {
+	// O(n) processors per step and O(log* n) steps: work/n must grow very
+	// slowly (quadrupling n should grow work by ≈ 4, far from 4·log 4).
+	work := func(n int) int64 {
+		pts := prep(workload.Disk(9, n))
+		m := pram.New()
+		if _, err := LogStar(m, rng.New(9), pts); err != nil {
+			t.Fatal(err)
+		}
+		return m.Work()
+	}
+	w1, w2 := work(1<<12), work(1<<14)
+	if ratio := float64(w2) / float64(w1); ratio > 6 {
+		t.Fatalf("log* work ratio %.2f for 4× n (w1=%d w2=%d)", ratio, w1, w2)
+	}
+}
+
+func TestLogStarVsConstantTime(t *testing.T) {
+	pts := prep(workload.Gaussian(11, 5000))
+	m1, m2 := pram.New(), pram.New()
+	r1, e1 := LogStar(m1, rng.New(3), pts)
+	r2, e2 := ConstantTime(m2, rng.New(3), pts)
+	if e1 != nil || e2 != nil {
+		t.Fatal(e1, e2)
+	}
+	if len(r1.Chain) != len(r2.Chain) {
+		t.Fatalf("log* chain %d vs constant-time chain %d", len(r1.Chain), len(r2.Chain))
+	}
+	for i := range r1.Chain {
+		if r1.Chain[i] != r2.Chain[i] {
+			t.Fatalf("chains differ at %d", i)
+		}
+	}
+	// log* must use fewer processors (peak) than the n log n algorithm at
+	// this size.
+	if m1.PeakProcessors() >= m2.PeakProcessors() {
+		t.Fatalf("log* peak %d ≥ constant-time peak %d", m1.PeakProcessors(), m2.PeakProcessors())
+	}
+}

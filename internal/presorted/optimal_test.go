@@ -1,0 +1,41 @@
+package presorted
+
+import (
+	"testing"
+
+	"inplacehull/internal/pram"
+	"inplacehull/internal/rng"
+	"inplacehull/internal/workload"
+)
+
+func TestOptimalMatchesLogStar(t *testing.T) {
+	pts := prep(workload.Disk(3, 4000))
+	m := pram.New()
+	rep, err := Optimal(m, rng.New(5), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verify(t, pts, rep.Result)
+	if rep.Processors >= len(pts) {
+		t.Fatalf("processors %d not sub-linear", rep.Processors)
+	}
+	// The §2.6 claim: the schedule on n/log* n processors stays within a
+	// constant of the virtual time (here: a generous 64× bound — the work
+	// is ~10n, so w/p ≈ 10·log* n ≈ 30-40 rounds plus t).
+	if rep.ScheduledTime > 64*rep.VirtualTime {
+		t.Fatalf("scheduled %d ≫ virtual %d", rep.ScheduledTime, rep.VirtualTime)
+	}
+	if m.Time() != rep.VirtualTime || m.Work() != rep.Work {
+		t.Fatal("caller machine not charged")
+	}
+}
+
+func TestLogStarOf(t *testing.T) {
+	for _, tc := range []struct{ n, want int }{
+		{2, 1}, {4, 2}, {16, 3}, {65536, 4}, {1 << 20, 5},
+	} {
+		if got := logStarOf(tc.n); got != tc.want {
+			t.Fatalf("logStarOf(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,366 @@
+// Package presorted implements the Section 2 algorithms: the upper hull of
+// n points pre-sorted by x,
+//
+//   - in O(1) PRAM steps with O(n log n) processors almost surely
+//     (§2.2/Lemma 2.5): a complete binary tree is built "on top" of the
+//     points; the bridge over every node's median is one linear program
+//     (Observation 2.4), all of them solved simultaneously by the in-place
+//     batch procedure of §3.3; nodes that the randomized LP leaves
+//     unsolved are failure-swept (§2.3); bridges covered by an ancestor's
+//     bridge are filtered out; every leaf then locates the lowest
+//     uncovered ancestor bridge above it.
+//   - in O(log* n) steps with O(n) processors (§2.5): split into groups of
+//     polylog size, recurse, then run one constant-time round
+//     *point-hull-invariantly* on the group hulls (Lemma 2.6).
+//
+// The output gives every input point a pointer to the hull edge above it
+// ("one edge may occur in this list many times, as it will be stored by
+// every point below it"), exactly the output contract of Section 2.
+//
+// The constant-time algorithm also comes in a *segmented* form, computing
+// the hulls of many disjoint x-ranges simultaneously in the same constant
+// number of steps — the form the unsorted algorithm's fallback path (§4.1
+// step 3) consumes.
+package presorted
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+
+	"inplacehull/internal/geom"
+	"inplacehull/internal/lp"
+	"inplacehull/internal/pram"
+	"inplacehull/internal/rng"
+	"inplacehull/internal/sweep"
+)
+
+// Result is the output of the pre-sorted hull algorithms.
+type Result struct {
+	// Edges are the upper-hull edges in increasing x (across all segments
+	// for the segmented form; segments have disjoint x-ranges).
+	Edges []geom.Edge
+	// Chain is the upper-hull vertex sequence in increasing x (of the
+	// single segment; empty for multi-segment calls — use Edges).
+	Chain []geom.Point
+	// EdgeOf maps each input point to the index in Edges of the hull edge
+	// above (or through) it; −1 for points outside every segment and for
+	// points that are their segment's only point.
+	EdgeOf []int
+	// SweptNodes counts tree nodes whose bridge LP failed and was resolved
+	// by failure sweeping (§2.3) — the paper's "expected number of
+	// failures ≤ 1" quantity, measured.
+	SweptNodes int
+}
+
+// Segment is a half-open index range [Lo, Hi) of the sorted point array.
+type Segment struct{ Lo, Hi int }
+
+// node is one internal node of a segment's (power-of-two padded) tree.
+type node struct {
+	seg    int // segment index
+	heap   int // heap index within the segment's padded tree
+	lo, hi int // absolute point range [lo, hi), non-empty both sides of mid
+	mid    int // absolute splitter index: lo < mid < hi
+	level  int
+	size   int
+}
+
+// ConstantTime computes the upper hull of points pre-sorted by strictly
+// increasing x, per §2.2. It runs a constant number of PRAM steps
+// (measured by m) with O(n log n) processor activations per step.
+func ConstantTime(m *pram.Machine, rnd *rng.Stream, pts []geom.Point) (Result, error) {
+	if err := checkSorted(pts); err != nil {
+		return Result{}, err
+	}
+	if len(pts) == 0 {
+		return Result{}, nil
+	}
+	res, err := Segmented(m, rnd, pts, []Segment{{0, len(pts)}})
+	if err != nil {
+		return res, err
+	}
+	// Single segment: expose the chain.
+	if len(res.Edges) > 0 {
+		res.Chain = append(res.Chain, res.Edges[0].U)
+		for _, e := range res.Edges {
+			res.Chain = append(res.Chain, e.W)
+		}
+	} else if len(pts) == 1 {
+		res.Chain = []geom.Point{pts[0]}
+	}
+	return res, nil
+}
+
+// Segmented computes the upper hull of every segment simultaneously: all
+// segments' tree nodes join one batch of bridge LPs, so the step count is
+// the same constant as for a single segment. Points must be strictly
+// x-sorted within each segment and segments must be disjoint.
+func Segmented(m *pram.Machine, rnd *rng.Stream, pts []geom.Point, segs []Segment) (Result, error) {
+	n := len(pts)
+	res := Result{EdgeOf: make([]int, n)}
+	for i := range res.EdgeOf {
+		res.EdgeOf[i] = -1
+	}
+	if n == 0 || len(segs) == 0 {
+		return res, nil
+	}
+
+	// Per-point segment lookup and per-segment tree geometry.
+	segOf := make([]int, n)
+	for i := range segOf {
+		segOf[i] = -1
+	}
+	logN := make([]int, len(segs))
+	maxLevels := 0
+	for s, sg := range segs {
+		if sg.Lo < 0 || sg.Hi > n || sg.Lo >= sg.Hi {
+			return res, fmt.Errorf("presorted: bad segment %d: [%d,%d)", s, sg.Lo, sg.Hi)
+		}
+		for i := sg.Lo; i < sg.Hi; i++ {
+			if segOf[i] != -1 {
+				return res, fmt.Errorf("presorted: segments overlap at %d", i)
+			}
+			segOf[i] = s
+			if i > sg.Lo && pts[i-1].X >= pts[i].X {
+				return res, fmt.Errorf("presorted: segment %d not strictly x-sorted at %d", s, i)
+			}
+		}
+		sz := sg.Hi - sg.Lo
+		l := 0
+		if sz > 1 {
+			l = bits.Len(uint(sz - 1))
+		}
+		logN[s] = l
+		if l > maxLevels {
+			maxLevels = l
+		}
+	}
+	if maxLevels == 0 {
+		return res, nil // all segments singletons
+	}
+
+	// Enumerate active nodes across all segments.
+	var nodes []node
+	probOf := make(map[int64]int) // (seg, heap) key → problem index
+	key := func(seg, heap int) int64 { return int64(seg)<<36 | int64(heap) }
+	for s, sg := range segs {
+		L := logN[s]
+		N := 1 << L
+		for l := 0; l < L; l++ {
+			span := N >> l
+			for j := 0; j < (1 << l); j++ {
+				lo := sg.Lo + j*span
+				if lo >= sg.Hi {
+					break
+				}
+				hi := lo + span
+				mid := lo + span/2
+				if mid >= sg.Hi {
+					continue
+				}
+				if hi > sg.Hi {
+					hi = sg.Hi
+				}
+				nd := node{seg: s, heap: (1 << l) + j, lo: lo, hi: hi, mid: mid, level: l, size: hi - lo}
+				probOf[key(s, nd.heap)] = len(nodes)
+				nodes = append(nodes, nd)
+			}
+		}
+	}
+	q := len(nodes)
+	if q == 0 {
+		return res, nil
+	}
+
+	// One batch of bridge LPs over n·maxLevels virtual processors: virtual
+	// processor (level, point) stands by its point in the problem of its
+	// level-l ancestor within its segment. This is the paper's "n log n
+	// processors".
+	problems := make([]lp.Problem2D, q)
+	for i, nd := range nodes {
+		k := int(math.Cbrt(float64(nd.size))) + 1
+		problems[i] = lp.Problem2D{
+			Splitter:  pts[nd.mid],
+			A:         gapAbscissa(pts[nd.mid-1].X, pts[nd.mid].X),
+			HasA:      true,
+			Anchor:    pts[nd.mid-1],
+			HasAnchor: true,
+			K:         k,
+			MLive:     nd.size,
+		}
+	}
+	nVirt := n * maxLevels
+	heapAt := func(p, l int) (seg, heap int, ok bool) {
+		s := segOf[p]
+		if s < 0 || l >= logN[s] {
+			return 0, 0, false
+		}
+		local := p - segs[s].Lo
+		return s, (1 << l) + (local >> (logN[s] - l)), true
+	}
+	pt := func(v int) geom.Point { return pts[v%n] }
+	probID := func(v int) int {
+		p, l := v%n, v/n
+		s, heap, ok := heapAt(p, l)
+		if !ok {
+			return -1
+		}
+		if j, ok := probOf[key(s, heap)]; ok {
+			return j
+		}
+		return -1
+	}
+	results := lp.BatchBridge2D(m, rnd.Split(1), nVirt, pt, probID, problems)
+
+	// Failure sweeping (§2.3).
+	rep := sweep.Sweep(m, rnd.Split(2), n, q,
+		func(j int) bool { return !results[j].OK },
+		func(sub *pram.Machine, j int) {
+			nd := nodes[j]
+			u, w := exactBridge(pts[nd.lo:nd.hi], gapAbscissa(pts[nd.mid-1].X, pts[nd.mid].X))
+			results[j].Sol = lp.Solution2D{U: u, W: w}
+			results[j].OK = true
+			sub.Charge(1, int64(math.Ceil(math.Pow(float64(n), 0.75))))
+		})
+	res.SweptNodes = rep.Failures
+
+	// Coverage filtering: node j's bridge is a global (segment-)hull edge
+	// iff no proper ancestor in its segment holds a *different* bridge
+	// whose open x-span overlaps it; equal bridges keep only the
+	// shallowest holder. One step of q·maxLevels processors (the paper's
+	// "log n processors per node performing an OR").
+	covered := make([]pram.OrCell, q)
+	m.StepAll(q*maxLevels, func(t int) {
+		j, dl := t%q, t/q+1
+		nd := nodes[j]
+		if dl > nd.level {
+			return
+		}
+		aj, ok := probOf[key(nd.seg, nd.heap>>dl)]
+		if !ok {
+			return
+		}
+		b, ab := results[j].Sol, results[aj].Sol
+		if b == ab {
+			// Deeper duplicate of an ancestor's bridge: the shallower
+			// holder reports it.
+			covered[j].Set()
+			return
+		}
+		if b.W.X > ab.U.X && b.U.X < ab.W.X {
+			covered[j].Set()
+		}
+	})
+
+	// Per-leaf location: each leaf finds, among its segment-tree ancestors
+	// holding an uncovered bridge spanning its x, the hull edge above it.
+	// One step of n·maxLevels processors with a min-combining write.
+	choice := make([]pram.MinCell, n)
+	for i := range choice {
+		choice[i].InitMax()
+	}
+	m.StepAll(nVirt, func(v int) {
+		p, l := v%n, v/n
+		s, heap, ok := heapAt(p, l)
+		if !ok {
+			return
+		}
+		j, ok2 := probOf[key(s, heap)]
+		if !ok2 || covered[j].Get() {
+			return
+		}
+		b := results[j].Sol
+		x := pts[p].X
+		if b.U.X <= x && x <= b.W.X {
+			choice[p].Write(int64(j))
+		}
+	})
+
+	// Assemble output (host-side; one step of q processors in the model).
+	m.Charge(1, int64(q))
+	type ej struct {
+		e geom.Edge
+		j int
+	}
+	var globals []ej
+	edgeIndexOfProblem := make([]int, q)
+	for i := range edgeIndexOfProblem {
+		edgeIndexOfProblem[i] = -1
+	}
+	for j := range nodes {
+		if covered[j].Get() {
+			continue
+		}
+		s := results[j].Sol
+		if s.Degenerate() {
+			continue
+		}
+		globals = append(globals, ej{geom.Edge{U: s.U, W: s.W}, j})
+	}
+	sort.Slice(globals, func(a, b int) bool { return globals[a].e.U.X < globals[b].e.U.X })
+	for i, g := range globals {
+		res.Edges = append(res.Edges, g.e)
+		edgeIndexOfProblem[g.j] = i
+	}
+	for p := 0; p < n; p++ {
+		s := segOf[p]
+		if s < 0 || segs[s].Hi-segs[s].Lo == 1 {
+			continue // outside segments, or singleton segment: no edges
+		}
+		j := choice[p].Get()
+		if j == math.MaxInt64 {
+			return res, fmt.Errorf("presorted: point %d (%v) found no covering bridge", p, pts[p])
+		}
+		res.EdgeOf[p] = edgeIndexOfProblem[int(j)]
+		if res.EdgeOf[p] < 0 {
+			return res, fmt.Errorf("presorted: point %d chose covered bridge %d", p, j)
+		}
+	}
+	return res, nil
+}
+
+// gapAbscissa returns an abscissa strictly between xl and xr (adjacent
+// point x-coordinates, xl < xr): the bridge LP aimed here has a *unique*
+// optimum — the hull edge crossing the gap — which is exactly the edge the
+// LCA/coverage argument of §2.2 needs each node to report. For adjacent
+// floats whose midpoint rounds onto an endpoint, fall back to xr (the tie
+// is then unavoidable and benign at that scale).
+func gapAbscissa(xl, xr float64) float64 {
+	a := xl + (xr-xl)/2
+	if a <= xl || a >= xr {
+		return xr
+	}
+	return a
+}
+
+// exactBridge computes the bridge of sorted points over x = a by a
+// monotone-chain scan: the sequential fallback used by failure sweeping.
+func exactBridge(sorted []geom.Point, a float64) (geom.Point, geom.Point) {
+	var h []geom.Point
+	for _, p := range sorted {
+		for len(h) >= 2 && geom.Orientation(h[len(h)-2], h[len(h)-1], p) >= 0 {
+			h = h[:len(h)-1]
+		}
+		h = append(h, p)
+	}
+	for i := 0; i+1 < len(h); i++ {
+		if h[i].X <= a && a <= h[i+1].X {
+			return h[i], h[i+1]
+		}
+	}
+	return h[0], h[0]
+}
+
+// checkSorted validates the pre-sorted input contract: strictly increasing
+// x (the Section 2 algorithms assume points in general position sorted by
+// x; use workload.Sorted plus deduplication to prepare inputs).
+func checkSorted(pts []geom.Point) error {
+	for i := 1; i < len(pts); i++ {
+		if pts[i-1].X >= pts[i].X {
+			return fmt.Errorf("presorted: input not strictly x-sorted at %d", i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,216 @@
+package presorted
+
+import (
+	"testing"
+
+	"inplacehull/internal/geom"
+	"inplacehull/internal/hull2d"
+	"inplacehull/internal/pram"
+	"inplacehull/internal/rng"
+	"inplacehull/internal/workload"
+)
+
+// prep sorts and deduplicates by x (strictly increasing x contract).
+func prep(pts []geom.Point) []geom.Point {
+	s := workload.Sorted(pts)
+	out := s[:0]
+	for i, p := range s {
+		if i > 0 && p.X == out[len(out)-1].X {
+			// Keep the higher point on equal x: the lower can never be on
+			// the upper hull.
+			if p.Y > out[len(out)-1].Y {
+				out[len(out)-1] = p
+			}
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// verify checks the full output contract: the chain matches the reference
+// upper hull and every point's edge pointer is a hull edge above it.
+func verify(t *testing.T, pts []geom.Point, res Result) {
+	t.Helper()
+	want := hull2d.UpperHull(pts)
+	if len(res.Chain) != len(want) {
+		t.Fatalf("chain has %d vertices, want %d\n got  %v\n want %v", len(res.Chain), len(want), res.Chain, want)
+	}
+	for i := range want {
+		if res.Chain[i] != want[i] {
+			t.Fatalf("chain vertex %d: %v != %v", i, res.Chain[i], want[i])
+		}
+	}
+	if len(res.EdgeOf) != len(pts) {
+		t.Fatalf("EdgeOf has %d entries", len(res.EdgeOf))
+	}
+	for p, ei := range res.EdgeOf {
+		if len(res.Edges) == 0 {
+			if ei != -1 {
+				t.Fatalf("single-point hull: EdgeOf[%d]=%d", p, ei)
+			}
+			continue
+		}
+		if ei < 0 || ei >= len(res.Edges) {
+			t.Fatalf("EdgeOf[%d] = %d out of range", p, ei)
+		}
+		e := res.Edges[ei]
+		if !e.Covers(pts[p].X) {
+			t.Fatalf("point %d (%v) not covered by its edge %v", p, pts[p], e)
+		}
+		if geom.AboveLine(pts[p], e.U, e.W) {
+			t.Fatalf("point %d (%v) above its edge %v", p, pts[p], e)
+		}
+	}
+}
+
+func TestConstantTimeSmall(t *testing.T) {
+	pts := prep([]geom.Point{{X: 0, Y: 0}, {X: 1, Y: 2}, {X: 2, Y: 1}, {X: 3, Y: 3}, {X: 4, Y: 0}})
+	m := pram.New()
+	res, err := ConstantTime(m, rng.New(1), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verify(t, pts, res)
+}
+
+func TestConstantTimeWorkloads(t *testing.T) {
+	for _, g := range workload.Gens2D {
+		for seed := uint64(1); seed <= 2; seed++ {
+			pts := prep(g.Gen(seed, 1000))
+			m := pram.New()
+			res, err := ConstantTime(m, rng.New(seed*7+1), pts)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", g.Name, seed, err)
+			}
+			verify(t, pts, res)
+		}
+	}
+}
+
+func TestConstantTimeTiny(t *testing.T) {
+	m := pram.New()
+	if res, err := ConstantTime(m, rng.New(1), nil); err != nil || len(res.Chain) != 0 {
+		t.Fatalf("empty input: %v %v", res, err)
+	}
+	one := []geom.Point{{X: 1, Y: 1}}
+	res, err := ConstantTime(m, rng.New(1), one)
+	if err != nil || len(res.Chain) != 1 || res.EdgeOf[0] != -1 {
+		t.Fatalf("single input: %+v %v", res, err)
+	}
+	two := []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 1}}
+	res, err = ConstantTime(m, rng.New(1), two)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verify(t, two, res)
+}
+
+func TestConstantTimeRejectsUnsorted(t *testing.T) {
+	m := pram.New()
+	if _, err := ConstantTime(m, rng.New(1), []geom.Point{{X: 2, Y: 0}, {X: 1, Y: 0}}); err == nil {
+		t.Fatal("unsorted input accepted")
+	}
+	if _, err := ConstantTime(m, rng.New(1), []geom.Point{{X: 1, Y: 0}, {X: 1, Y: 1}}); err == nil {
+		t.Fatal("duplicate x accepted")
+	}
+}
+
+func TestConstantTimeStepsFlat(t *testing.T) {
+	// Lemma 2.5's measurable content: the number of PRAM steps must not
+	// grow with n (almost surely). Allow small wobble from the random
+	// iteration counts and sweeping.
+	steps := func(n int) int64 {
+		pts := prep(workload.Disk(3, n))
+		m := pram.New()
+		if _, err := ConstantTime(m, rng.New(9), pts); err != nil {
+			t.Fatal(err)
+		}
+		return m.Time()
+	}
+	s1, s2 := steps(1<<10), steps(1<<15)
+	if float64(s2) > 2.0*float64(s1) {
+		t.Fatalf("presorted steps scaled with n: %d → %d", s1, s2)
+	}
+}
+
+func TestConstantTimeWorkNLogN(t *testing.T) {
+	// Work should scale near n log n: quadrupling n from 2^12 to 2^14
+	// must grow work by ≲ 4·(14/12)·slack.
+	work := func(n int) int64 {
+		pts := prep(workload.Disk(5, n))
+		m := pram.New()
+		if _, err := ConstantTime(m, rng.New(11), pts); err != nil {
+			t.Fatal(err)
+		}
+		return m.Work()
+	}
+	w1, w2 := work(1<<12), work(1<<14)
+	ratio := float64(w2) / float64(w1)
+	if ratio > 8 {
+		t.Fatalf("work ratio %0.1f for 4× n: super n-log-n growth (w1=%d w2=%d)", ratio, w1, w2)
+	}
+}
+
+func TestConstantTimeCircle(t *testing.T) {
+	// h = n stress: every point is a hull vertex; every tree node's bridge
+	// is a distinct hull edge.
+	pts := prep(workload.Circle(8, 512))
+	m := pram.New()
+	res, err := ConstantTime(m, rng.New(2), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verify(t, pts, res)
+	if len(res.Edges) != len(res.Chain)-1 {
+		t.Fatalf("edges %d != chain %d − 1", len(res.Edges), len(res.Chain))
+	}
+	// The upper hull of circle points contains roughly the upper
+	// semicircle: a large fraction of n.
+	if len(res.Chain) < len(pts)/3 {
+		t.Fatalf("circle upper hull too small: %d of %d", len(res.Chain), len(pts))
+	}
+}
+
+func TestConstantTimeDeterministicSeed(t *testing.T) {
+	pts := prep(workload.Gaussian(4, 800))
+	m1, m2 := pram.New(), pram.New()
+	r1, err1 := ConstantTime(m1, rng.New(33), pts)
+	r2, err2 := ConstantTime(m2, rng.New(33), pts)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if len(r1.Edges) != len(r2.Edges) {
+		t.Fatal("same seed, different results")
+	}
+	if m1.Time() != m2.Time() || m1.Work() != m2.Work() {
+		t.Fatalf("same seed, different accounting: (%d,%d) vs (%d,%d)",
+			m1.Time(), m1.Work(), m2.Time(), m2.Work())
+	}
+}
+
+func TestConstantTimeOddSizes(t *testing.T) {
+	// Non-power-of-two sizes exercise the padded-tree clamping (empty
+	// right halves, ragged levels).
+	for _, n := range []int{2, 3, 4, 5, 7, 9, 17, 33, 100, 127, 129} {
+		pts := prep(workload.Gaussian(uint64(n), n+5))
+		m := pram.New()
+		res, err := ConstantTime(m, rng.New(uint64(n)*3+1), pts)
+		if err != nil {
+			t.Fatalf("n=%d: %v", len(pts), err)
+		}
+		verify(t, pts, res)
+	}
+}
+
+func TestLogStarOddSizes(t *testing.T) {
+	for _, n := range []int{65, 100, 257, 1000} {
+		pts := prep(workload.Disk(uint64(n), n))
+		m := pram.New()
+		res, err := LogStar(m, rng.New(uint64(n)+9), pts)
+		if err != nil {
+			t.Fatalf("n=%d: %v", len(pts), err)
+		}
+		verify(t, pts, res)
+	}
+}

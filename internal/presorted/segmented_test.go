@@ -1,0 +1,96 @@
+package presorted
+
+import (
+	"testing"
+
+	"inplacehull/internal/geom"
+	"inplacehull/internal/hull2d"
+	"inplacehull/internal/pram"
+	"inplacehull/internal/rng"
+	"inplacehull/internal/workload"
+)
+
+func TestSegmentedMatchesPerSegmentReference(t *testing.T) {
+	pts := prep(workload.Disk(21, 2000))
+	n := len(pts)
+	segs := []Segment{{0, n / 4}, {n / 4, n / 2}, {n / 2, n/2 + 1}, {n/2 + 1, n}}
+	m := pram.New()
+	res, err := Segmented(m, rng.New(5), pts, segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every segment's hull edges must appear in res.Edges, and every point
+	// must reference an edge of its own segment's hull.
+	edgeSet := map[geom.Edge]bool{}
+	for _, e := range res.Edges {
+		edgeSet[e] = true
+	}
+	total := 0
+	for _, sg := range segs {
+		want := hull2d.UpperHull(pts[sg.Lo:sg.Hi])
+		for i := 0; i+1 < len(want); i++ {
+			e := geom.Edge{U: want[i], W: want[i+1]}
+			if !edgeSet[e] {
+				t.Fatalf("segment [%d,%d): missing hull edge %v", sg.Lo, sg.Hi, e)
+			}
+			total++
+		}
+	}
+	if total != len(res.Edges) {
+		t.Fatalf("edge count %d != sum of segment hulls %d", len(res.Edges), total)
+	}
+	for p := 0; p < n; p++ {
+		ei := res.EdgeOf[p]
+		if segs[2].Lo <= p && p < segs[2].Hi {
+			if ei != -1 {
+				t.Fatalf("singleton segment point %d has edge %d", p, ei)
+			}
+			continue
+		}
+		if ei < 0 {
+			t.Fatalf("point %d has no edge", p)
+		}
+		e := res.Edges[ei]
+		if !e.Covers(pts[p].X) || geom.AboveLine(pts[p], e.U, e.W) {
+			t.Fatalf("point %d (%v) not under its edge %v", p, pts[p], e)
+		}
+	}
+}
+
+func TestSegmentedRejectsOverlap(t *testing.T) {
+	pts := prep(workload.Disk(1, 50))
+	m := pram.New()
+	if _, err := Segmented(m, rng.New(1), pts, []Segment{{0, 30}, {20, 50}}); err == nil {
+		t.Fatal("overlapping segments accepted")
+	}
+	if _, err := Segmented(m, rng.New(1), pts, []Segment{{10, 5}}); err == nil {
+		t.Fatal("inverted segment accepted")
+	}
+}
+
+func TestSegmentedConstantStepsInSegmentCount(t *testing.T) {
+	// Steps must not scale with the number of segments — all segments'
+	// trees share the same batch.
+	pts := prep(workload.Disk(9, 4096))
+	steps := func(nseg int) int64 {
+		n := len(pts)
+		var segs []Segment
+		per := n / nseg
+		for i := 0; i < nseg; i++ {
+			hi := (i + 1) * per
+			if i == nseg-1 {
+				hi = n
+			}
+			segs = append(segs, Segment{i * per, hi})
+		}
+		m := pram.New()
+		if _, err := Segmented(m, rng.New(3), pts, segs); err != nil {
+			t.Fatal(err)
+		}
+		return m.Time()
+	}
+	s1, s64 := steps(1), steps(64)
+	if float64(s64) > 2.0*float64(s1) {
+		t.Fatalf("steps scaled with segment count: %d → %d", s1, s64)
+	}
+}

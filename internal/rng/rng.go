@@ -1,0 +1,145 @@
+// Package rng provides a deterministic, splittable pseudo-random number
+// generator used by every randomized procedure in the library.
+//
+// The paper's algorithms are analyzed on a randomized CRCW PRAM where each
+// processor has an independent source of random bits. We model that with
+// splitmix64-seeded xoshiro256** streams: a parent stream can derive an
+// arbitrary number of statistically independent child streams, one per
+// virtual processor, so whole experiments are reproducible from one seed
+// regardless of scheduling order.
+package rng
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Stream is a xoshiro256** generator. The zero value is not usable; create
+// streams with New or Split.
+type Stream struct {
+	s0, s1, s2, s3 uint64
+}
+
+// splitmix64 advances *x and returns the next splitmix64 output. It is used
+// only for seeding, as recommended by the xoshiro authors.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a stream seeded deterministically from seed.
+func New(seed uint64) *Stream {
+	var s Stream
+	s.reseed(seed)
+	return &s
+}
+
+func (s *Stream) reseed(seed uint64) {
+	x := seed
+	s.s0 = splitmix64(&x)
+	s.s1 = splitmix64(&x)
+	s.s2 = splitmix64(&x)
+	s.s3 = splitmix64(&x)
+	// xoshiro must not be seeded with all zeros; splitmix64 of any seed
+	// yields that only with negligible probability, but guard anyway.
+	if s.s0|s.s1|s.s2|s.s3 == 0 {
+		s.s0 = 1
+	}
+}
+
+// Uint64 returns the next 64 uniformly random bits.
+func (s *Stream) Uint64() uint64 {
+	r := bits.RotateLeft64(s.s1*5, 7) * 9
+	t := s.s1 << 17
+	s.s2 ^= s.s0
+	s.s3 ^= s.s1
+	s.s1 ^= s.s2
+	s.s0 ^= s.s3
+	s.s2 ^= t
+	s.s3 = bits.RotateLeft64(s.s3, 45)
+	return r
+}
+
+// Split derives an independent child stream identified by id. Distinct ids
+// on the same parent give distinct, decorrelated streams; the parent state
+// is not advanced, so Split is safe to call concurrently with other Splits
+// only if externally synchronized (callers split before going parallel).
+func (s *Stream) Split(id uint64) *Stream {
+	// Mix the parent's state with the id through splitmix64 so that child
+	// streams differ in all state words even for adjacent ids.
+	x := s.s0 ^ bits.RotateLeft64(s.s2, 29) ^ (id * 0x9e3779b97f4a7c15)
+	var c Stream
+	c.reseed(splitmix64(&x) ^ id)
+	return &c
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (s *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's multiply-shift rejection method: unbiased and fast.
+	un := uint64(n)
+	v := s.Uint64()
+	hi, lo := bits.Mul64(v, un)
+	if lo < un {
+		thresh := -un % un
+		for lo < thresh {
+			v = s.Uint64()
+			hi, lo = bits.Mul64(v, un)
+		}
+	}
+	return int(hi)
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (s *Stream) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Bernoulli returns true with probability p (clamped to [0,1]).
+func (s *Stream) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.Float64() < p
+}
+
+// NormFloat64 returns a standard normal variate (Marsaglia polar method).
+func (s *Stream) NormFloat64() float64 {
+	for {
+		u := 2*s.Float64() - 1
+		v := 2*s.Float64() - 1
+		q := u*u + v*v
+		if q > 0 && q < 1 {
+			return u * math.Sqrt(-2*math.Log(q)/q)
+		}
+	}
+}
+
+// Perm returns a uniformly random permutation of [0, n) (Fisher–Yates).
+func (s *Stream) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle permutes xs uniformly at random in place.
+func Shuffle[T any](s *Stream, xs []T) {
+	for i := len(xs) - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}

@@ -1,0 +1,199 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDistinctSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams with different seeds matched %d/100 draws", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1, c2 := parent.Split(0), parent.Split(1)
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("adjacent child streams produced identical first draw")
+	}
+	// Splitting must not advance the parent.
+	p1 := New(7)
+	p1.Split(0)
+	p2 := New(7)
+	if p1.Uint64() != p2.Uint64() {
+		t.Fatal("Split advanced the parent stream")
+	}
+}
+
+func TestSplitDeterminism(t *testing.T) {
+	a := New(9).Split(123)
+	b := New(9).Split(123)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-id children diverged at draw %d", i)
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	s := New(3)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := s.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	s := New(11)
+	const n, trials = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[s.Intn(n)]++
+	}
+	// Chi-squared with 9 dof; 99.9% critical value ≈ 27.88.
+	exp := float64(trials) / n
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - exp
+		chi2 += d * d / exp
+	}
+	if chi2 > 27.88 {
+		t.Fatalf("Intn uniformity chi2 = %.2f > 27.88", chi2)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(5)
+	for i := 0; i < 10000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	s := New(6)
+	for i := 0; i < 100; i++ {
+		if s.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !s.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	s := New(8)
+	const trials = 200000
+	hits := 0
+	for i := 0; i < trials; i++ {
+		if s.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	rate := float64(hits) / trials
+	if math.Abs(rate-0.3) > 0.01 {
+		t.Fatalf("Bernoulli(0.3) empirical rate %.4f", rate)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	s := New(10)
+	const trials = 200000
+	var sum, sum2 float64
+	for i := 0; i < trials; i++ {
+		v := s.NormFloat64()
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / trials
+	variance := sum2/trials - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean %.4f", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Fatalf("normal variance %.4f", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	if err := quick.Check(func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		p := New(seed).Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	s := New(13)
+	xs := []int{1, 2, 2, 3, 5, 8, 13, 21}
+	orig := map[int]int{}
+	for _, x := range xs {
+		orig[x]++
+	}
+	Shuffle(s, xs)
+	got := map[int]int{}
+	for _, x := range xs {
+		got[x]++
+	}
+	for k, v := range orig {
+		if got[k] != v {
+			t.Fatalf("shuffle changed multiset: %v", xs)
+		}
+	}
+}
+
+func TestPermUniformityFirstPosition(t *testing.T) {
+	// Over many seeds, position 0 of Perm(4) should be ~uniform over 0..3.
+	counts := make([]int, 4)
+	for seed := uint64(0); seed < 4000; seed++ {
+		counts[New(seed).Perm(4)[0]]++
+	}
+	for i, c := range counts {
+		if c < 800 || c > 1200 {
+			t.Fatalf("Perm(4)[0]=%d occurred %d/4000 times", i, c)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+// Package sample implements the in-place random sample and random vote
+// procedures of §3.1. Both operate on an arbitrary *subset* of positions of
+// an input array — the members need not be contiguous, no element is moved,
+// and only Θ(k) work space is used; this is the in-place property the
+// paper's unsorted-input algorithms depend on.
+package sample
+
+import (
+	"sync/atomic"
+
+	"inplacehull/internal/pram"
+	"inplacehull/internal/rng"
+)
+
+// Attempts is the constant d of §3.1 step 4: how many write rounds each
+// colliding processor retries.
+const Attempts = 4
+
+// SpaceFactor: the work space for a sample of Θ(k) is 16k, as in the paper.
+const SpaceFactor = 16
+
+// Result is the outcome of a sampling round.
+type Result struct {
+	// Members are the sampled positions: a uniformly random subset of the
+	// live positions of expected size ≈ 2k (at least k/2 with probability
+	// ≥ 1 − 2(e/2)^−k, Lemma 3.1). Ordered by the work-space cell each
+	// member landed in.
+	Members []int
+	// Writers is how many processors attempted a write (the paper's m′).
+	Writers int
+	// Collisions counts claim attempts that hit an occupied or contested
+	// cell, across all rounds. Both fields feed experiment E5.
+	Collisions int
+}
+
+// Random draws an in-place random sample from the live positions of an
+// n-cell array. live(p) reports membership — the processor "standing by"
+// position p knows whether its element belongs to the current subproblem.
+// prob is the per-processor write probability (§3.1 step 1); use Sized for
+// the standard 2k/m schedule.
+//
+// Cost: O(Attempts) = O(1) steps with n processors, 16k work space.
+func Random(m *pram.Machine, rnd *rng.Stream, n, k int, prob float64, live func(p int) bool) Result {
+	if k < 1 {
+		k = 1
+	}
+	space := SpaceFactor * k
+	release := m.AllocScratch(int64(space))
+	defer release()
+
+	cells := make([]pram.ClaimCell, space)
+	pram.ResetClaims(cells)
+	frozen := make([]bool, space)
+	placed := make([]bool, n)
+	var writers, collisions atomic.Int64
+
+	base := rnd.Split(0x5a)
+	// Step 1: each live processor decides whether to attempt a write.
+	attempting := make([]bool, n)
+	m.Step(n, func(p int) bool {
+		if !live(p) {
+			return false
+		}
+		if base.Split(uint64(p)).Bernoulli(prob) {
+			attempting[p] = true
+			writers.Add(1)
+		}
+		return true
+	})
+
+	for round := 0; round < Attempts; round++ {
+		r := uint64(round)
+		// Step 2: each attempting processor claims a random cell. Claiming
+		// an occupied (frozen) cell is a collision; retry next round.
+		m.Step(n, func(p int) bool {
+			if !attempting[p] || placed[p] {
+				return false
+			}
+			slot := base.Split(uint64(p)*Attempts + r + 0x1000).Intn(space)
+			if frozen[slot] {
+				collisions.Add(1)
+				return true
+			}
+			cells[slot].Claim(int64(p))
+			return true
+		})
+		// Step 3: uncontested writers keep their cell; contested cells are
+		// released and all their claimants retry (§3.1 steps 3–4).
+		m.Step(space, func(s int) bool {
+			if frozen[s] {
+				return false
+			}
+			owner := cells[s].Owner()
+			if owner < 0 {
+				return false
+			}
+			if cells[s].Contested() {
+				collisions.Add(1)
+				cells[s].Reset()
+			} else {
+				frozen[s] = true
+				placed[owner] = true
+			}
+			return true
+		})
+	}
+
+	members := make([]int, 0, 2*k)
+	for s := range cells {
+		if frozen[s] {
+			members = append(members, int(cells[s].Owner()))
+		}
+	}
+	// Reading the sample out of the work space is one step of `space`
+	// processors in the model.
+	m.Charge(1, int64(space))
+	return Result{
+		Members:    members,
+		Writers:    int(writers.Load()),
+		Collisions: int(collisions.Load()),
+	}
+}
+
+// Sized draws a sample of expected size ~2k from the live positions, where
+// mLive is the number of live positions (§3.1's write probability 2k/m).
+func Sized(m *pram.Machine, rnd *rng.Stream, n, k, mLive int, live func(p int) bool) Result {
+	if mLive < 1 {
+		mLive = 1
+	}
+	prob := 2 * float64(k) / float64(mLive)
+	if prob > 1 {
+		prob = 1
+	}
+	return Random(m, rnd, n, k, prob, live)
+}
+
+// Vote picks one live position uniformly at random (Corollary 3.1): draw a
+// sample, then take the occupant of the first occupied work-space cell —
+// the paper's selection rule. The result is exactly uniform among live
+// positions: cell choices are uniform and independent of identity, and
+// contested cells are discarded entirely, so no identity-dependent
+// tie-break ever selects a winner. Finding the first occupied cell is
+// Observation 2.1 (constant time, charged accordingly inside Random).
+//
+// Returns −1 if the sample came back empty (probability ≤ (e/2)^−k over
+// the write lottery; callers retry with a fresh stream).
+func Vote(m *pram.Machine, rnd *rng.Stream, n, k, mLive int, live func(p int) bool) int {
+	res := Sized(m, rnd, n, k, mLive, live)
+	if len(res.Members) == 0 {
+		return -1
+	}
+	return res.Members[0]
+}

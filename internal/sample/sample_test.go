@@ -1,0 +1,160 @@
+package sample
+
+import (
+	"math"
+	"testing"
+
+	"inplacehull/internal/pram"
+	"inplacehull/internal/rng"
+)
+
+func TestRandomSampleMembersAreLive(t *testing.T) {
+	m := pram.New()
+	n := 10000
+	live := func(p int) bool { return p%3 == 0 }
+	res := Sized(m, rng.New(1), n, 32, n/3, live)
+	if len(res.Members) == 0 {
+		t.Fatal("empty sample")
+	}
+	seen := map[int]bool{}
+	for _, p := range res.Members {
+		if !live(p) {
+			t.Fatalf("sampled dead position %d", p)
+		}
+		if seen[p] {
+			t.Fatalf("position %d sampled twice", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestRandomSampleSize(t *testing.T) {
+	// Lemma 3.1: the sample has size ≥ k/2 w.p. ≥ 1 − 2(e/2)^−k and the
+	// number of writers is ≤ 4k w.h.p. Check over many trials.
+	m := pram.New()
+	n, k := 20000, 64
+	small, big := 0, 0
+	const trials = 50
+	for i := 0; i < trials; i++ {
+		res := Sized(m, rng.New(uint64(i)), n, k, n, func(p int) bool { return true })
+		if len(res.Members) < k/2 {
+			small++
+		}
+		if res.Writers > 4*k {
+			big++
+		}
+	}
+	if small > 1 {
+		t.Fatalf("%d/%d trials under k/2 members", small, trials)
+	}
+	if big > 1 {
+		t.Fatalf("%d/%d trials over 4k writers", big, trials)
+	}
+}
+
+func TestRandomSampleConstantSteps(t *testing.T) {
+	steps := func(n int) int64 {
+		m := pram.New()
+		Sized(m, rng.New(3), n, 16, n, func(p int) bool { return true })
+		return m.Time()
+	}
+	if s1, s2 := steps(1<<10), steps(1<<18); s2 != s1 {
+		t.Fatalf("sample steps changed with n: %d → %d", s1, s2)
+	}
+}
+
+func TestRandomSampleWorkspace(t *testing.T) {
+	m := pram.New()
+	k := 16
+	Sized(m, rng.New(4), 1<<14, k, 1<<14, func(p int) bool { return true })
+	if m.PeakSpace() != int64(SpaceFactor*k) {
+		t.Fatalf("work space %d, want %d", m.PeakSpace(), SpaceFactor*k)
+	}
+}
+
+func TestVoteUniformity(t *testing.T) {
+	// Chi-squared test: votes over 8 live positions must be uniform.
+	// 8000 trials, 7 dof, 99.9% critical value ≈ 24.32.
+	n := 64
+	live := func(p int) bool { return p%8 == 0 } // positions 0,8,…,56
+	counts := map[int]int{}
+	m := pram.New()
+	const trials = 8000
+	for i := 0; i < trials; i++ {
+		v := Vote(m, rng.New(uint64(i)+1000), n, 8, 8, live)
+		if v < 0 {
+			continue // empty-sample retry case; rare
+		}
+		if !live(v) {
+			t.Fatalf("vote for dead position %d", v)
+		}
+		counts[v]++
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total < trials*9/10 {
+		t.Fatalf("too many empty samples: %d/%d", trials-total, trials)
+	}
+	exp := float64(total) / 8
+	chi2 := 0.0
+	for p := 0; p < n; p += 8 {
+		d := float64(counts[p]) - exp
+		chi2 += d * d / exp
+	}
+	if chi2 > 24.32 {
+		t.Fatalf("vote not uniform: chi2 = %.2f (counts %v)", chi2, counts)
+	}
+}
+
+func TestVoteSingleLive(t *testing.T) {
+	m := pram.New()
+	for i := 0; i < 20; i++ {
+		v := Vote(m, rng.New(uint64(i)), 100, 4, 1, func(p int) bool { return p == 42 })
+		if v != 42 && v != -1 {
+			t.Fatalf("vote = %d, want 42", v)
+		}
+	}
+}
+
+func TestVoteAllDead(t *testing.T) {
+	m := pram.New()
+	if v := Vote(m, rng.New(9), 100, 4, 1, func(p int) bool { return false }); v != -1 {
+		t.Fatalf("vote among dead = %d", v)
+	}
+}
+
+func TestSizedClampsProbability(t *testing.T) {
+	// k much larger than the live count: probability clamps to 1 and the
+	// sample contains every live element that won a cell.
+	m := pram.New()
+	res := Sized(m, rng.New(10), 100, 64, 4, func(p int) bool { return p < 4 })
+	if len(res.Members) != 4 {
+		t.Fatalf("with p=1 and 1024 cells all 4 live elements should place; got %v", res.Members)
+	}
+}
+
+func TestSampleFailureProbabilityDecays(t *testing.T) {
+	// Empirical check of the Lemma 3.1 shape: failure (sample < k/2)
+	// rate at k=4 should exceed the rate at k=64.
+	rate := func(k int) float64 {
+		m := pram.New()
+		fail := 0
+		const trials = 200
+		for i := 0; i < trials; i++ {
+			res := Sized(m, rng.New(uint64(k*1000+i)), 4096, k, 4096, func(p int) bool { return true })
+			if len(res.Members) < k/2 {
+				fail++
+			}
+		}
+		return float64(fail) / trials
+	}
+	r4, r64 := rate(4), rate(64)
+	if r64 > r4 && r64 > 0.02 {
+		t.Fatalf("failure rate did not decay with k: k=4→%.3f k=64→%.3f", r4, r64)
+	}
+	if !(math.IsNaN(r4)) && r64 > 0.05 {
+		t.Fatalf("failure rate at k=64 too high: %.3f", r64)
+	}
+}

@@ -1,0 +1,82 @@
+// Package sweep implements failure sweeping (§2.3): "a technique for
+// improving the confidence bounds of an iterative or recursive randomized
+// algorithm". A randomized solver is run for its budgeted constant time on
+// n/m subproblems; the (whp ≤ n^(1/16)) subproblems that have not finished
+// are *swept* — their ids approximately compacted into an area of size
+// n^(1/4) (Lemma 2.1) — and each is then re-solved by a brute-force method
+// that may use n^(3/4) processors, which is affordable precisely because so
+// few problems failed.
+//
+// The package is generic over the problem kind: the hull algorithms pass
+// closures that re-solve a swept subproblem by brute force (Observation
+// 2.2/2.3 or Lemma 2.4).
+package sweep
+
+import (
+	"math"
+
+	"inplacehull/internal/compact"
+	"inplacehull/internal/pram"
+	"inplacehull/internal/rng"
+)
+
+// Report is the instrumentation record of one sweeping pass, consumed by
+// experiment E9.
+type Report struct {
+	// Problems is the number of subproblems q under watch.
+	Problems int
+	// Failures is how many had failed and were swept.
+	Failures int
+	// CompactionOK reports whether the approximate compaction of failure
+	// ids succeeded (it fails only if failures exceeded the area bound,
+	// probability ≤ 2^−n^(1/16) by the Chernoff argument of §2.3).
+	CompactionOK bool
+}
+
+// Area returns the sweep area for an instance of total size n: n^(1/4),
+// never below a small constant floor so tiny instances remain sweepable.
+func Area(n int) int {
+	a := int(math.Ceil(math.Pow(float64(n), 0.25)))
+	if a < 8 {
+		a = 8
+	}
+	return a
+}
+
+// Sweep compacts the ids j ∈ [0, q) with failed(j) into an area of size
+// Area(n) and invokes resolve(j) for each — resolve is expected to use its
+// n^(3/4)-processor brute-force budget and must not fail. Returns the
+// instrumentation report; if the compaction itself fails (more failures
+// than the area can hold) the caller falls back to resolving every failed
+// problem directly, which Sweep performs too (the confidence experiment
+// records the event).
+func Sweep(m *pram.Machine, rnd *rng.Stream, n, q int, failed func(j int) bool, resolve func(sub *pram.Machine, j int)) Report {
+	rep := Report{Problems: q}
+	area, ok := compact.CompactIntoArea(m, rnd.Split(0x57EE9), q, Area(n), failed)
+	rep.CompactionOK = ok
+	var fns []func(*pram.Machine)
+	if ok {
+		for _, j := range area {
+			if j >= 0 {
+				rep.Failures++
+				jj := int(j)
+				fns = append(fns, func(sub *pram.Machine) { resolve(sub, jj) })
+			}
+		}
+	} else {
+		// Compaction overflow: resolve everything that failed (the
+		// theoretical event has probability ≤ 2^−n^(1/16); the
+		// implementation stays correct regardless).
+		for j := 0; j < q; j++ {
+			if failed(j) {
+				rep.Failures++
+				jj := j
+				fns = append(fns, func(sub *pram.Machine) { resolve(sub, jj) })
+			}
+		}
+	}
+	// The swept problems are re-solved simultaneously, each with its own
+	// n^(3/4)-processor brute-force budget: concurrent composition.
+	m.Concurrent(fns...)
+	return rep
+}

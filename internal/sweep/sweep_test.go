@@ -1,0 +1,81 @@
+package sweep
+
+import (
+	"testing"
+
+	"inplacehull/internal/pram"
+	"inplacehull/internal/rng"
+)
+
+func TestSweepResolvesAllFailures(t *testing.T) {
+	m := pram.New()
+	failedSet := map[int]bool{3: true, 99: true, 512: true}
+	resolved := map[int]int{}
+	rep := Sweep(m, rng.New(1), 1<<16, 1000,
+		func(j int) bool { return failedSet[j] },
+		func(sub *pram.Machine, j int) { resolved[j]++ })
+	if rep.Failures != len(failedSet) {
+		t.Fatalf("Failures = %d, want %d", rep.Failures, len(failedSet))
+	}
+	if !rep.CompactionOK {
+		t.Fatal("compaction should succeed for 3 failures")
+	}
+	for j := range failedSet {
+		if resolved[j] != 1 {
+			t.Fatalf("failure %d resolved %d times", j, resolved[j])
+		}
+	}
+	if len(resolved) != len(failedSet) {
+		t.Fatalf("spurious resolutions: %v", resolved)
+	}
+}
+
+func TestSweepNoFailures(t *testing.T) {
+	m := pram.New()
+	rep := Sweep(m, rng.New(2), 1024, 100,
+		func(j int) bool { return false },
+		func(sub *pram.Machine, j int) { t.Fatal("resolve called with no failures") })
+	if rep.Failures != 0 || !rep.CompactionOK {
+		t.Fatalf("unexpected report %+v", rep)
+	}
+}
+
+func TestSweepOverflowFallsBack(t *testing.T) {
+	// More failures than the n^(1/4) area tolerates: the fallback must
+	// still resolve every failure (the theoretical event has probability
+	// 2^−n^(1/16); the implementation stays correct).
+	m := pram.New()
+	n, q := 256, 4096 // area ≈ 8·…; mark half of all problems failed
+	resolved := 0
+	rep := Sweep(m, rng.New(3), n, q,
+		func(j int) bool { return j%2 == 0 },
+		func(sub *pram.Machine, j int) { resolved++ })
+	if rep.CompactionOK {
+		t.Fatal("compaction should overflow")
+	}
+	if resolved != q/2 || rep.Failures != q/2 {
+		t.Fatalf("resolved %d failures, want %d", resolved, q/2)
+	}
+}
+
+func TestSweepConstantSteps(t *testing.T) {
+	steps := func(q int) int64 {
+		m := pram.New()
+		Sweep(m, rng.New(4), 1<<20, q,
+			func(j int) bool { return j == q/2 },
+			func(sub *pram.Machine, j int) {})
+		return m.Time()
+	}
+	if s1, s2 := steps(1<<8), steps(1<<16); s2 > s1 {
+		t.Fatalf("sweep steps grew with q: %d → %d", s1, s2)
+	}
+}
+
+func TestArea(t *testing.T) {
+	if Area(1<<16) != 16 {
+		t.Fatalf("Area(2^16) = %d, want 16", Area(1<<16))
+	}
+	if Area(10) != 8 {
+		t.Fatalf("Area floor: %d", Area(10))
+	}
+}

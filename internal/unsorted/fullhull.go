@@ -1,0 +1,71 @@
+package unsorted
+
+import (
+	"inplacehull/internal/geom"
+	"inplacehull/internal/pram"
+	"inplacehull/internal/rng"
+)
+
+// FullResult is the output of FullHull2D: the complete convex polygon.
+type FullResult struct {
+	// Polygon is the hull in counter-clockwise order starting at the
+	// lexicographically smallest vertex.
+	Polygon []geom.Point
+	// Upper and Lower are the two monotone chains the polygon was
+	// stitched from, with their per-point structure.
+	Upper, Lower Result2D
+}
+
+// FullHull2D computes the full convex hull of unsorted points by running
+// the §4.1 upper-hull algorithm twice — once on the points and once on
+// their y-negation (the lower hull is the reflected upper hull) — and
+// stitching the chains into a CCW polygon. Both runs are measured on the
+// same machine; the paper states its algorithms for upper hulls only
+// (footnote 3), this is the standard completion.
+func FullHull2D(m *pram.Machine, rnd *rng.Stream, pts []geom.Point) (FullResult, error) {
+	var out FullResult
+	up, err := Hull2D(m, rnd.Split(1), pts)
+	if err != nil {
+		return out, err
+	}
+	neg := make([]geom.Point, len(pts))
+	m.StepAll(len(pts), func(p int) { neg[p] = geom.Point{X: pts[p].X, Y: -pts[p].Y} })
+	lowNeg, err := Hull2D(m, rnd.Split(2), neg)
+	if err != nil {
+		return out, err
+	}
+	// Reflect the lower chain back.
+	low := lowNeg
+	low.Chain = make([]geom.Point, len(lowNeg.Chain))
+	m.StepAll(len(lowNeg.Chain), func(i int) {
+		low.Chain[i] = geom.Point{X: lowNeg.Chain[i].X, Y: -lowNeg.Chain[i].Y}
+	})
+	low.Edges = make([]geom.Edge, len(lowNeg.Edges))
+	for i, e := range lowNeg.Edges {
+		low.Edges[i] = geom.Edge{
+			U: geom.Point{X: e.U.X, Y: -e.U.Y},
+			W: geom.Point{X: e.W.X, Y: -e.W.Y},
+		}
+	}
+	out.Upper, out.Lower = up, low
+
+	// Stitch CCW: lower chain left→right, then upper chain right→left.
+	// Chains share their extreme x-coordinates; when the extreme column
+	// holds several points the chains end at different points and the
+	// connecting vertical edge appears implicitly.
+	poly := append([]geom.Point(nil), low.Chain...)
+	for i := len(up.Chain) - 1; i >= 0; i-- {
+		v := up.Chain[i]
+		if v == poly[len(poly)-1] || (len(poly) > 0 && v == poly[0]) {
+			continue // shared extreme vertex
+		}
+		poly = append(poly, v)
+	}
+	// Drop a duplicated closing vertex if the upper chain walked back to
+	// the start.
+	for len(poly) > 1 && poly[len(poly)-1] == poly[0] {
+		poly = poly[:len(poly)-1]
+	}
+	out.Polygon = poly
+	return out, nil
+}

@@ -1,0 +1,75 @@
+package unsorted
+
+import (
+	"testing"
+
+	"inplacehull/internal/geom"
+	"inplacehull/internal/hull2d"
+	"inplacehull/internal/pram"
+	"inplacehull/internal/rng"
+	"inplacehull/internal/workload"
+)
+
+func TestFullHull2DMatchesReference(t *testing.T) {
+	for _, gen := range []func(uint64, int) []geom.Point{
+		workload.Disk, workload.Circle, workload.Gaussian, workload.PolygonFew(24),
+	} {
+		pts := gen(5, 1500)
+		m := pram.New()
+		res, err := FullHull2D(m, rng.New(11), pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := hull2d.FullHull(pts)
+		if len(res.Polygon) != len(want) {
+			t.Fatalf("polygon has %d vertices, want %d", len(res.Polygon), len(want))
+		}
+		for i := range want {
+			if res.Polygon[i] != want[i] {
+				t.Fatalf("vertex %d: %v != %v", i, res.Polygon[i], want[i])
+			}
+		}
+	}
+}
+
+func TestFullHull2DIsConvexCCW(t *testing.T) {
+	pts := workload.Gaussian(7, 2000)
+	m := pram.New()
+	res, err := FullHull2D(m, rng.New(13), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Polygon
+	n := len(p)
+	if n < 3 {
+		t.Fatalf("degenerate polygon: %v", p)
+	}
+	for i := 0; i < n; i++ {
+		if geom.Orientation(p[i], p[(i+1)%n], p[(i+2)%n]) <= 0 {
+			t.Fatalf("polygon not strictly convex CCW at %d", i)
+		}
+	}
+	// Every input point inside or on the polygon.
+	for _, q := range pts {
+		for i := 0; i < n; i++ {
+			if geom.Orientation(p[i], p[(i+1)%n], q) < 0 {
+				t.Fatalf("point %v outside edge %d", q, i)
+			}
+		}
+	}
+}
+
+func TestFullHull2DBothChainsMeasured(t *testing.T) {
+	pts := workload.Disk(9, 800)
+	mFull := pram.New()
+	if _, err := FullHull2D(mFull, rng.New(3), pts); err != nil {
+		t.Fatal(err)
+	}
+	mUp := pram.New()
+	if _, err := Hull2D(mUp, rng.New(3).Split(1), pts); err != nil {
+		t.Fatal(err)
+	}
+	if mFull.Work() <= mUp.Work() {
+		t.Fatalf("full hull work %d should exceed single-chain work %d", mFull.Work(), mUp.Work())
+	}
+}

@@ -1,0 +1,196 @@
+package unsorted
+
+import (
+	"testing"
+	"testing/quick"
+
+	"inplacehull/internal/geom"
+	"inplacehull/internal/pram"
+	"inplacehull/internal/rng"
+	"inplacehull/internal/workload"
+)
+
+// verify2D asserts the standard validity oracle.
+func verify2D(t *testing.T, pts []geom.Point, res Result2D) {
+	t.Helper()
+	if err := CheckAgainstReference(pts, res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHull2DWorkloads(t *testing.T) {
+	for _, g := range workload.Gens2D {
+		for seed := uint64(1); seed <= 2; seed++ {
+			pts := g.Gen(seed, 1200)
+			m := pram.New()
+			res, err := Hull2D(m, rng.New(seed*13+3), pts)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", g.Name, seed, err)
+			}
+			verify2D(t, pts, res)
+		}
+	}
+}
+
+func TestHull2DTiny(t *testing.T) {
+	m := pram.New()
+	if res, err := Hull2D(m, rng.New(1), nil); err != nil || len(res.Chain) != 0 {
+		t.Fatalf("empty: %+v %v", res.Chain, err)
+	}
+	one := []geom.Point{{X: 3, Y: 4}}
+	if res, err := Hull2D(m, rng.New(1), one); err != nil || len(res.Chain) != 1 {
+		t.Fatalf("single: %+v %v", res.Chain, err)
+	}
+	two := []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 1}}
+	res, err := Hull2D(m, rng.New(1), two)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verify2D(t, two, res)
+}
+
+func TestHull2DDegenerate(t *testing.T) {
+	m := pram.New()
+	// Vertical column.
+	col := []geom.Point{{X: 1, Y: 0}, {X: 1, Y: 5}, {X: 1, Y: 2}}
+	res, err := Hull2D(m, rng.New(2), col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Chain) != 1 || res.Chain[0] != (geom.Point{X: 1, Y: 5}) {
+		t.Fatalf("column hull: %v", res.Chain)
+	}
+	// Duplicates.
+	dup := []geom.Point{{X: 0, Y: 0}, {X: 0, Y: 0}, {X: 2, Y: 1}, {X: 2, Y: 1}, {X: 1, Y: 5}}
+	res, err = Hull2D(m, rng.New(3), dup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verify2D(t, dup, res)
+}
+
+func TestHull2DCollinear(t *testing.T) {
+	pts := workload.Collinear(5, 300)
+	m := pram.New()
+	res, err := Hull2D(m, rng.New(4), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verify2D(t, pts, res)
+}
+
+func TestHull2DGrid(t *testing.T) {
+	pts := workload.Grid(6, 400)
+	m := pram.New()
+	res, err := Hull2D(m, rng.New(5), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verify2D(t, pts, res)
+}
+
+func TestHull2DTimeLogarithmic(t *testing.T) {
+	// Theorem 5's time claim: steps grow like log n, so going 2^10 → 2^16
+	// (64×) should grow steps by roughly 16/10, far below 4×.
+	steps := func(n int) int64 {
+		pts := workload.Disk(7, n)
+		m := pram.New()
+		if _, err := Hull2D(m, rng.New(7), pts); err != nil {
+			t.Fatal(err)
+		}
+		return m.Time()
+	}
+	s1, s2 := steps(1<<10), steps(1<<16)
+	if float64(s2) > 4*float64(s1) {
+		t.Fatalf("steps not logarithmic: %d → %d", s1, s2)
+	}
+}
+
+func TestHull2DWorkOutputSensitive(t *testing.T) {
+	// Theorem 5's work claim: at fixed n, work on h=16 input must be well
+	// below work on h=n input.
+	n := 1 << 14
+	work := func(pts []geom.Point) int64 {
+		m := pram.New()
+		if _, err := Hull2D(m, rng.New(11), pts); err != nil {
+			t.Fatal(err)
+		}
+		return m.Work()
+	}
+	wFew := work(workload.PolygonFew(16)(9, n))
+	wCircle := work(workload.Circle(9, n))
+	if float64(wFew)*1.5 > float64(wCircle) {
+		t.Fatalf("work not output-sensitive: h=16 work %d vs h=n work %d", wFew, wCircle)
+	}
+}
+
+func TestHull2DSplitDecay(t *testing.T) {
+	// Lemma 5.1 shape: max subproblem size must decay geometrically.
+	pts := workload.Circle(13, 1<<13)
+	m := pram.New()
+	res, err := Hull2D(m, rng.New(13), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Stats.MaxProblemSize
+	if len(tr) < 3 {
+		t.Fatalf("too few levels: %v", tr)
+	}
+	// After 8 levels the max subproblem must be at most half of n (the
+	// (15/16)^i bound gives 0.59·n; random splitters do much better).
+	if len(tr) > 8 && tr[8] > len(pts)/2 {
+		t.Fatalf("subproblems not decaying: %v", tr)
+	}
+	for i := 1; i < len(tr); i++ {
+		if tr[i] > tr[i-1] {
+			t.Fatalf("max subproblem grew at level %d: %v", i, tr)
+		}
+	}
+}
+
+func TestHull2DFallback(t *testing.T) {
+	// Force the fallback switch and verify the result is still correct.
+	pts := workload.Circle(17, 2000)
+	m := pram.New()
+	res, err := Hull2DOpts(m, rng.New(17), pts, Options{FallbackThreshold: 8, PhaseIters: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.FellBack {
+		t.Fatal("fallback did not trigger with threshold 8 on a circle")
+	}
+	verify2D(t, pts, res)
+}
+
+func TestHull2DDeterministic(t *testing.T) {
+	pts := workload.Gaussian(19, 900)
+	m1, m2 := pram.New(), pram.New()
+	r1, e1 := Hull2D(m1, rng.New(21), pts)
+	r2, e2 := Hull2D(m2, rng.New(21), pts)
+	if e1 != nil || e2 != nil {
+		t.Fatal(e1, e2)
+	}
+	if len(r1.Chain) != len(r2.Chain) || m1.Time() != m2.Time() || m1.Work() != m2.Work() {
+		t.Fatalf("nondeterministic: (%d,%d,%d) vs (%d,%d,%d)",
+			len(r1.Chain), m1.Time(), m1.Work(), len(r2.Chain), m2.Time(), m2.Work())
+	}
+}
+
+func TestHull2DQuick(t *testing.T) {
+	if err := quick.Check(func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw)%120 + 2
+		s := rng.New(seed)
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Point{X: float64(s.Intn(16)), Y: float64(s.Intn(16))}
+		}
+		m := pram.New()
+		res, err := Hull2D(m, s.Split(1), pts)
+		if err != nil {
+			return false
+		}
+		return CheckAgainstReference(pts, res) == nil
+	}, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,472 @@
+package unsorted
+
+import (
+	"fmt"
+	"math"
+
+	"inplacehull/internal/geom"
+	"inplacehull/internal/hull3d"
+	"inplacehull/internal/lp"
+	"inplacehull/internal/pram"
+	"inplacehull/internal/rng"
+	"inplacehull/internal/sweep"
+)
+
+// Result3D is the output of the unsorted 3-d hull algorithm (§4.3).
+//
+// Output contract: every point receives a *cap facet* — a triangle of
+// input points of its recursion region with no point of that region above
+// its plane, whose xy-projection covers the point. Caps found at the top
+// recursion level are facets of the global upper hull; caps found deeper
+// are facets of their region's hull, which by convexity lie on or below
+// the global envelope (the paper's preliminary version leaves the
+// region-boundary bookkeeping to the full version; see DESIGN.md §5 for
+// the discussion of this relaxation).
+type Result3D struct {
+	// Facets are the distinct cap facets found, in discovery order.
+	Facets []lp.Solution3D
+	// FacetOf maps each point to its cap in Facets (−1 for degenerate
+	// single-column inputs).
+	FacetOf []int
+	// Stats carries instrumentation for experiments E4 and E8.
+	Stats Stats3D
+}
+
+// Stats3D is the instrumentation record of one 3-d run.
+type Stats3D struct {
+	Levels         int
+	TotalDepth     int // includes the depth of the 2-d subcalls (§4.3 step 3)
+	BridgeFailures int
+	FellBack       bool
+	FallbackLevel  int
+	MaxProblemSize []int
+	LiveTrace      []int
+}
+
+// Options3D tunes the §4.3 constants; zero values select defaults.
+type Options3D struct {
+	// MaxLevels caps the 3-d recursion depth before the fallback path
+	// (the paper's i ≥ (log n)/64 with asymptotic constants). Default
+	// ⌈2·log₂ n⌉ + 8.
+	MaxLevels int
+	// FallbackThreshold plays the role of the paper's l ≥ n^(1/32)
+	// switch. Default: never.
+	FallbackThreshold int
+	// MaxK caps k = s^(1/4). Default 10.
+	MaxK int
+}
+
+func (o *Options3D) fill(n int) {
+	if o.MaxLevels <= 0 {
+		o.MaxLevels = 2*int(math.Ceil(math.Log2(float64(n+1)))) + 8
+	}
+	if o.FallbackThreshold <= 0 {
+		o.FallbackThreshold = n + 1
+	}
+	if o.MaxK <= 0 {
+		o.MaxK = 10
+	}
+}
+
+// Hull3D computes the upper-hull cap structure of unsorted 3-d points with
+// default options.
+func Hull3D(m *pram.Machine, rnd *rng.Stream, pts []geom.Point3) (Result3D, error) {
+	return Hull3DOpts(m, rnd, pts, Options3D{})
+}
+
+// Hull3DOpts runs the §4.3 recursion: random-vote splitter, 3-d in-place
+// facet finding, failure sweeping, then division of each subproblem into
+// four parts by the two silhouette ridges obtained from 2-d hull calls on
+// the facet-sheared xz and yz projections.
+func Hull3DOpts(m *pram.Machine, rnd *rng.Stream, pts []geom.Point3, opt Options3D) (Result3D, error) {
+	n := len(pts)
+	opt.fill(n)
+	res := Result3D{FacetOf: make([]int, n)}
+	for i := range res.FacetOf {
+		res.FacetOf[i] = -1
+	}
+	if n == 0 {
+		return res, nil
+	}
+
+	probNum := make([]int64, n)
+	capOf := make([]lp.Solution3D, n)
+	hasCap := make([]bool, n)
+	m.StepAll(n, func(p int) { probNum[p] = 1 })
+
+	problems := []problem{{num: 1, live: n}}
+	facetsFound := 0
+
+	for level := 0; len(problems) > 0; level++ {
+		res.Stats.Levels++
+		res.Stats.TotalDepth++
+		maxSz, liveTotal := 0, 0
+		for _, pr := range problems {
+			if pr.live > maxSz {
+				maxSz = pr.live
+			}
+			liveTotal += pr.live
+		}
+		res.Stats.MaxProblemSize = append(res.Stats.MaxProblemSize, maxSz)
+		res.Stats.LiveTrace = append(res.Stats.LiveTrace, liveTotal)
+
+		idxOf := map[int64]int{}
+		for i, pr := range problems {
+			idxOf[pr.num] = i
+		}
+		probID := func(p int) int {
+			if probNum[p] == 0 {
+				return -1
+			}
+			if i, ok := idxOf[probNum[p]]; ok {
+				return i
+			}
+			return -1
+		}
+
+		// Fallback (§4.3 step 4): depth cap or l over threshold →
+		// Reif–Sen substitute (see DESIGN.md): sequential randomized
+		// incremental hull per remaining problem, composed concurrently.
+		l := facetsFound + len(problems)
+		if level >= opt.MaxLevels || l >= opt.FallbackThreshold {
+			res.Stats.FellBack = true
+			res.Stats.FallbackLevel = level
+			if err := fallback3D(m, rnd.Split(0x3FB), pts, probNum, problems, capOf, hasCap); err != nil {
+				return res, err
+			}
+			break
+		}
+
+		// Step 1: random vote splitter per problem.
+		splitters, err := batchVote(m, rnd.Split(uint64(level)*5+1), n, len(problems), probID,
+			func(i int) int { return problems[i].live })
+		if err != nil {
+			return res, err
+		}
+
+		// Step 1b: 3-d in-place facet finding, all problems in one batch.
+		lps := make([]lp.Problem3D, len(problems))
+		for i, pr := range problems {
+			k := int(math.Sqrt(math.Sqrt(float64(pr.live)))) + 1
+			if k > opt.MaxK {
+				k = opt.MaxK
+			}
+			lps[i] = lp.Problem3D{Splitter: pts[splitters[i]], K: k, MLive: pr.live}
+		}
+		results := lp.BatchBridge3D(m, rnd.Split(uint64(level)*5+2), n,
+			func(v int) geom.Point3 { return pts[v] }, probID, lps)
+
+		// Step 2: failure sweeping.
+		rep := sweep.Sweep(m, rnd.Split(uint64(level)*5+3), n, len(problems),
+			func(i int) bool { return !results[i].OK },
+			func(sub *pram.Machine, i int) {
+				sol, err := bruteFacet(rnd.Split(uint64(level)*7+uint64(i)), pts, probNum, problems[i].num, pts[splitters[i]])
+				if err == nil {
+					results[i].Sol = sol
+					results[i].OK = true
+				}
+				sub.Charge(1, int64(math.Ceil(math.Pow(float64(n), 0.75))))
+			})
+		res.Stats.BridgeFailures += rep.Failures
+
+		// Step 3: division. For every problem concurrently: shear by the
+		// facet plane, run the 2-d algorithm on the xz' and yz'
+		// projections, and classify every live point by the vertical
+		// planes of its covering silhouette edges.
+		type div struct {
+			ridgeX, ridgeY Result2D
+			perm           []int // problem-local index → global point index
+			err            error
+			depth          int
+		}
+		divs := make([]div, len(problems))
+		var fns []func(*pram.Machine)
+		for i := range problems {
+			ii := i
+			fns = append(fns, func(sub *pram.Machine) {
+				sol := results[ii].Sol
+				num := problems[ii].num
+				var local []int
+				for p := 0; p < n; p++ {
+					if probNum[p] == num {
+						local = append(local, p)
+					}
+				}
+				divs[ii].perm = local
+				if sol.Degenerate() {
+					return // vertical column: everything dies below its top
+				}
+				pl := geom.PlaneThrough(sol.A, sol.B, sol.C)
+				shear := func(p geom.Point3) float64 { return p.Z - pl.Eval(p.X, p.Y) }
+				px := make([]geom.Point, len(local))
+				py := make([]geom.Point, len(local))
+				sub.StepAll(len(local), func(q int) {
+					z := shear(pts[local[q]])
+					px[q] = geom.Point{X: pts[local[q]].X, Y: z}
+					py[q] = geom.Point{X: pts[local[q]].Y, Y: z}
+				})
+				rx, err := Hull2DOpts(sub, rnd.Split(uint64(level)*11+uint64(ii)*2), px, Options{})
+				if err != nil {
+					divs[ii].err = err
+					return
+				}
+				ry, err := Hull2DOpts(sub, rnd.Split(uint64(level)*11+uint64(ii)*2+1), py, Options{})
+				if err != nil {
+					divs[ii].err = err
+					return
+				}
+				divs[ii].ridgeX, divs[ii].ridgeY = rx, ry
+				dx, dy := rx.Stats.Levels, ry.Stats.Levels
+				if dy > dx {
+					dx = dy
+				}
+				divs[ii].depth = dx
+			})
+		}
+		m.Concurrent(fns...)
+		maxDepth := 0
+		for i := range divs {
+			if divs[i].err != nil {
+				return res, divs[i].err
+			}
+			if divs[i].depth > maxDepth {
+				maxDepth = divs[i].depth
+			}
+		}
+		res.Stats.TotalDepth += maxDepth
+
+		// Step 5: kill and renumber (one step over the array).
+		m.Step(n, func(p int) bool {
+			i := probID(p)
+			if i < 0 {
+				return false
+			}
+			sol := results[i].Sol
+			if sol.Degenerate() {
+				capOf[p], hasCap[p] = sol, true
+				probNum[p] = 0
+				return true
+			}
+			if underFacet(sol, pts[p]) {
+				capOf[p], hasCap[p] = sol, true
+				probNum[p] = 0
+				return true
+			}
+			// Quadrant classification (§4.3 step 5): the full version of
+			// the paper classifies against the silhouette ridges computed
+			// above; Lemma 6.1's progress analysis, however, is stated for
+			// the coordinate quadrants of the xz- and yz-planes through
+			// the *splitter*, which is what this preliminary-version
+			// reproduction uses (the ridge subcalls still contribute the
+			// work/depth profile and their own caps). See DESIGN.md §5.
+			sx, sy := lps[i].Splitter.X, lps[i].Splitter.Y
+			child := int64(0)
+			if pts[p].X >= sx {
+				child |= 1
+			}
+			if pts[p].Y >= sy {
+				child |= 2
+			}
+			probNum[p] = problems[i].num*4 - 3 + child
+			return true
+		})
+
+		// Rebuild the problem list; singletons and pairs resolve to caps
+		// directly (their points are hull vertices of their column).
+		counts := map[int64]int{}
+		m.Charge(int64(math.Ceil(math.Log2(float64(n+1)))), int64(n))
+		for p := 0; p < n; p++ {
+			if probNum[p] != 0 {
+				counts[probNum[p]]++
+			}
+		}
+		for i := range results {
+			if !results[i].Sol.Degenerate() {
+				facetsFound++
+			}
+		}
+		problems = problems[:0]
+		for num, c := range counts {
+			if c <= 3 {
+				continue // resolved below
+			}
+			problems = append(problems, problem{num: num, live: c})
+		}
+		sortProblems(problems)
+		// Tiny problems (≤3 live points): their top structure is the cap.
+		m.Step(n, func(p int) bool {
+			if probNum[p] == 0 {
+				return false
+			}
+			if counts[probNum[p]] <= 3 {
+				// The points of a ≤3-point problem cap each other: use the
+				// degenerate-or-triangle cap of the set.
+				capOf[p] = tinyCap(pts, probNum, p)
+				hasCap[p] = true
+				probNum[p] = 0
+			}
+			return true
+		})
+	}
+
+	return assemble3D(pts, capOf, hasCap, res)
+}
+
+// underFacet reports whether p's xy lies inside (or on) the facet's
+// xy-triangle. Points below the supporting plane inside the triangle are
+// exactly the points "under the solution facet" (§4.3 step 5).
+func underFacet(sol lp.Solution3D, p geom.Point3) bool {
+	a, b, c := pxy3(sol.A), pxy3(sol.B), pxy3(sol.C)
+	if geom.Orientation(a, b, c) < 0 {
+		b, c = c, b
+	}
+	q := pxy3(p)
+	return geom.Orientation(a, b, q) >= 0 &&
+		geom.Orientation(b, c, q) >= 0 &&
+		geom.Orientation(c, a, q) >= 0
+}
+
+func pxy3(p geom.Point3) geom.Point { return geom.Point{X: p.X, Y: p.Y} }
+
+// tinyCap returns the cap of a ≤3-point problem containing point p: the
+// triangle of its members (or the degenerate top for 1–2 members).
+func tinyCap(pts []geom.Point3, probNum []int64, p int) lp.Solution3D {
+	num := probNum[p]
+	var mem []geom.Point3
+	for q := range pts {
+		if probNum[q] == num {
+			mem = append(mem, pts[q])
+		}
+	}
+	switch len(mem) {
+	case 1:
+		return lp.Solution3D{A: mem[0], B: mem[0], C: mem[0]}
+	case 2:
+		top := mem[0]
+		if mem[1].Z > top.Z {
+			top = mem[1]
+		}
+		return lp.Solution3D{A: mem[0], B: mem[1], C: top}
+	default:
+		return lp.Solution3D{A: mem[0], B: mem[1], C: mem[2]}
+	}
+}
+
+// bruteFacet is the failure-sweeping brute force: the exact upper facet
+// above the splitter, from the incremental hull of the problem's live
+// points.
+func bruteFacet(rnd *rng.Stream, pts []geom.Point3, probNum []int64, num int64, splitter geom.Point3) (lp.Solution3D, error) {
+	var local []geom.Point3
+	for p := range pts {
+		if probNum[p] == num {
+			local = append(local, pts[p])
+		}
+	}
+	if len(local) < 4 {
+		return tinyOf(local), nil
+	}
+	h, err := hull3d.Incremental(rnd, local)
+	if err != nil {
+		// Degenerate (coplanar) subproblem: top structure caps everything.
+		return tinyOf(local), nil
+	}
+	up := h.UpperFaces()
+	i := hull3d.FaceAbove(local, up, splitter.X, splitter.Y)
+	if i < 0 {
+		return tinyOf(local), nil
+	}
+	f := up[i]
+	return lp.Solution3D{A: local[f.A], B: local[f.B], C: local[f.C]}, nil
+}
+
+func tinyOf(mem []geom.Point3) lp.Solution3D {
+	top := mem[0]
+	for _, p := range mem {
+		if p.Z > top.Z {
+			top = p
+		}
+	}
+	return lp.Solution3D{A: top, B: top, C: top}
+}
+
+// fallback3D resolves every remaining problem with the sequential
+// incremental hull (the Reif–Sen substitute; see DESIGN.md): each problem
+// is charged w = O(s log s) work and its facets cap its own points.
+func fallback3D(m *pram.Machine, rnd *rng.Stream, pts []geom.Point3, probNum []int64, problems []problem, capOf []lp.Solution3D, hasCap []bool) error {
+	var fns []func(*pram.Machine)
+	for i := range problems {
+		pr := problems[i]
+		fns = append(fns, func(sub *pram.Machine) {
+			var local []int
+			for p := range pts {
+				if probNum[p] == pr.num {
+					local = append(local, p)
+				}
+			}
+			lpts := make([]geom.Point3, len(local))
+			for q, p := range local {
+				lpts[q] = pts[p]
+			}
+			s := float64(len(local))
+			sub.Charge(int64(math.Ceil(math.Log2(s+2))), int64(math.Ceil(s*math.Log2(s+2))))
+			if len(local) < 4 {
+				top := tinyOf(lpts)
+				for _, p := range local {
+					capOf[p], hasCap[p] = top, true
+					probNum[p] = 0
+				}
+				return
+			}
+			h, err := hull3d.Incremental(rnd.Split(uint64(pr.num)), lpts)
+			if err != nil {
+				top := tinyOf(lpts)
+				for _, p := range local {
+					capOf[p], hasCap[p] = top, true
+					probNum[p] = 0
+				}
+				return
+			}
+			up := h.UpperFaces()
+			for q, p := range local {
+				fi := hull3d.FaceAbove(lpts, up, lpts[q].X, lpts[q].Y)
+				if fi < 0 {
+					capOf[p] = tinyOf(lpts)
+				} else {
+					f := up[fi]
+					capOf[p] = lp.Solution3D{A: lpts[f.A], B: lpts[f.B], C: lpts[f.C]}
+				}
+				hasCap[p] = true
+				probNum[p] = 0
+			}
+		})
+	}
+	m.Concurrent(fns...)
+	return nil
+}
+
+func sortProblems(ps []problem) {
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && ps[j].num < ps[j-1].num; j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
+		}
+	}
+}
+
+// assemble3D deduplicates the caps into the facet list.
+func assemble3D(pts []geom.Point3, capOf []lp.Solution3D, hasCap []bool, res Result3D) (Result3D, error) {
+	idx := map[lp.Solution3D]int{}
+	for p := range pts {
+		if !hasCap[p] {
+			return res, fmt.Errorf("unsorted3d: point %d (%v) has no cap", p, pts[p])
+		}
+		c := capOf[p]
+		i, ok := idx[c]
+		if !ok {
+			i = len(res.Facets)
+			idx[c] = i
+			res.Facets = append(res.Facets, c)
+		}
+		res.FacetOf[p] = i
+	}
+	return res, nil
+}

@@ -1,0 +1,103 @@
+package unsorted
+
+import (
+	"fmt"
+
+	"inplacehull/internal/geom"
+	"inplacehull/internal/hull2d"
+)
+
+// CheckAgainstReference verifies a Result2D against the monotone-chain
+// reference hull. The unsorted algorithm's output may legitimately differ
+// from the strict reference in two degenerate ways: collinear hull edges
+// can be reported subdivided (their interior points are genuine support
+// points), and a vertical column at the extreme x may be represented as a
+// *vertex cap* (EdgeOf = −1, the point's column top) rather than as a
+// chain vertex — inputs with duplicate x-coordinates are outside the
+// paper's general-position assumption, and the cap representation still
+// gives every point a correct supporting pointer. The check therefore
+// requires:
+//
+//  1. every chain vertex lies ON the reference hull;
+//  2. every reference vertex strictly inside the chain's x-span appears
+//     in the chain;
+//  3. every point with an edge pointer is covered by and not above its
+//     edge;
+//  4. every point without an edge pointer lies at or below the top of a
+//     vertical column whose top is on the reference hull.
+//
+// It is exported for use by the example programs and the benchmark
+// harness as the standard validity oracle.
+func CheckAgainstReference(pts []geom.Point, res Result2D) error {
+	want := hull2d.UpperHull(pts)
+	if len(want) == 0 {
+		return nil
+	}
+	if len(want) == 1 {
+		if len(res.Chain) != 1 || res.Chain[0] != want[0] {
+			return fmt.Errorf("degenerate hull: got %v want %v", res.Chain, want)
+		}
+		return nil
+	}
+	onReference := func(v geom.Point) bool {
+		for i := 0; i+1 < len(want); i++ {
+			if want[i].X <= v.X && v.X <= want[i+1].X {
+				return v == want[i] || v == want[i+1] ||
+					geom.Orientation(want[i], want[i+1], v) == 0
+			}
+		}
+		return v == want[0] || v == want[len(want)-1]
+	}
+	// 1. Chain vertices on the reference hull.
+	for _, v := range res.Chain {
+		if !onReference(v) {
+			return fmt.Errorf("chain vertex %v not on reference hull", v)
+		}
+	}
+	if len(res.Chain) == 0 {
+		return fmt.Errorf("empty chain for %d points", len(pts))
+	}
+	lo, hi := res.Chain[0].X, res.Chain[len(res.Chain)-1].X
+	// 2. Interior reference vertices present, in order.
+	pos := 0
+	for _, v := range want {
+		if v.X <= lo || v.X >= hi {
+			continue
+		}
+		found := false
+		for pos < len(res.Chain) {
+			if res.Chain[pos] == v {
+				found = true
+				break
+			}
+			pos++
+		}
+		if !found {
+			return fmt.Errorf("reference vertex %v missing from chain", v)
+		}
+	}
+	// 3 + 4. Per-point pointers.
+	colTop := map[float64]geom.Point{}
+	for _, p := range pts {
+		if t, ok := colTop[p.X]; !ok || p.Y > t.Y {
+			colTop[p.X] = p
+		}
+	}
+	for p, ei := range res.EdgeOf {
+		if ei >= 0 {
+			e := res.Edges[ei]
+			if !e.Covers(pts[p].X) {
+				return fmt.Errorf("point %v not covered by its edge %v", pts[p], e)
+			}
+			if geom.AboveLine(pts[p], e.U, e.W) {
+				return fmt.Errorf("point %v above its edge %v", pts[p], e)
+			}
+			continue
+		}
+		top := colTop[pts[p].X]
+		if !onReference(top) {
+			return fmt.Errorf("point %v has no edge and its column top %v is not on the hull", pts[p], top)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+// Package viz renders point sets and hulls to standalone SVG — a small
+// inspection aid for cmd/hulldemo (-svg flag) and the examples.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"inplacehull/internal/geom"
+)
+
+// SVG2D renders the points and an upper-hull (or full-hull) chain into an
+// SVG document string. The viewport is fitted to the data with a small
+// margin; points are dots, the chain is a polyline, chain vertices are
+// emphasized.
+func SVG2D(pts []geom.Point, chain []geom.Point, closed bool) string {
+	const w, h, margin = 800.0, 600.0, 24.0
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, p := range pts {
+		minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+		minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+	}
+	if len(pts) == 0 {
+		minX, minY, maxX, maxY = 0, 0, 1, 1
+	}
+	spanX, spanY := maxX-minX, maxY-minY
+	if spanX == 0 {
+		spanX = 1
+	}
+	if spanY == 0 {
+		spanY = 1
+	}
+	// SVG y grows downward: flip.
+	tx := func(p geom.Point) (float64, float64) {
+		return margin + (p.X-minX)/spanX*(w-2*margin),
+			h - margin - (p.Y-minY)/spanY*(h-2*margin)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%g" height="%g" viewBox="0 0 %g %g">`+"\n", w, h, w, h)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	for _, p := range pts {
+		x, y := tx(p)
+		fmt.Fprintf(&b, `<circle cx="%.2f" cy="%.2f" r="1.6" fill="#778"/>`+"\n", x, y)
+	}
+	if len(chain) > 1 {
+		b.WriteString(`<polyline fill="none" stroke="#c33" stroke-width="1.8" points="`)
+		for _, p := range chain {
+			x, y := tx(p)
+			fmt.Fprintf(&b, "%.2f,%.2f ", x, y)
+		}
+		if closed {
+			x, y := tx(chain[0])
+			fmt.Fprintf(&b, "%.2f,%.2f", x, y)
+		}
+		b.WriteString(`"/>` + "\n")
+	}
+	for _, p := range chain {
+		x, y := tx(p)
+		fmt.Fprintf(&b, `<circle cx="%.2f" cy="%.2f" r="3.2" fill="#c33"/>`+"\n", x, y)
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}

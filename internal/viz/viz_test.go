@@ -1,0 +1,49 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"inplacehull/internal/geom"
+)
+
+func TestSVG2DBasic(t *testing.T) {
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 1}, {X: 2, Y: 0}}
+	chain := []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 1}, {X: 2, Y: 0}}
+	svg := SVG2D(pts, chain, false)
+	if !strings.HasPrefix(svg, "<svg") || !strings.Contains(svg, "</svg>") {
+		t.Fatal("not an SVG document")
+	}
+	if strings.Count(svg, "<circle") != len(pts)+len(chain) {
+		t.Fatalf("expected %d circles", len(pts)+len(chain))
+	}
+	if !strings.Contains(svg, "<polyline") {
+		t.Fatal("missing hull polyline")
+	}
+}
+
+func TestSVG2DClosed(t *testing.T) {
+	chain := []geom.Point{{X: 0, Y: 0}, {X: 2, Y: 0}, {X: 1, Y: 2}}
+	svg := SVG2D(chain, chain, true)
+	// Closing repeats the first vertex in the polyline points list.
+	poly := svg[strings.Index(svg, "<polyline"):]
+	poly = poly[:strings.Index(poly, "/>")]
+	if strings.Count(poly, ",") != 4 {
+		t.Fatalf("closed polyline should have 4 coordinate pairs: %s", poly)
+	}
+}
+
+func TestSVG2DEmpty(t *testing.T) {
+	svg := SVG2D(nil, nil, false)
+	if !strings.Contains(svg, "</svg>") {
+		t.Fatal("empty input must still render a document")
+	}
+}
+
+func TestSVG2DDegenerateSpan(t *testing.T) {
+	pts := []geom.Point{{X: 5, Y: 5}, {X: 5, Y: 5}}
+	svg := SVG2D(pts, nil, false)
+	if strings.Contains(svg, "NaN") || strings.Contains(svg, "Inf") {
+		t.Fatal("degenerate span produced non-finite coordinates")
+	}
+}

@@ -1,0 +1,271 @@
+// Package workload generates the point distributions the experiments run
+// on. The paper's bounds are output-size sensitive, so the generators are
+// organized by the hull size h they induce:
+//
+//	Circle      h = n            (every point extreme)
+//	Onion       h = n/layers     (controllable, evenly layered)
+//	Disk        h ≈ n^(1/3)      (uniform in a disk)
+//	Gaussian    h ≈ O(√log n)    (bivariate normal)
+//	PolygonFew  h = k exactly    (k hull vertices, rest deep inside)
+//	Collinear   degenerate stress (many collinear points)
+//
+// and in 3-d:
+//
+//	Ball        h ≈ O(n^(1/2))   (uniform in a ball)
+//	Sphere      h ≈ n            (on the sphere)
+//	Cap         upper-hemisphere cap, dense upper hull
+//	MomentCurve h = n            (points on the 3-d moment curve)
+//	BallFew     h = k-ish        (k extreme sites, rest interior)
+//
+// All generators are deterministic functions of (seed, n) via internal/rng.
+package workload
+
+import (
+	"math"
+	"sort"
+
+	"inplacehull/internal/geom"
+	"inplacehull/internal/rng"
+)
+
+// Gen2D is a named 2-d point generator.
+type Gen2D struct {
+	Name string
+	// ExpectedH describes the hull-size regime, for reports.
+	ExpectedH string
+	Gen       func(seed uint64, n int) []geom.Point
+}
+
+// Circle places n points on the unit circle: h = n.
+func Circle(seed uint64, n int) []geom.Point {
+	s := rng.New(seed)
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		// Random angles (not a regular grid) so x-coordinates are distinct
+		// with probability 1 and inputs are not accidentally sorted.
+		th := s.Float64() * 2 * math.Pi
+		pts[i] = geom.Point{X: math.Cos(th), Y: math.Sin(th)}
+	}
+	return pts
+}
+
+// Disk places n points uniformly in the unit disk: E[h] = Θ(n^(1/3)).
+func Disk(seed uint64, n int) []geom.Point {
+	s := rng.New(seed)
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		r := math.Sqrt(s.Float64())
+		th := s.Float64() * 2 * math.Pi
+		pts[i] = geom.Point{X: r * math.Cos(th), Y: r * math.Sin(th)}
+	}
+	return pts
+}
+
+// Gaussian places n bivariate normal points: E[h] = Θ(√log n).
+func Gaussian(seed uint64, n int) []geom.Point {
+	s := rng.New(seed)
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: s.NormFloat64(), Y: s.NormFloat64()}
+	}
+	return pts
+}
+
+// PolygonFew places k vertices of a regular-ish convex polygon of radius 1
+// (jittered so coordinates are in general position) and n−k points well
+// inside (radius ≤ 1/2): the hull has exactly k vertices, the regime where
+// output-sensitive algorithms shine.
+func PolygonFew(k int) func(seed uint64, n int) []geom.Point {
+	return func(seed uint64, n int) []geom.Point {
+		s := rng.New(seed)
+		if k > n {
+			k = n
+		}
+		pts := make([]geom.Point, n)
+		for i := 0; i < k; i++ {
+			th := (float64(i) + 0.1*s.Float64()) / float64(k) * 2 * math.Pi
+			pts[i] = geom.Point{X: math.Cos(th), Y: math.Sin(th)}
+		}
+		for i := k; i < n; i++ {
+			r := 0.5 * math.Sqrt(s.Float64())
+			th := s.Float64() * 2 * math.Pi
+			pts[i] = geom.Point{X: r * math.Cos(th), Y: r * math.Sin(th)}
+		}
+		rng.Shuffle(s, pts)
+		return pts
+	}
+}
+
+// Onion places n points on ⌈n/perLayer⌉ concentric circles, producing a
+// layered ("onion") structure that stresses recursive peeling.
+func Onion(perLayer int) func(seed uint64, n int) []geom.Point {
+	return func(seed uint64, n int) []geom.Point {
+		s := rng.New(seed)
+		pts := make([]geom.Point, n)
+		layers := (n + perLayer - 1) / perLayer
+		for i := range pts {
+			layer := i / perLayer
+			r := 1.0 - float64(layer)/(2*float64(layers))
+			th := s.Float64() * 2 * math.Pi
+			pts[i] = geom.Point{X: r * math.Cos(th), Y: r * math.Sin(th)}
+		}
+		rng.Shuffle(s, pts)
+		return pts
+	}
+}
+
+// Collinear places most points on a line with a few off-line points: a
+// degeneracy stress test for the exact predicates.
+func Collinear(seed uint64, n int) []geom.Point {
+	s := rng.New(seed)
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		x := s.Float64() * 10
+		if i%10 == 0 {
+			pts[i] = geom.Point{X: x, Y: 2*x + 1 + s.Float64()}
+		} else {
+			pts[i] = geom.Point{X: x, Y: 2*x + 1}
+		}
+	}
+	return pts
+}
+
+// Grid places points on a √n×√n integer grid (duplicates of coordinates,
+// many collinear triples).
+func Grid(seed uint64, n int) []geom.Point {
+	s := rng.New(seed)
+	side := int(math.Ceil(math.Sqrt(float64(n))))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: float64(s.Intn(side)), Y: float64(s.Intn(side))}
+	}
+	return pts
+}
+
+// Sorted returns a copy of pts sorted by increasing x (ties by y) — the
+// "pre-sorted input" of Section 2.
+func Sorted(pts []geom.Point) []geom.Point {
+	s := make([]geom.Point, len(pts))
+	copy(s, pts)
+	sort.Slice(s, func(i, j int) bool { return geom.LexLess(s[i], s[j]) })
+	return s
+}
+
+// Gens2D is the registry of 2-d generators used by the experiment harness.
+var Gens2D = []Gen2D{
+	{Name: "circle", ExpectedH: "h=n", Gen: Circle},
+	{Name: "disk", ExpectedH: "h≈n^(1/3)", Gen: Disk},
+	{Name: "gauss", ExpectedH: "h≈√log n", Gen: Gaussian},
+	{Name: "poly16", ExpectedH: "h=16", Gen: PolygonFew(16)},
+	{Name: "poly64", ExpectedH: "h=64", Gen: PolygonFew(64)},
+	{Name: "onion64", ExpectedH: "layered", Gen: Onion(64)},
+}
+
+// ---- 3-d generators ----
+
+// Gen3D is a named 3-d point generator.
+type Gen3D struct {
+	Name      string
+	ExpectedH string
+	Gen       func(seed uint64, n int) []geom.Point3
+}
+
+// Ball places n points uniformly in the unit ball: E[h] = Θ(√n)… with the
+// hull size growing polynomially but sublinearly.
+func Ball(seed uint64, n int) []geom.Point3 {
+	s := rng.New(seed)
+	pts := make([]geom.Point3, n)
+	for i := range pts {
+		pts[i] = randBall(s)
+	}
+	return pts
+}
+
+func randBall(s *rng.Stream) geom.Point3 {
+	for {
+		p := geom.Point3{X: 2*s.Float64() - 1, Y: 2*s.Float64() - 1, Z: 2*s.Float64() - 1}
+		if p.Dot(p) <= 1 {
+			return p
+		}
+	}
+}
+
+// Sphere places n points on the unit sphere: h = Θ(n).
+func Sphere(seed uint64, n int) []geom.Point3 {
+	s := rng.New(seed)
+	pts := make([]geom.Point3, n)
+	for i := range pts {
+		pts[i] = randSphere(s)
+	}
+	return pts
+}
+
+func randSphere(s *rng.Stream) geom.Point3 {
+	// Marsaglia's method.
+	for {
+		u := 2*s.Float64() - 1
+		v := 2*s.Float64() - 1
+		q := u*u + v*v
+		if q >= 1 {
+			continue
+		}
+		f := 2 * math.Sqrt(1-q)
+		return geom.Point3{X: u * f, Y: v * f, Z: 1 - 2*q}
+	}
+}
+
+// BallFew places k sites on the sphere and n−k points in the half-radius
+// ball: the 3-d small-h regime.
+func BallFew(k int) func(seed uint64, n int) []geom.Point3 {
+	return func(seed uint64, n int) []geom.Point3 {
+		s := rng.New(seed)
+		if k > n {
+			k = n
+		}
+		pts := make([]geom.Point3, n)
+		for i := 0; i < k; i++ {
+			pts[i] = randSphere(s)
+		}
+		for i := k; i < n; i++ {
+			p := randBall(s)
+			pts[i] = geom.Point3{X: p.X / 2, Y: p.Y / 2, Z: p.Z / 2}
+		}
+		rng.Shuffle(s, pts)
+		return pts
+	}
+}
+
+// Cap places points on the upper unit hemisphere: the entire set appears on
+// the upper hull, the 3-d analogue of Circle.
+func Cap(seed uint64, n int) []geom.Point3 {
+	s := rng.New(seed)
+	pts := make([]geom.Point3, n)
+	for i := range pts {
+		p := randSphere(s)
+		if p.Z < 0 {
+			p.Z = -p.Z
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// MomentCurve places points on the moment curve (t, t², t³), every one of
+// which is extreme.
+func MomentCurve(seed uint64, n int) []geom.Point3 {
+	s := rng.New(seed)
+	pts := make([]geom.Point3, n)
+	for i := range pts {
+		t := 2*s.Float64() - 1
+		pts[i] = geom.Point3{X: t, Y: t * t, Z: t * t * t}
+	}
+	return pts
+}
+
+// Gens3D is the registry of 3-d generators used by the experiment harness.
+var Gens3D = []Gen3D{
+	{Name: "ball", ExpectedH: "h sublinear", Gen: Ball},
+	{Name: "sphere", ExpectedH: "h≈n", Gen: Sphere},
+	{Name: "ballfew64", ExpectedH: "h small", Gen: BallFew(64)},
+	{Name: "cap", ExpectedH: "upper-dense", Gen: Cap},
+}

@@ -1,0 +1,146 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"inplacehull/internal/geom"
+)
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	for _, g := range Gens2D {
+		a := g.Gen(7, 100)
+		b := g.Gen(7, 100)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s not deterministic at %d", g.Name, i)
+			}
+		}
+		c := g.Gen(8, 100)
+		same := 0
+		for i := range a {
+			if a[i] == c[i] {
+				same++
+			}
+		}
+		if same == len(a) {
+			t.Fatalf("%s ignores the seed", g.Name)
+		}
+	}
+}
+
+func TestGeneratorsCount(t *testing.T) {
+	for _, g := range Gens2D {
+		for _, n := range []int{0, 1, 7, 100} {
+			if got := len(g.Gen(1, n)); got != n {
+				t.Fatalf("%s(n=%d) returned %d points", g.Name, n, got)
+			}
+		}
+	}
+	for _, g := range Gens3D {
+		if got := len(g.Gen(1, 50)); got != 50 {
+			t.Fatalf("%s returned %d points", g.Name, got)
+		}
+	}
+}
+
+func TestCircleOnUnitCircle(t *testing.T) {
+	for _, p := range Circle(3, 200) {
+		r := p.X*p.X + p.Y*p.Y
+		if math.Abs(r-1) > 1e-12 {
+			t.Fatalf("point %v off the unit circle (r²=%v)", p, r)
+		}
+	}
+}
+
+func TestDiskInUnitDisk(t *testing.T) {
+	for _, p := range Disk(4, 500) {
+		if p.X*p.X+p.Y*p.Y > 1+1e-12 {
+			t.Fatalf("point %v outside the unit disk", p)
+		}
+	}
+}
+
+func TestPolygonFewInterior(t *testing.T) {
+	pts := PolygonFew(16)(5, 1000)
+	onRim := 0
+	for _, p := range pts {
+		r := math.Sqrt(p.X*p.X + p.Y*p.Y)
+		switch {
+		case math.Abs(r-1) < 1e-9:
+			onRim++
+		case r <= 0.5+1e-9:
+		default:
+			t.Fatalf("point %v neither rim nor interior", p)
+		}
+	}
+	if onRim != 16 {
+		t.Fatalf("rim points = %d, want 16", onRim)
+	}
+}
+
+func TestSortedIsSorted(t *testing.T) {
+	s := Sorted(Gaussian(9, 300))
+	for i := 1; i < len(s); i++ {
+		if geom.LexLess(s[i], s[i-1]) {
+			t.Fatalf("not sorted at %d", i)
+		}
+	}
+}
+
+func TestSphereOnUnitSphere(t *testing.T) {
+	for _, p := range Sphere(2, 300) {
+		if math.Abs(p.Dot(p)-1) > 1e-9 {
+			t.Fatalf("point %v off the unit sphere", p)
+		}
+	}
+}
+
+func TestBallInUnitBall(t *testing.T) {
+	for _, p := range Ball(2, 500) {
+		if p.Dot(p) > 1+1e-12 {
+			t.Fatalf("point %v outside the unit ball", p)
+		}
+	}
+}
+
+func TestCapUpperHemisphere(t *testing.T) {
+	for _, p := range Cap(6, 300) {
+		if p.Z < 0 {
+			t.Fatalf("cap point %v below equator", p)
+		}
+	}
+}
+
+func TestMomentCurve(t *testing.T) {
+	for _, p := range MomentCurve(8, 100) {
+		if math.Abs(p.Y-p.X*p.X) > 1e-12 || math.Abs(p.Z-p.X*p.X*p.X) > 1e-12 {
+			t.Fatalf("point %v off the moment curve", p)
+		}
+	}
+}
+
+func TestCollinearMostlyOnLine(t *testing.T) {
+	pts := Collinear(10, 200)
+	onLine := 0
+	for _, p := range pts {
+		if p.Y == 2*p.X+1 {
+			onLine++
+		}
+	}
+	if onLine < len(pts)/2 {
+		t.Fatalf("only %d/%d points on the line", onLine, len(pts))
+	}
+}
+
+func TestOnionLayers(t *testing.T) {
+	pts := Onion(50)(11, 200)
+	radii := map[float64]int{}
+	for _, p := range pts {
+		r := math.Round(math.Sqrt(p.X*p.X+p.Y*p.Y)*1e9) / 1e9
+		radii[r]++
+	}
+	if len(radii) < 3 {
+		t.Fatalf("expected ≥ 3 distinct layers, got %d", len(radii))
+	}
+}
