@@ -203,7 +203,11 @@ func BenchmarkE11Baselines(b *testing.B) {
 	b.Run("chan", func(b *testing.B) {
 		var ops int64
 		for i := 0; i < b.N; i++ {
-			_, ops = hull2d.ChanUpperOps(pts)
+			var err error
+			_, ops, err = hull2d.ChanUpperOps(pts)
+			if err != nil {
+				b.Fatal(err)
+			}
 		}
 		b.ReportMetric(float64(ops), "seq-ops")
 	})

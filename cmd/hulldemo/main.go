@@ -119,10 +119,19 @@ func run2D(algo string, seed uint64, pts []inplacehull.Point, show int) []inplac
 		return chain
 	case "ks", "chan", "quickhull", "monotone":
 		algos := map[string]func([]inplacehull.Point) []inplacehull.Point{
-			"ks": inplacehull.KirkpatrickSeidel, "chan": inplacehull.ChanUpper,
+			"ks":        inplacehull.KirkpatrickSeidel,
 			"quickhull": inplacehull.QuickHullUpper, "monotone": inplacehull.UpperHull,
 		}
-		chain := algos[algo](pts)
+		var chain []inplacehull.Point
+		if algo == "chan" {
+			var err error
+			chain, err = inplacehull.ChanUpper(pts)
+			if err != nil {
+				fatalf("%v", err)
+			}
+		} else {
+			chain = algos[algo](pts)
+		}
 		fmt.Printf("algorithm      %s (sequential)\n", algo)
 		fmt.Printf("points         %d\n", len(pts))
 		fmt.Printf("hull vertices  %d\n", len(chain))

@@ -34,6 +34,7 @@ import (
 	"inplacehull/internal/geom"
 	"inplacehull/internal/hull2d"
 	"inplacehull/internal/hull3d"
+	"inplacehull/internal/hullerr"
 	"inplacehull/internal/pram"
 	"inplacehull/internal/presorted"
 	"inplacehull/internal/rng"
@@ -72,6 +73,50 @@ type Rand = rng.Stream
 
 // NewRand returns a stream seeded deterministically from seed.
 func NewRand(seed uint64) *Rand { return rng.New(seed) }
+
+// Error taxonomy. Every error returned by the hull algorithms is (or wraps)
+// an *Error; match on the sentinel values with errors.Is, which compares
+// kinds:
+//
+//	if errors.Is(err, inplacehull.ErrUnsorted) { … }
+type (
+	// Error is the typed error every algorithm returns on failure.
+	Error = hullerr.Error
+	// ErrorKind classifies an Error.
+	ErrorKind = hullerr.Kind
+)
+
+// Error kinds.
+const (
+	// ErrKindInvalidInput: the input violates a documented precondition
+	// (non-finite coordinates, malformed segments, dimension mismatches).
+	ErrKindInvalidInput = hullerr.InvalidInput
+	// ErrKindUnsortedInput: a pre-sorted-input algorithm received input not
+	// strictly increasing in x.
+	ErrKindUnsortedInput = hullerr.UnsortedInput
+	// ErrKindBudgetExhausted: a retry/recursion budget ran out (the typed
+	// replacement for looping forever under adversarial randomness).
+	ErrKindBudgetExhausted = hullerr.BudgetExhausted
+	// ErrKindInternal: an invariant the algorithms guarantee was violated —
+	// always a bug, never caused by user input.
+	ErrKindInternal = hullerr.Internal
+)
+
+// Sentinel errors for errors.Is matching (kind-based).
+var (
+	// ErrNonFinite matches invalid-input errors (NaN/±Inf coordinates and
+	// other precondition violations).
+	ErrNonFinite = hullerr.ErrNonFinite
+	// ErrUnsorted matches unsorted-input errors from PresortedHull,
+	// LogStarHull and OptimalHull.
+	ErrUnsorted = hullerr.ErrUnsorted
+	// ErrBudget matches budget-exhaustion errors.
+	ErrBudget = hullerr.ErrBudget
+)
+
+// IsTyped reports whether err is (or wraps) a typed *Error — the guarantee
+// checked by the E14 chaos soak: algorithms never fail with anything else.
+func IsTyped(err error) bool { return hullerr.IsTyped(err) }
 
 // Results of the parallel algorithms.
 type (
@@ -163,8 +208,10 @@ func FullHull(pts []Point) []Point { return hull2d.FullHull(pts) }
 // algorithm [21] whose work bound Theorem 5 matches.
 func KirkpatrickSeidel(pts []Point) []Point { return hull2d.KirkpatrickSeidel(pts) }
 
-// ChanUpper is Chan's O(n log h) algorithm.
-func ChanUpper(pts []Point) []Point { return hull2d.ChanUpper(pts) }
+// ChanUpper is Chan's O(n log h) algorithm. The error is always nil for a
+// correct build; it is typed Internal if the wrap fails at m = n (formerly
+// a panic).
+func ChanUpper(pts []Point) ([]Point, error) { return hull2d.ChanUpper(pts) }
 
 // QuickHullUpper is the quickhull upper chain.
 func QuickHullUpper(pts []Point) []Point { return hull2d.QuickHullUpper(pts) }

@@ -88,8 +88,15 @@ func TestPublicAPIFullHull(t *testing.T) {
 func TestPublicAPIBaselinesAgree(t *testing.T) {
 	pts := workload.Disk(5, 400)
 	ref := UpperHull(pts)
+	chanW := func(p []Point) []Point {
+		h, err := ChanUpper(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
 	for name, algo := range map[string]func([]Point) []Point{
-		"ks": KirkpatrickSeidel, "chan": ChanUpper, "quickhull": QuickHullUpper,
+		"ks": KirkpatrickSeidel, "chan": chanW, "quickhull": QuickHullUpper,
 	} {
 		got := algo(pts)
 		if len(got) != len(ref) {

@@ -63,7 +63,11 @@ func init() {
 						continue
 					}
 					_, ksOps := hull2d.KirkpatrickSeidelOps(pts)
-					_, chanOps := hull2d.ChanUpperOps(pts)
+					_, chanOps, chanErr := hull2d.ChanUpperOps(pts)
+					if chanErr != nil {
+						t.Notes = append(t.Notes, g.Name+" CHAN ERROR: "+chanErr.Error())
+						continue
+					}
 					h := len(res.Chain)
 					t.Add(g.Name, n, h, m.Work(), ksOps, chanOps,
 						float64(m.Work())/float64(ksOps+1),

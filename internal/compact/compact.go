@@ -17,6 +17,7 @@
 package compact
 
 import (
+	"inplacehull/internal/fault"
 	"inplacehull/internal/pram"
 	"inplacehull/internal/rng"
 )
@@ -84,6 +85,13 @@ func ApproxCompact(m *pram.Machine, rnd *rng.Stream, n int, k int, bit func(p in
 func CompactIntoArea(m *pram.Machine, rnd *rng.Stream, n int, size int, bit func(p int) bool) (area []int32, ok bool) {
 	if size < 4 {
 		size = 4
+	}
+	if fault.On(rnd).Hit(fault.CompactOverflow) {
+		// Injected Lemma 2.1 failure: the dart throwing "detects overflow"
+		// regardless of the true marked count. Callers must take the same
+		// recovery path as for a genuine k ≥ n^(1/4) detection.
+		m.Charge(2*Rounds+1, int64(Rounds)*int64(n))
+		return nil, false
 	}
 	release := m.AllocScratch(int64(size))
 	defer release()

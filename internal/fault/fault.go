@@ -1,0 +1,193 @@
+// Package fault is a seeded, deterministic fault-injection layer for the
+// randomized PRAM hull stack. The paper's §2.3 confidence argument rests on
+// every randomized sub-procedure being *allowed* to fail — sampling may come
+// back empty, approximate compaction may overflow, the bridge LP may not
+// converge within its iteration budget — with failure sweeping and retries
+// absorbing the damage. At benchable n those events are astronomically rare,
+// so this package forces them: an Injector, derived from a Plan and a seed,
+// rides the random stream (rng.Stream payloads) into every randomized
+// procedure and deterministically decides, occurrence by occurrence, whether
+// the paper-named failure mode fires.
+//
+// Determinism: the decision for the i-th occurrence of a site is a pure
+// function of (plan seed, site, i), and every injection point sits in
+// host-side sequential code (between PRAM steps), so a scenario is exactly
+// reproducible from its plan — the property the E14 chaos soak depends on.
+package fault
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"inplacehull/internal/rng"
+)
+
+// Site enumerates the injection points — one per failure mode the paper
+// names.
+type Site int
+
+const (
+	// SampleStorm forces a §3.1 claim-collision storm: every write round
+	// of an in-place sample collides and the sample comes back empty
+	// (Lemma 3.1's failure event). Hits both sample.Random and the
+	// per-round sampling inside the batched bridge LP.
+	SampleStorm Site = iota
+	// CompactOverflow forces approximate compaction (Lemma 2.1/3.2) to
+	// report failure, the "k ≥ n^(1/4) detected" outcome. Hits
+	// compact.CompactIntoArea and therefore sweeping's own compaction.
+	CompactOverflow
+	// LPTimeout forces a bridge-finding problem to report non-convergence
+	// within the β-iteration budget (Lemmas 4.1/4.2 failure event); the
+	// caller's failure sweeping must resolve it.
+	LPTimeout
+	// VoteSkew forces a splitter-vote round (Corollary 3.1) to produce no
+	// uncontested winner, exercising the vote's retry escalation.
+	VoteSkew
+	// ForceFallback fires the §4.1/§4.3 l ≥ threshold switch to the
+	// O(n log n)-work fallback at a chosen recursion level (see
+	// Plan.FallbackLevel).
+	ForceFallback
+
+	// NumSites is the number of injection sites.
+	NumSites = int(ForceFallback) + 1
+)
+
+// String names the site.
+func (s Site) String() string {
+	switch s {
+	case SampleStorm:
+		return "sample-storm"
+	case CompactOverflow:
+		return "compact-overflow"
+	case LPTimeout:
+		return "lp-timeout"
+	case VoteSkew:
+		return "vote-skew"
+	case ForceFallback:
+		return "force-fallback"
+	default:
+		return fmt.Sprintf("site(%d)", int(s))
+	}
+}
+
+// Plan is an immutable description of which injections fire. The zero value
+// injects nothing.
+type Plan struct {
+	// Seed drives every injection decision.
+	Seed uint64
+	// Rates[s] is the probability that a given occurrence of site s
+	// injects (0 = never, 1 = always).
+	Rates [NumSites]float64
+	// FallbackLevel, when > 0, makes ForceFallbackAt fire for every
+	// recursion level ≥ FallbackLevel (0 disables; level numbering starts
+	// at 0, so the switch can always be reached).
+	FallbackLevel int
+	// MaxPerSite, when > 0, caps the number of injections per site — the
+	// escalation-budget knob: a poisoned run stops being poisoned after
+	// the budget and must still terminate cleanly.
+	MaxPerSite int
+}
+
+// Count is the per-site occurrence record.
+type Count struct {
+	// Seen is how many times the site was consulted.
+	Seen int64
+	// Injected is how many consultations fired.
+	Injected int64
+}
+
+// Injector carries a Plan plus per-site counters. A nil *Injector is valid
+// and injects nothing, so call sites need no guards.
+type Injector struct {
+	plan Plan
+	seen [NumSites]atomic.Int64
+	hits [NumSites]atomic.Int64
+}
+
+// NewInjector returns an injector executing plan.
+func NewInjector(plan Plan) *Injector { return &Injector{plan: plan} }
+
+// splitmix64 is the seeding mixer of internal/rng, reproduced here so the
+// injection decision stream is self-contained.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Hit consumes one occurrence of site s and reports whether it injects. The
+// decision depends only on (plan seed, s, occurrence index) — deterministic
+// regardless of what other sites did in between.
+func (in *Injector) Hit(s Site) bool {
+	if in == nil {
+		return false
+	}
+	i := in.seen[s].Add(1)
+	r := in.plan.Rates[s]
+	if r <= 0 {
+		return false
+	}
+	if in.plan.MaxPerSite > 0 && in.hits[s].Load() >= int64(in.plan.MaxPerSite) {
+		return false
+	}
+	v := splitmix64(in.plan.Seed ^ uint64(s+1)*0x9e3779b97f4a7c15 ^ uint64(i)*0xbf58476d1ce4e5b9)
+	if float64(v>>11)/(1<<53) >= r {
+		return false
+	}
+	in.hits[s].Add(1)
+	return true
+}
+
+// ForceFallbackAt reports whether the fallback switch is forced at the
+// given recursion level (Plan.FallbackLevel semantics). A firing counts as
+// an injection of the ForceFallback site.
+func (in *Injector) ForceFallbackAt(level int) bool {
+	if in == nil || in.plan.FallbackLevel <= 0 {
+		return false
+	}
+	in.seen[ForceFallback].Add(1)
+	if level < in.plan.FallbackLevel {
+		return false
+	}
+	in.hits[ForceFallback].Add(1)
+	return true
+}
+
+// Counts returns the per-site occurrence records.
+func (in *Injector) Counts() [NumSites]Count {
+	var out [NumSites]Count
+	if in == nil {
+		return out
+	}
+	for s := 0; s < NumSites; s++ {
+		out[s] = Count{Seen: in.seen[s].Load(), Injected: in.hits[s].Load()}
+	}
+	return out
+}
+
+// TotalInjected sums the injections across sites.
+func (in *Injector) TotalInjected() int64 {
+	var t int64
+	for _, c := range in.Counts() {
+		t += c.Injected
+	}
+	return t
+}
+
+// Attach returns the stream with in riding it: every child derived through
+// Split carries the same injector, so one Attach at an algorithm's entry
+// threads the faults through sample, compact, lp and sweep.
+func Attach(s *rng.Stream, in *Injector) *rng.Stream {
+	return s.WithPayload(in)
+}
+
+// On extracts the injector riding the stream, or nil — so injection points
+// read `fault.On(rnd).Hit(site)` with no guard.
+func On(s *rng.Stream) *Injector {
+	if s == nil {
+		return nil
+	}
+	in, _ := s.Payload().(*Injector)
+	return in
+}

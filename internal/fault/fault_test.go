@@ -1,0 +1,159 @@
+package fault
+
+import (
+	"testing"
+
+	"inplacehull/internal/rng"
+)
+
+func TestZeroPlanInjectsNothing(t *testing.T) {
+	in := NewInjector(Plan{})
+	for s := 0; s < NumSites; s++ {
+		for i := 0; i < 100; i++ {
+			if in.Hit(Site(s)) {
+				t.Fatalf("zero plan injected at site %v", Site(s))
+			}
+		}
+	}
+	for lvl := 0; lvl < 5; lvl++ {
+		if in.ForceFallbackAt(lvl) {
+			t.Fatalf("zero plan forced fallback at level %d", lvl)
+		}
+	}
+	if in.TotalInjected() != 0 {
+		t.Fatalf("zero plan TotalInjected = %d", in.TotalInjected())
+	}
+	c := in.Counts()
+	for s := 0; s < NumSites; s++ {
+		if s == int(ForceFallback) {
+			continue // ForceFallbackAt with FallbackLevel=0 does not consult
+		}
+		if c[s].Seen != 100 {
+			t.Fatalf("site %v Seen = %d, want 100", Site(s), c[s].Seen)
+		}
+	}
+}
+
+func TestNilInjectorIsSafe(t *testing.T) {
+	var in *Injector
+	if in.Hit(SampleStorm) || in.ForceFallbackAt(3) || in.TotalInjected() != 0 {
+		t.Fatal("nil injector misbehaved")
+	}
+	if c := in.Counts(); c != ([NumSites]Count{}) {
+		t.Fatalf("nil injector Counts = %+v", c)
+	}
+}
+
+// TestHitDeterministic: the decision for the i-th occurrence of a site is a
+// pure function of (seed, site, i) — two injectors with the same plan agree
+// occurrence by occurrence, regardless of interleaving with other sites.
+func TestHitDeterministic(t *testing.T) {
+	plan := Plan{Seed: 99}
+	for s := 0; s < NumSites; s++ {
+		plan.Rates[s] = 0.5
+	}
+	a, b := NewInjector(plan), NewInjector(plan)
+	// a consults sites round-robin; b consults them site by site. The
+	// per-site decision sequences must match.
+	const per = 200
+	got := make([][]bool, NumSites)
+	for i := range got {
+		got[i] = make([]bool, per)
+	}
+	for i := 0; i < per; i++ {
+		for s := 0; s < NumSites; s++ {
+			got[s][i] = a.Hit(Site(s))
+		}
+	}
+	for s := 0; s < NumSites; s++ {
+		for i := 0; i < per; i++ {
+			if b.Hit(Site(s)) != got[s][i] {
+				t.Fatalf("site %v occurrence %d depends on interleaving", Site(s), i)
+			}
+		}
+	}
+}
+
+func TestRateExtremes(t *testing.T) {
+	var plan Plan
+	plan.Rates[LPTimeout] = 1
+	in := NewInjector(plan)
+	for i := 0; i < 100; i++ {
+		if !in.Hit(LPTimeout) {
+			t.Fatalf("rate-1 site missed occurrence %d", i)
+		}
+		if in.Hit(SampleStorm) {
+			t.Fatalf("rate-0 site fired at occurrence %d", i)
+		}
+	}
+}
+
+func TestRateApproximatelyHonored(t *testing.T) {
+	var plan Plan
+	plan.Seed = 7
+	plan.Rates[CompactOverflow] = 0.3
+	in := NewInjector(plan)
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		in.Hit(CompactOverflow)
+	}
+	c := in.Counts()[CompactOverflow]
+	rate := float64(c.Injected) / float64(c.Seen)
+	if rate < 0.27 || rate > 0.33 {
+		t.Fatalf("empirical rate %.4f for Rates=0.3", rate)
+	}
+}
+
+func TestMaxPerSiteCapsInjections(t *testing.T) {
+	var plan Plan
+	plan.Rates[VoteSkew] = 1
+	plan.MaxPerSite = 3
+	in := NewInjector(plan)
+	fired := 0
+	for i := 0; i < 50; i++ {
+		if in.Hit(VoteSkew) {
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("MaxPerSite=3 allowed %d injections", fired)
+	}
+	c := in.Counts()[VoteSkew]
+	if c.Seen != 50 || c.Injected != 3 {
+		t.Fatalf("counts %+v, want Seen=50 Injected=3", c)
+	}
+}
+
+func TestForceFallbackAtLevelSemantics(t *testing.T) {
+	in := NewInjector(Plan{FallbackLevel: 2})
+	for lvl := 0; lvl < 5; lvl++ {
+		want := lvl >= 2
+		if got := in.ForceFallbackAt(lvl); got != want {
+			t.Fatalf("ForceFallbackAt(%d) = %v with FallbackLevel=2", lvl, got)
+		}
+	}
+	c := in.Counts()[ForceFallback]
+	if c.Seen != 5 || c.Injected != 3 {
+		t.Fatalf("counts %+v, want Seen=5 Injected=3", c)
+	}
+}
+
+// TestAttachOnRoundTrip: Attach rides the stream, On recovers it, and the
+// rider survives arbitrary Split chains — the property that lets one Attach
+// at an algorithm's entry reach every sub-procedure.
+func TestAttachOnRoundTrip(t *testing.T) {
+	in := NewInjector(Plan{Seed: 1})
+	s := Attach(rng.New(42), in)
+	if On(s) != in {
+		t.Fatal("On did not recover the attached injector")
+	}
+	if On(s.Split(3).Split(9)) != in {
+		t.Fatal("injector did not ride Split")
+	}
+	if On(rng.New(42)) != nil {
+		t.Fatal("On invented an injector on a bare stream")
+	}
+	if On(nil) != nil {
+		t.Fatal("On(nil) non-nil")
+	}
+}

@@ -1,0 +1,290 @@
+// Package soak is the chaos-soak harness behind experiment E14: it runs
+// large batches of seeded fault scenarios — an algorithm, a workload, a
+// size, and a fault.Plan, all derived deterministically from one master
+// seed — and classifies every run. The robustness contract under test:
+// under ANY injection plan, every algorithm either returns a hull the
+// sequential oracle accepts or a typed *hullerr.Error — never a panic,
+// never a wrong answer, never an untyped error, never a hang (all retry
+// loops carry explicit budgets).
+package soak
+
+import (
+	"fmt"
+
+	"inplacehull/internal/fault"
+	"inplacehull/internal/geom"
+	"inplacehull/internal/hullerr"
+	"inplacehull/internal/pram"
+	"inplacehull/internal/presorted"
+	"inplacehull/internal/rng"
+	"inplacehull/internal/unsorted"
+	"inplacehull/internal/workload"
+)
+
+// Algorithms under soak.
+const (
+	AlgoHull2D    = "hull2d"
+	AlgoHull3D    = "hull3d"
+	AlgoPresorted = "presorted"
+	AlgoLogStar   = "logstar"
+)
+
+// Algos lists the algorithms in scenario-rotation order.
+var Algos = []string{AlgoHull2D, AlgoHull3D, AlgoPresorted, AlgoLogStar}
+
+// Scenario is one fully deterministic soak run: everything a re-run needs.
+type Scenario struct {
+	ID   int
+	Algo string
+	Gen  string
+	N    int
+	// Seed drives both the workload generator and the algorithm's random
+	// stream.
+	Seed uint64
+	Plan fault.Plan
+}
+
+// Outcome classifies a run.
+type Outcome int
+
+const (
+	// OK: the algorithm returned and the oracle accepted the hull.
+	OK Outcome = iota
+	// TypedError: the algorithm returned a typed *hullerr.Error — an
+	// acceptable surrender under injected faults.
+	TypedError
+	// WrongAnswer: the run returned nil error but the oracle rejected the
+	// output. A soak failure.
+	WrongAnswer
+	// UntypedError: a non-nil error that is not a *hullerr.Error. A soak
+	// failure.
+	UntypedError
+	// Panicked: the run panicked. A soak failure.
+	Panicked
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case OK:
+		return "ok"
+	case TypedError:
+		return "typed-error"
+	case WrongAnswer:
+		return "WRONG-ANSWER"
+	case UntypedError:
+		return "UNTYPED-ERROR"
+	case Panicked:
+		return "PANIC"
+	default:
+		return fmt.Sprintf("outcome(%d)", int(o))
+	}
+}
+
+// Bad reports whether the outcome violates the robustness contract.
+func (o Outcome) Bad() bool { return o != OK && o != TypedError }
+
+// Record is the result of one scenario.
+type Record struct {
+	Scenario Scenario
+	Outcome  Outcome
+	// Detail holds the error text, oracle complaint, or panic value.
+	Detail string
+	// Counts are the injector's per-site consultation/injection tallies.
+	Counts [fault.NumSites]fault.Count
+}
+
+// Summary aggregates a soak batch.
+type Summary struct {
+	Scenarios int
+	ByOutcome [int(Panicked) + 1]int
+	// ByAlgo[algo][outcome] counts runs per algorithm.
+	ByAlgo map[string]*[int(Panicked) + 1]int
+	// PerSite aggregates injector counters across all runs.
+	PerSite [fault.NumSites]fault.Count
+	// Failures holds every contract-violating record, for reporting.
+	Failures []Record
+}
+
+// Bad reports whether any scenario violated the contract.
+func (s *Summary) Bad() bool { return len(s.Failures) > 0 }
+
+// rate/level/budget menus for plan derivation. Zero entries are
+// deliberately frequent: plain runs and single-site plans must both occur.
+var (
+	rateMenu   = []float64{0, 0, 0.1, 0.5, 1}
+	levelMenu  = []int{0, 0, 0, 1, 2}
+	budgetMenu = []int{0, 0, 1, 4, 16}
+	n2DMenu    = []int{64, 128, 256, 512}
+	n3DMenu    = []int{64, 96, 128}
+)
+
+// Scenarios derives count scenarios deterministically from the master seed:
+// same (master, count) prefix → same scenarios, so any failure reproduces
+// from its printed Scenario alone.
+func Scenarios(master uint64, count int) []Scenario {
+	s := rng.New(master)
+	out := make([]Scenario, 0, count)
+	for i := 0; i < count; i++ {
+		sc := Scenario{ID: i, Algo: Algos[i%len(Algos)], Seed: s.Uint64()}
+		var plan fault.Plan
+		plan.Seed = s.Uint64()
+		for site := 0; site < fault.NumSites; site++ {
+			plan.Rates[site] = rateMenu[s.Intn(len(rateMenu))]
+		}
+		plan.FallbackLevel = levelMenu[s.Intn(len(levelMenu))]
+		plan.MaxPerSite = budgetMenu[s.Intn(len(budgetMenu))]
+		sc.Plan = plan
+		if sc.Algo == AlgoHull3D {
+			g := workload.Gens3D[s.Intn(len(workload.Gens3D))]
+			sc.Gen = g.Name
+			sc.N = n3DMenu[s.Intn(len(n3DMenu))]
+		} else {
+			g := workload.Gens2D[s.Intn(len(workload.Gens2D))]
+			sc.Gen = g.Name
+			sc.N = n2DMenu[s.Intn(len(n2DMenu))]
+		}
+		out = append(out, sc)
+	}
+	return out
+}
+
+// gen2D resolves a registered 2-d generator by name.
+func gen2D(name string) (workload.Gen2D, bool) {
+	for _, g := range workload.Gens2D {
+		if g.Name == name {
+			return g, true
+		}
+	}
+	return workload.Gen2D{}, false
+}
+
+func gen3D(name string) (workload.Gen3D, bool) {
+	for _, g := range workload.Gens3D {
+		if g.Name == name {
+			return g, true
+		}
+	}
+	return workload.Gen3D{}, false
+}
+
+// prepSorted strictly x-sorts and deduplicates (keeping the topmost point
+// per abscissa) — the input contract of the pre-sorted algorithms.
+func prepSorted(pts []geom.Point) []geom.Point {
+	s := workload.Sorted(pts)
+	out := s[:0]
+	for _, p := range s {
+		if len(out) > 0 && out[len(out)-1].X == p.X {
+			if p.Y > out[len(out)-1].Y {
+				out[len(out)-1] = p
+			}
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// RunScenario executes one scenario end to end, converting panics into
+// Panicked records.
+func RunScenario(sc Scenario) (rec Record) {
+	rec.Scenario = sc
+	inj := fault.NewInjector(sc.Plan)
+	defer func() {
+		rec.Counts = inj.Counts()
+		if r := recover(); r != nil {
+			rec.Outcome = Panicked
+			rec.Detail = fmt.Sprint(r)
+		}
+	}()
+	// One worker: with real parallel workers the arbitrary-CRCW claim
+	// winner depends on goroutine scheduling, so retry paths — and the
+	// injector's occurrence indices — would drift between runs. Sequential
+	// execution pins the whole scenario, making Counts and Detail exactly
+	// reproducible, not just the outcome.
+	m := pram.New(pram.WithWorkers(1))
+	rnd := fault.Attach(rng.New(sc.Seed), inj)
+	classify := func(err error, verify func() error) {
+		if err != nil {
+			rec.Detail = err.Error()
+			if hullerr.IsTyped(err) {
+				rec.Outcome = TypedError
+			} else {
+				rec.Outcome = UntypedError
+			}
+			return
+		}
+		if verr := verify(); verr != nil {
+			rec.Outcome = WrongAnswer
+			rec.Detail = verr.Error()
+			return
+		}
+		rec.Outcome = OK
+	}
+	switch sc.Algo {
+	case AlgoHull3D:
+		g, ok := gen3D(sc.Gen)
+		if !ok {
+			rec.Outcome, rec.Detail = UntypedError, "unknown generator "+sc.Gen
+			return rec
+		}
+		pts := g.Gen(sc.Seed, sc.N)
+		res, err := unsorted.Hull3D(m, rnd, pts)
+		classify(err, func() error { return unsorted.CheckCaps3D(pts, res) })
+	case AlgoHull2D:
+		g, ok := gen2D(sc.Gen)
+		if !ok {
+			rec.Outcome, rec.Detail = UntypedError, "unknown generator "+sc.Gen
+			return rec
+		}
+		pts := g.Gen(sc.Seed, sc.N)
+		res, err := unsorted.Hull2D(m, rnd, pts)
+		classify(err, func() error { return unsorted.CheckAgainstReference(pts, res) })
+	case AlgoPresorted, AlgoLogStar:
+		g, ok := gen2D(sc.Gen)
+		if !ok {
+			rec.Outcome, rec.Detail = UntypedError, "unknown generator "+sc.Gen
+			return rec
+		}
+		pts := prepSorted(g.Gen(sc.Seed, sc.N))
+		var res presorted.Result
+		var err error
+		if sc.Algo == AlgoPresorted {
+			res, err = presorted.ConstantTime(m, rnd, pts)
+		} else {
+			res, err = presorted.LogStar(m, rnd, pts)
+		}
+		classify(err, func() error {
+			return unsorted.CheckAgainstReference(pts, unsorted.Result2D{
+				Edges: res.Edges, Chain: res.Chain, EdgeOf: res.EdgeOf,
+			})
+		})
+	default:
+		rec.Outcome, rec.Detail = UntypedError, "unknown algorithm "+sc.Algo
+	}
+	return rec
+}
+
+// Run executes count scenarios derived from master and aggregates them.
+func Run(master uint64, count int) Summary {
+	sum := Summary{ByAlgo: map[string]*[int(Panicked) + 1]int{}}
+	for _, a := range Algos {
+		sum.ByAlgo[a] = &[int(Panicked) + 1]int{}
+	}
+	for _, sc := range Scenarios(master, count) {
+		rec := RunScenario(sc)
+		sum.Scenarios++
+		sum.ByOutcome[rec.Outcome]++
+		if by, ok := sum.ByAlgo[sc.Algo]; ok {
+			by[rec.Outcome]++
+		}
+		for s := 0; s < fault.NumSites; s++ {
+			sum.PerSite[s].Seen += rec.Counts[s].Seen
+			sum.PerSite[s].Injected += rec.Counts[s].Injected
+		}
+		if rec.Outcome.Bad() {
+			sum.Failures = append(sum.Failures, rec)
+		}
+	}
+	return sum
+}

@@ -1,0 +1,59 @@
+package soak
+
+import "testing"
+
+// TestSoakSmoke runs a small deterministic batch across all four
+// algorithms; every run must return a verified hull or a typed error.
+func TestSoakSmoke(t *testing.T) {
+	n := 48
+	if testing.Short() {
+		n = 16
+	}
+	sum := Run(0xE14, n)
+	if sum.Scenarios != n {
+		t.Fatalf("ran %d scenarios, want %d", sum.Scenarios, n)
+	}
+	for _, rec := range sum.Failures {
+		t.Errorf("scenario %+v: %s (%s)", rec.Scenario, rec.Outcome, rec.Detail)
+	}
+	if sum.ByOutcome[OK] == 0 {
+		t.Fatal("no scenario succeeded — harness or oracle broken")
+	}
+	var injected int64
+	for _, c := range sum.PerSite {
+		injected += c.Injected
+	}
+	if injected == 0 {
+		t.Fatal("no faults injected — injection threading broken")
+	}
+}
+
+// TestScenariosDeterministic: same master seed → identical scenario lists,
+// and a prefix of a longer list equals the shorter list.
+func TestScenariosDeterministic(t *testing.T) {
+	a := Scenarios(7, 40)
+	b := Scenarios(7, 40)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("scenario %d differs across derivations", i)
+		}
+	}
+	long := Scenarios(7, 80)
+	for i := range a {
+		if long[i] != a[i] {
+			t.Fatalf("scenario %d not prefix-stable", i)
+		}
+	}
+}
+
+// TestRunScenarioReproducible: re-running a single scenario reproduces the
+// outcome and injection counts exactly.
+func TestRunScenarioReproducible(t *testing.T) {
+	for _, sc := range Scenarios(0xBEEF, 12) {
+		r1 := RunScenario(sc)
+		r2 := RunScenario(sc)
+		if r1.Outcome != r2.Outcome || r1.Detail != r2.Detail || r1.Counts != r2.Counts {
+			t.Fatalf("scenario %d not reproducible: %+v vs %+v", sc.ID, r1, r2)
+		}
+	}
+}

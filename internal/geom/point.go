@@ -130,3 +130,10 @@ func (f Face) Plane() Plane { return PlaneThrough(f.A, f.B, f.C) }
 func (p Point) IsFinite() bool {
 	return !math.IsNaN(p.X) && !math.IsInf(p.X, 0) && !math.IsNaN(p.Y) && !math.IsInf(p.Y, 0)
 }
+
+// IsFinite reports whether all coordinates of p are finite.
+func (p Point3) IsFinite() bool {
+	return !math.IsNaN(p.X) && !math.IsInf(p.X, 0) &&
+		!math.IsNaN(p.Y) && !math.IsInf(p.Y, 0) &&
+		!math.IsNaN(p.Z) && !math.IsInf(p.Z, 0)
+}

@@ -1,34 +1,42 @@
 package hull2d
 
-import "inplacehull/internal/geom"
+import (
+	"inplacehull/internal/geom"
+	"inplacehull/internal/hullerr"
+)
 
 // ChanUpper returns the upper hull in O(n log h) time by Chan's algorithm:
 // guess m, build ⌈n/m⌉ group hulls, gift-wrap across groups with
 // binary-search tangent queries, and square the guess on failure. It is the
 // second sequential output-sensitive comparator used by experiment E11.
-func ChanUpper(pts []geom.Point) []geom.Point {
-	h, _ := ChanUpperOps(pts)
-	return h
+// The error is non-nil only if the wrap fails with m = n, which a correct
+// implementation never produces; it is reported (typed Internal) rather
+// than panicking because the function is user-reachable through the root
+// API.
+func ChanUpper(pts []geom.Point) ([]geom.Point, error) {
+	h, _, err := ChanUpperOps(pts)
+	return h, err
 }
 
 // ChanUpperOps also reports elementary operation counts (points touched in
 // group-hull construction plus tangent-probe steps).
-func ChanUpperOps(pts []geom.Point) ([]geom.Point, int64) {
+func ChanUpperOps(pts []geom.Point) ([]geom.Point, int64, error) {
 	s := sortUnique(pts)
 	var ops int64
 	if len(s) <= 2 {
-		return tinyUpper(s), ops
+		return tinyUpper(s), ops, nil
 	}
 	if s[0].X == s[len(s)-1].X {
-		return []geom.Point{s[len(s)-1]}, ops
+		return []geom.Point{s[len(s)-1]}, ops, nil
 	}
 	for m := 4; ; m = min(m*m, len(s)) {
 		if hull, ok := chanAttempt(s, m, &ops); ok {
-			return hull, ops
+			return hull, ops, nil
 		}
 		if m >= len(s) {
 			// Cannot fail with m = n: one group, plain wrap.
-			panic("hull2d: Chan attempt failed with m = n")
+			return nil, ops, hullerr.New(hullerr.Internal, "hull2d.Chan",
+				"attempt failed with m = n = %d", len(s))
 		}
 	}
 }

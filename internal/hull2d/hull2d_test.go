@@ -86,7 +86,7 @@ func TestAllUpperAlgorithmsAgree(t *testing.T) {
 	algos := map[string]func([]geom.Point) []geom.Point{
 		"quickhull": QuickHullUpper,
 		"jarvis":    JarvisUpper,
-		"chan":      ChanUpper,
+		"chan":      mustChan,
 		"ks":        KirkpatrickSeidel,
 	}
 	for seed := uint64(1); seed <= 5; seed++ {
@@ -100,6 +100,16 @@ func TestAllUpperAlgorithmsAgree(t *testing.T) {
 			}
 		}
 	}
+}
+
+// mustChan adapts ChanUpper to the no-error baseline signature for the
+// agreement tests; the error path is unreachable for a correct build.
+func mustChan(pts []geom.Point) []geom.Point {
+	h, err := ChanUpper(pts)
+	if err != nil {
+		panic(err)
+	}
+	return h
 }
 
 func equalChains(a, b []geom.Point) bool {
@@ -153,7 +163,7 @@ func TestUpperHullQuick(t *testing.T) {
 		want := UpperHull(pts)
 		return equalChains(QuickHullUpper(pts), want) &&
 			equalChains(KirkpatrickSeidel(pts), want) &&
-			equalChains(ChanUpper(pts), want) &&
+			equalChains(mustChan(pts), want) &&
 			equalChains(JarvisUpper(pts), want)
 	}, &quick.Config{MaxCount: 300}); err != nil {
 		t.Fatal(err)
@@ -221,7 +231,10 @@ func TestChanFailsOverToLargerM(t *testing.T) {
 	// A circle forces h = n, so the first guesses (m = 4, 16, …) fail and
 	// Chan must square m until it succeeds; result must still be correct.
 	pts := workload.Circle(9, 600)
-	got := ChanUpper(pts)
+	got, err := ChanUpper(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	checkUpperChain(t, pts, got)
 }
 

@@ -160,12 +160,15 @@ func Incremental(rnd *rng.Stream, pts []geom.Point3) (Hull, error) {
 		if start == nil {
 			continue // interior
 		}
-		// BFS over adjacent visible faces.
+		// BFS over adjacent visible faces. visibleList preserves the
+		// deterministic BFS discovery order; iterating the membership map
+		// instead would randomize the horizon (and hence face) order run to
+		// run, breaking the exact reproducibility the fault-injection soak
+		// relies on.
 		visibleSet := map[*face]bool{start: true}
-		queue := []*face{start}
-		for len(queue) > 0 {
-			f := queue[0]
-			queue = queue[1:]
+		visibleList := []*face{start}
+		for qi := 0; qi < len(visibleList); qi++ {
+			f := visibleList[qi]
 			for e := 0; e < 3; e++ {
 				u, v := f.v[e], f.v[(e+1)%3]
 				g := edgeFace[edge{v, u}]
@@ -174,7 +177,7 @@ func Incremental(rnd *rng.Stream, pts []geom.Point3) (Hull, error) {
 				}
 				if visible(pts, g, p) {
 					visibleSet[g] = true
-					queue = append(queue, g)
+					visibleList = append(visibleList, g)
 				}
 			}
 		}
@@ -185,7 +188,7 @@ func Incremental(rnd *rng.Stream, pts []geom.Point3) (Hull, error) {
 			dead, ok *face // the dying face on the edge and its survivor
 		}
 		var horizon []hEdge
-		for f := range visibleSet {
+		for _, f := range visibleList {
 			for e := 0; e < 3; e++ {
 				u, v := f.v[e], f.v[(e+1)%3]
 				g := edgeFace[edge{v, u}]
@@ -196,7 +199,7 @@ func Incremental(rnd *rng.Stream, pts []geom.Point3) (Hull, error) {
 		}
 		// Kill visible faces (their conflict lists stay readable for the
 		// inheritance step below, then are released).
-		for f := range visibleSet {
+		for _, f := range visibleList {
 			f.dead = true
 			unregister(f)
 		}
@@ -226,7 +229,7 @@ func Incremental(rnd *rng.Stream, pts []geom.Point3) (Hull, error) {
 			inherit(he.dead)
 			inherit(he.ok)
 		}
-		for f := range visibleSet {
+		for _, f := range visibleList {
 			f.conflict = nil
 		}
 	}

@@ -1,0 +1,116 @@
+// Package hullerr defines the library's typed error taxonomy. Every error a
+// public algorithm can return is (or wraps) an *Error with a Kind; sentinel
+// values allow errors.Is matching without string inspection. The taxonomy is
+// the failure-semantics half of the §2.3 confidence story: a randomized
+// sub-procedure is allowed to fail, but the failure must either be absorbed
+// (failure sweeping, retries) or surface as a classified error — never as a
+// panic or a wrong answer.
+package hullerr
+
+import (
+	"errors"
+	"fmt"
+
+	"inplacehull/internal/geom"
+)
+
+// Kind classifies an Error.
+type Kind int
+
+const (
+	// InvalidInput: the caller's input violates the API contract (e.g. a
+	// NaN or ±Inf coordinate).
+	InvalidInput Kind = iota
+	// UnsortedInput: a pre-sorted-input algorithm (§2) was handed points
+	// that are not strictly increasing in x.
+	UnsortedInput
+	// BudgetExhausted: a retry or step budget ran out — the escalation
+	// policy terminated a run that would otherwise loop (e.g. every vote
+	// round poisoned by fault injection).
+	BudgetExhausted
+	// Internal: a postcondition that should be unreachable failed; a bug,
+	// reported instead of panicking.
+	Internal
+)
+
+// String names the kind for error messages.
+func (k Kind) String() string {
+	switch k {
+	case InvalidInput:
+		return "invalid input"
+	case UnsortedInput:
+		return "unsorted input"
+	case BudgetExhausted:
+		return "budget exhausted"
+	default:
+		return "internal error"
+	}
+}
+
+// Error is the typed error of the library.
+type Error struct {
+	// Kind classifies the failure.
+	Kind Kind
+	// Op is the failing operation ("Hull2D", "presorted.Segmented", …).
+	Op string
+	// Msg is the human-readable detail.
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	if e.Op == "" {
+		return fmt.Sprintf("%s: %s", e.Kind, e.Msg)
+	}
+	return fmt.Sprintf("%s: %s: %s", e.Op, e.Kind, e.Msg)
+}
+
+// Is matches any *Error of the same Kind, so errors.Is(err, ErrNonFinite)
+// works for every invalid-coordinate error regardless of Op and Msg.
+func (e *Error) Is(target error) bool {
+	t, ok := target.(*Error)
+	return ok && t.Kind == e.Kind
+}
+
+// Sentinels for errors.Is. Each stands for its whole Kind.
+var (
+	// ErrNonFinite: an input coordinate is NaN or ±Inf.
+	ErrNonFinite = &Error{Kind: InvalidInput, Msg: "non-finite coordinate"}
+	// ErrUnsorted: pre-sorted API called with non-strictly-increasing x.
+	ErrUnsorted = &Error{Kind: UnsortedInput, Msg: "input not strictly x-sorted"}
+	// ErrBudget: a retry/step budget was exhausted.
+	ErrBudget = &Error{Kind: BudgetExhausted, Msg: "retry budget exhausted"}
+)
+
+// New builds a typed error.
+func New(kind Kind, op, format string, args ...any) *Error {
+	return &Error{Kind: kind, Op: op, Msg: fmt.Sprintf(format, args...)}
+}
+
+// IsTyped reports whether err is (or wraps) an *Error — the contract the
+// chaos soak asserts for every non-nil error a public API returns.
+func IsTyped(err error) bool {
+	var e *Error
+	return errors.As(err, &e)
+}
+
+// CheckFinite2D validates that every coordinate is finite; the first
+// offending point is named in the error.
+func CheckFinite2D(op string, pts []geom.Point) error {
+	for i, p := range pts {
+		if !p.IsFinite() {
+			return New(InvalidInput, op, "point %d has a non-finite coordinate %v", i, p)
+		}
+	}
+	return nil
+}
+
+// CheckFinite3D is CheckFinite2D for 3-d points.
+func CheckFinite3D(op string, pts []geom.Point3) error {
+	for i, p := range pts {
+		if !p.IsFinite() {
+			return New(InvalidInput, op, "point %d has a non-finite coordinate %v", i, p)
+		}
+	}
+	return nil
+}

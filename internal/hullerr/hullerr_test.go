@@ -1,0 +1,76 @@
+package hullerr
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"inplacehull/internal/geom"
+)
+
+func TestSentinelsMatchByKind(t *testing.T) {
+	cases := []struct {
+		err      error
+		sentinel *Error
+	}{
+		{New(InvalidInput, "Hull2D", "point %d bad", 3), ErrNonFinite},
+		{New(UnsortedInput, "presorted", "x[%d] out of order", 1), ErrUnsorted},
+		{New(BudgetExhausted, "unsorted2d.vote", "8 rounds skewed"), ErrBudget},
+	}
+	for _, c := range cases {
+		if !errors.Is(c.err, c.sentinel) {
+			t.Fatalf("%v does not match sentinel %v", c.err, c.sentinel)
+		}
+	}
+	// Cross-kind must not match.
+	if errors.Is(New(Internal, "x", "y"), ErrBudget) {
+		t.Fatal("Internal matched ErrBudget")
+	}
+	if errors.Is(ErrNonFinite, ErrUnsorted) {
+		t.Fatal("sentinels of different kinds matched")
+	}
+}
+
+func TestIsTypedThroughWrapping(t *testing.T) {
+	base := New(BudgetExhausted, "op", "msg")
+	wrapped := fmt.Errorf("outer context: %w", base)
+	if !IsTyped(base) || !IsTyped(wrapped) {
+		t.Fatal("typed error not recognized")
+	}
+	if !errors.Is(wrapped, ErrBudget) {
+		t.Fatal("sentinel match lost through wrapping")
+	}
+	if IsTyped(errors.New("plain")) || IsTyped(nil) {
+		t.Fatal("untyped error misclassified")
+	}
+}
+
+func TestErrorStringIncludesOpAndKind(t *testing.T) {
+	e := New(UnsortedInput, "presorted.ConstantTime", "x[4] = x[5]")
+	s := e.Error()
+	if s != "presorted.ConstantTime: unsorted input: x[4] = x[5]" {
+		t.Fatalf("unexpected error text %q", s)
+	}
+	if got := (&Error{Kind: Internal, Msg: "m"}).Error(); got != "internal error: m" {
+		t.Fatalf("op-less error text %q", got)
+	}
+}
+
+func TestCheckFinite(t *testing.T) {
+	ok2 := []geom.Point{{X: 0, Y: 1}, {X: -2, Y: 3}}
+	if err := CheckFinite2D("op", ok2); err != nil {
+		t.Fatal(err)
+	}
+	bad2 := []geom.Point{{X: 0, Y: 1}, {X: math.NaN(), Y: 0}}
+	if err := CheckFinite2D("op", bad2); !errors.Is(err, ErrNonFinite) {
+		t.Fatalf("NaN not caught: %v", err)
+	}
+	bad3 := []geom.Point3{{X: 0, Y: 0, Z: math.Inf(1)}}
+	if err := CheckFinite3D("op", bad3); !errors.Is(err, ErrNonFinite) {
+		t.Fatalf("Inf not caught: %v", err)
+	}
+	if err := CheckFinite3D("op", nil); err != nil {
+		t.Fatal("empty input rejected")
+	}
+}

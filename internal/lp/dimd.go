@@ -1,8 +1,9 @@
 package lp
 
 import (
-	"fmt"
 	"math/big"
+
+	"inplacehull/internal/hullerr"
 )
 
 // The paper closes with "it would be interesting to see how these results
@@ -58,22 +59,25 @@ func (s SolutionD) Violates(p PointD) bool {
 // is the caller's concern; this is the substrate primitive). Points whose
 // base coordinates are affinely dependent are skipped as bases. Returns
 // ok = false if no bounded basis exists (q outside the shadow of every
-// affinely independent d-subset, or fewer than d points).
-func BruteForceFacetD(pts []PointD, q []float64) (SolutionD, bool) {
+// affinely independent d-subset, or fewer than d points). A mismatched
+// query or point dimension is reported as a typed InvalidInput error.
+func BruteForceFacetD(pts []PointD, q []float64) (SolutionD, bool, error) {
 	if len(pts) == 0 {
-		return SolutionD{}, false
+		return SolutionD{}, false, nil
 	}
 	d := len(pts[0].X) + 1
 	if len(q) != d-1 {
-		panic(fmt.Sprintf("lp: query has %d coordinates, want %d", len(q), d-1))
+		return SolutionD{}, false, hullerr.New(hullerr.InvalidInput, "lp.BruteForceFacetD",
+			"query has %d coordinates, want %d", len(q), d-1)
 	}
-	for _, p := range pts {
+	for i, p := range pts {
 		if len(p.X) != d-1 {
-			panic("lp: inconsistent point dimensions")
+			return SolutionD{}, false, hullerr.New(hullerr.InvalidInput, "lp.BruteForceFacetD",
+				"point %d has %d coordinates, want %d", i, len(p.X), d-1)
 		}
 	}
 	if len(pts) < d {
-		return SolutionD{}, false
+		return SolutionD{}, false, nil
 	}
 	idx := make([]int, d)
 	for i := range idx {
@@ -106,7 +110,7 @@ func BruteForceFacetD(pts []PointD, q []float64) (SolutionD, bool) {
 			break
 		}
 	}
-	return best, haveBest
+	return best, haveBest, nil
 }
 
 // hyperplaneThrough solves for z = a·x + c through the d given points by

@@ -5,6 +5,7 @@ import (
 	"math/big"
 	"testing"
 
+	"inplacehull/internal/hullerr"
 	"inplacehull/internal/rng"
 	"inplacehull/internal/workload"
 )
@@ -16,7 +17,10 @@ func TestBruteForceFacetDMatches2D(t *testing.T) {
 		pts = append(pts, PointD{X: []float64{p.X}, Z: p.Y})
 	}
 	a := pts2[0].X
-	sol, ok := BruteForceFacetD(pts, []float64{a})
+	sol, ok, err := BruteForceFacetD(pts, []float64{a})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !ok {
 		t.Fatal("d=2 failed")
 	}
@@ -35,7 +39,10 @@ func TestBruteForceFacetDMatches3D(t *testing.T) {
 		pts = append(pts, PointD{X: []float64{p.X, p.Y}, Z: p.Z})
 	}
 	sx, sy := pts3[0].X, pts3[0].Y
-	sol, ok := BruteForceFacetD(pts, []float64{sx, sy})
+	sol, ok, err := BruteForceFacetD(pts, []float64{sx, sy})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !ok {
 		t.Fatal("d=3 failed")
 	}
@@ -58,7 +65,10 @@ func TestBruteForceFacetD4(t *testing.T) {
 		pts = append(pts, PointD{X: x, Z: z})
 	}
 	q := []float64{0, 0, 0}
-	sol, ok := BruteForceFacetD(pts, q)
+	sol, ok, err := BruteForceFacetD(pts, q)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !ok {
 		t.Fatal("d=4 failed")
 	}
@@ -74,7 +84,7 @@ func TestBruteForceFacetD4(t *testing.T) {
 
 func TestBruteForceFacetDDegenerate(t *testing.T) {
 	// Too few points.
-	if _, ok := BruteForceFacetD([]PointD{{X: []float64{0}, Z: 0}}, []float64{0}); ok {
+	if _, ok, _ := BruteForceFacetD([]PointD{{X: []float64{0}, Z: 0}}, []float64{0}); ok {
 		t.Fatal("single point accepted")
 	}
 	// All base coordinates equal: no affinely independent basis.
@@ -83,8 +93,29 @@ func TestBruteForceFacetDDegenerate(t *testing.T) {
 		{X: []float64{1, 1}, Z: 1},
 		{X: []float64{1, 1}, Z: 2},
 	}
-	if _, ok := BruteForceFacetD(pts, []float64{1, 1}); ok {
+	if _, ok, _ := BruteForceFacetD(pts, []float64{1, 1}); ok {
 		t.Fatal("degenerate base accepted")
+	}
+}
+
+func TestBruteForceFacetDDimensionMismatch(t *testing.T) {
+	pts := []PointD{
+		{X: []float64{0, 0}, Z: 0},
+		{X: []float64{1, 0}, Z: 1},
+		{X: []float64{0, 1}, Z: 2},
+	}
+	// Query dimension mismatch: typed InvalidInput, not a panic.
+	if _, _, err := BruteForceFacetD(pts, []float64{0}); err == nil {
+		t.Fatal("query mismatch not reported")
+	} else if !hullerr.IsTyped(err) {
+		t.Fatalf("query mismatch error not typed: %v", err)
+	}
+	// Inconsistent point dimensions.
+	bad := append(pts, PointD{X: []float64{0}, Z: 3})
+	if _, _, err := BruteForceFacetD(bad, []float64{0, 0}); err == nil {
+		t.Fatal("inconsistent point dimensions not reported")
+	} else if !hullerr.IsTyped(err) {
+		t.Fatalf("dimension error not typed: %v", err)
 	}
 }
 

@@ -26,6 +26,7 @@ import (
 	"math"
 
 	"inplacehull/internal/compact"
+	"inplacehull/internal/fault"
 	"inplacehull/internal/geom"
 	"inplacehull/internal/pram"
 	"inplacehull/internal/rng"
@@ -264,6 +265,17 @@ func BatchBridge2D(m *pram.Machine, rnd *rng.Stream, n int, pt func(int) geom.Po
 	if q == 0 {
 		return res
 	}
+	// Fault injection (LPTimeout): a poisoned problem is never marked
+	// finished, so it burns its full iteration budget and reports OK =
+	// false — the Lemma 4.1/4.2 non-convergence event the caller's failure
+	// sweeping must absorb.
+	inj := fault.On(rnd)
+	poisoned := make([]bool, q)
+	for j := range problems {
+		if inj.Hit(fault.LPTimeout) {
+			poisoned[j] = true
+		}
+	}
 	// Work-space layout: problem j owns cells [off[j], off[j+1]).
 	off := make([]int, q+1)
 	for j, pr := range problems {
@@ -367,7 +379,7 @@ func BatchBridge2D(m *pram.Machine, rnd *rng.Stream, n int, pt func(int) geom.Po
 			}
 		}
 		for j := range problems {
-			if finished[j] {
+			if finished[j] || poisoned[j] {
 				continue
 			}
 			if !anyS[j].Get() {
@@ -380,6 +392,13 @@ func BatchBridge2D(m *pram.Machine, rnd *rng.Stream, n int, pt func(int) geom.Po
 
 	placed := make([]bool, n)
 	sampleRound := func(round uint64, forceProb bool) [][]geom.Point {
+		// Fault injection (SampleStorm): the whole sampling round
+		// collides; every base comes back empty and the survivors stay
+		// survivors for the next round.
+		if inj.Hit(fault.SampleStorm) {
+			m.Charge(2*sampleAttempts+2, int64(sampleAttempts)*int64(n)+int64(totalCells))
+			return make([][]geom.Point, q)
+		}
 		// §3.1 steps 1–4: each writer claims a random cell of its
 		// problem's block; collisions retry for sampleAttempts rounds.
 		for c := range cells {

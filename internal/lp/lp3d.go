@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"inplacehull/internal/compact"
+	"inplacehull/internal/fault"
 	"inplacehull/internal/geom"
 	"inplacehull/internal/pram"
 	"inplacehull/internal/rng"
@@ -148,6 +149,16 @@ func BatchBridge3D(m *pram.Machine, rnd *rng.Stream, n int, pt func(int) geom.Po
 	if q == 0 {
 		return res
 	}
+	// Injected non-convergence (Lemma 4.2's failure event): a poisoned
+	// problem is never allowed to finish, so it exhausts the β-iteration
+	// budget and returns OK = false for the caller's failure sweep.
+	inj := fault.On(rnd)
+	poisoned := make([]bool, q)
+	for j := range problems {
+		if inj.Hit(fault.LPTimeout) {
+			poisoned[j] = true
+		}
+	}
 	off := make([]int, q+1)
 	for j, pr := range problems {
 		k := pr.K
@@ -244,7 +255,7 @@ func BatchBridge3D(m *pram.Machine, rnd *rng.Stream, n int, pt func(int) geom.Po
 			}
 		}
 		for j := range problems {
-			if finished[j] {
+			if finished[j] || poisoned[j] {
 				continue
 			}
 			if !anyS[j].Get() {
@@ -258,6 +269,12 @@ func BatchBridge3D(m *pram.Machine, rnd *rng.Stream, n int, pt func(int) geom.Po
 	placed := make([]bool, n)
 	sampleRound := func(round uint64, forceProb bool) [][]geom.Point3 {
 		// §3.1 steps 1–4 with claim retries, as in BatchBridge2D.
+		if inj.Hit(fault.SampleStorm) {
+			// Injected claim-collision storm: the whole round's samples come
+			// back empty; the iteration is spent with nothing to show.
+			m.Charge(2*sampleAttempts+2, int64(sampleAttempts)*int64(n)+int64(totalCells))
+			return make([][]geom.Point3, q)
+		}
 		for c := range cells {
 			frozen[c] = false
 			cells[c].Reset()

@@ -12,6 +12,14 @@ import "inplacehull/internal/pram"
 // seg[i] marks the first element of each segment. Returns the per-segment
 // totals in segment order. O(log n) steps, O(n) work — a Blelloch scan
 // over (value, flag) pairs with the segmented-sum operator.
+//
+// The two panics below are programmer-error contracts, not recoverable
+// failure modes: len(seg) == len(xs) and seg[0] == true are invariants
+// every caller establishes structurally (segment flags are built alongside
+// the value array, and the first element always opens a segment). They are
+// never reachable from user input, so they stay panics rather than joining
+// the hullerr taxonomy — a violation means the calling phase is broken and
+// fail-fast is the right response.
 func SegmentedPrefixSum(m *pram.Machine, xs []int64, seg []bool) []int64 {
 	n := len(xs)
 	if n == 0 {

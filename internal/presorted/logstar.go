@@ -1,11 +1,11 @@
 package presorted
 
 import (
-	"fmt"
 	"math"
 
 	"inplacehull/internal/chain"
 	"inplacehull/internal/geom"
+	"inplacehull/internal/hullerr"
 	"inplacehull/internal/pram"
 	"inplacehull/internal/rng"
 )
@@ -27,6 +27,9 @@ import (
 //
 // The recursion depth obeys T(n) = T(log² n) + O(1) = O(log* n).
 func LogStar(m *pram.Machine, rnd *rng.Stream, pts []geom.Point) (Result, error) {
+	if err := hullerr.CheckFinite2D("LogStar", pts); err != nil {
+		return Result{}, err
+	}
 	if err := checkSorted(pts); err != nil {
 		return Result{}, err
 	}
@@ -41,7 +44,8 @@ const baseSize = 64
 func logStar(m *pram.Machine, rnd *rng.Stream, pts []geom.Point, depth int) (Result, error) {
 	n := len(pts)
 	if depth > 8 {
-		return Result{}, fmt.Errorf("presorted: log* recursion too deep (%d)", depth)
+		return Result{}, hullerr.New(hullerr.BudgetExhausted, "presorted.logstar",
+			"log* recursion too deep (%d)", depth)
 	}
 	if n <= baseSize {
 		return baseHull(m, pts), nil

@@ -1,12 +1,12 @@
 package presorted
 
 import (
-	"fmt"
 	"math/bits"
 	"sort"
 
 	"inplacehull/internal/chain"
 	"inplacehull/internal/geom"
+	"inplacehull/internal/hullerr"
 	"inplacehull/internal/lp"
 	"inplacehull/internal/pram"
 	"inplacehull/internal/rng"
@@ -283,7 +283,8 @@ func mergeHulls(m *pram.Machine, rnd *rng.Stream, pts []geom.Point, g int, hulls
 			res.EdgeOf[p] = lo
 			continue
 		}
-		return res, fmt.Errorf("presorted: log* point %d (%v) found no edge", p, pts[p])
+		return res, hullerr.New(hullerr.Internal, "presorted.logstar",
+			"point %d (%v) found no edge", p, pts[p])
 	}
 	return res, nil
 }

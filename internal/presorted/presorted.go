@@ -24,12 +24,12 @@
 package presorted
 
 import (
-	"fmt"
 	"math"
 	"math/bits"
 	"sort"
 
 	"inplacehull/internal/geom"
+	"inplacehull/internal/hullerr"
 	"inplacehull/internal/lp"
 	"inplacehull/internal/pram"
 	"inplacehull/internal/rng"
@@ -71,6 +71,9 @@ type node struct {
 // increasing x, per §2.2. It runs a constant number of PRAM steps
 // (measured by m) with O(n log n) processor activations per step.
 func ConstantTime(m *pram.Machine, rnd *rng.Stream, pts []geom.Point) (Result, error) {
+	if err := hullerr.CheckFinite2D("ConstantTime", pts); err != nil {
+		return Result{}, err
+	}
 	if err := checkSorted(pts); err != nil {
 		return Result{}, err
 	}
@@ -116,15 +119,18 @@ func Segmented(m *pram.Machine, rnd *rng.Stream, pts []geom.Point, segs []Segmen
 	maxLevels := 0
 	for s, sg := range segs {
 		if sg.Lo < 0 || sg.Hi > n || sg.Lo >= sg.Hi {
-			return res, fmt.Errorf("presorted: bad segment %d: [%d,%d)", s, sg.Lo, sg.Hi)
+			return res, hullerr.New(hullerr.InvalidInput, "presorted",
+				"bad segment %d: [%d,%d)", s, sg.Lo, sg.Hi)
 		}
 		for i := sg.Lo; i < sg.Hi; i++ {
 			if segOf[i] != -1 {
-				return res, fmt.Errorf("presorted: segments overlap at %d", i)
+				return res, hullerr.New(hullerr.InvalidInput, "presorted",
+					"segments overlap at %d", i)
 			}
 			segOf[i] = s
 			if i > sg.Lo && pts[i-1].X >= pts[i].X {
-				return res, fmt.Errorf("presorted: segment %d not strictly x-sorted at %d", s, i)
+				return res, hullerr.New(hullerr.UnsortedInput, "presorted",
+					"segment %d not strictly x-sorted at %d", s, i)
 			}
 		}
 		sz := sg.Hi - sg.Lo
@@ -311,11 +317,13 @@ func Segmented(m *pram.Machine, rnd *rng.Stream, pts []geom.Point, segs []Segmen
 		}
 		j := choice[p].Get()
 		if j == math.MaxInt64 {
-			return res, fmt.Errorf("presorted: point %d (%v) found no covering bridge", p, pts[p])
+			return res, hullerr.New(hullerr.Internal, "presorted",
+				"point %d (%v) found no covering bridge", p, pts[p])
 		}
 		res.EdgeOf[p] = edgeIndexOfProblem[int(j)]
 		if res.EdgeOf[p] < 0 {
-			return res, fmt.Errorf("presorted: point %d chose covered bridge %d", p, j)
+			return res, hullerr.New(hullerr.Internal, "presorted",
+				"point %d chose covered bridge %d", p, j)
 		}
 	}
 	return res, nil
@@ -359,7 +367,8 @@ func exactBridge(sorted []geom.Point, a float64) (geom.Point, geom.Point) {
 func checkSorted(pts []geom.Point) error {
 	for i := 1; i < len(pts); i++ {
 		if pts[i-1].X >= pts[i].X {
-			return fmt.Errorf("presorted: input not strictly x-sorted at %d", i)
+			return hullerr.New(hullerr.UnsortedInput, "presorted",
+				"input not strictly x-sorted at %d", i)
 		}
 	}
 	return nil

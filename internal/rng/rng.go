@@ -18,6 +18,12 @@ import (
 // streams with New or Split.
 type Stream struct {
 	s0, s1, s2, s3 uint64
+	// payload is an opaque rider propagated to every child by Split. The
+	// rng package never reads it; it exists so cross-cutting layers (the
+	// deterministic fault injector of internal/fault) can travel with the
+	// random stream through every randomized procedure without widening a
+	// single signature. See WithPayload.
+	payload any
 }
 
 // splitmix64 advances *x and returns the next splitmix64 output. It is used
@@ -73,10 +79,27 @@ func (s *Stream) Split(id uint64) *Stream {
 	x := s.s0 ^ bits.RotateLeft64(s.s2, 29) ^ (id * 0x9e3779b97f4a7c15)
 	var c Stream
 	c.reseed(splitmix64(&x) ^ id)
+	c.payload = s.payload
 	return &c
 }
 
-// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+// WithPayload attaches an opaque payload to the stream and returns it. The
+// payload is inherited by every stream derived through Split, transitively;
+// Uint64 and the other draws are unaffected, so attaching a payload never
+// changes a single random bit.
+func (s *Stream) WithPayload(p any) *Stream {
+	s.payload = p
+	return s
+}
+
+// Payload returns the payload attached by WithPayload (nil if none).
+func (s *Stream) Payload() any { return s.payload }
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0: a
+// non-positive bound is a programmer error, not a data condition — every
+// caller whose bound derives from input size must guard before calling
+// (the in-tree callers clamp their spaces to positive minima; see e.g.
+// compact.CompactIntoArea's size floor and workload.Grid's side guard).
 func (s *Stream) Intn(n int) int {
 	if n <= 0 {
 		panic("rng: Intn with non-positive n")

@@ -53,6 +53,82 @@ func TestSplitDeterminism(t *testing.T) {
 	}
 }
 
+func TestForkIndependenceUnderSplitting(t *testing.T) {
+	// The PRAM algorithms fork one stream per virtual processor and consume
+	// the children in scheduler-dependent interleavings; determinism demands
+	// that each child's draws depend only on its split path, never on how
+	// siblings are consumed.
+	parent := New(0xF0)
+	// (a) A child's sequence is a pure function of the split path.
+	want := make([]uint64, 32)
+	c := parent.Split(5)
+	for i := range want {
+		want[i] = c.Uint64()
+	}
+	// (b) Interleave heavy consumption of siblings between re-derivation and
+	// draws; the re-derived child must reproduce the sequence exactly.
+	c2 := parent.Split(5)
+	for sib := uint64(0); sib < 20; sib++ {
+		s := parent.Split(sib * 31)
+		for i := 0; i < 100; i++ {
+			s.Uint64()
+		}
+	}
+	for i := range want {
+		if got := c2.Uint64(); got != want[i] {
+			t.Fatalf("sibling consumption perturbed child draw %d", i)
+		}
+	}
+	// (c) Grandchildren on distinct paths decorrelate: no matching draws
+	// between any pair of a small fleet.
+	const fleet, draws = 8, 200
+	seqs := make([][]uint64, fleet)
+	for i := range seqs {
+		g := parent.Split(uint64(i)).Split(uint64(i) * 7)
+		seqs[i] = make([]uint64, draws)
+		for j := range seqs[i] {
+			seqs[i][j] = g.Uint64()
+		}
+	}
+	for a := 0; a < fleet; a++ {
+		for b := a + 1; b < fleet; b++ {
+			same := 0
+			for j := 0; j < draws; j++ {
+				if seqs[a][j] == seqs[b][j] {
+					same++
+				}
+			}
+			if same > 0 {
+				t.Fatalf("grandchild streams %d and %d matched %d/%d draws", a, b, same, draws)
+			}
+		}
+	}
+}
+
+func TestPayloadRidesSplits(t *testing.T) {
+	type marker struct{ v int }
+	mk := &marker{v: 7}
+	s := New(3).WithPayload(mk)
+	// Transitive inheritance through arbitrary split depth.
+	child := s.Split(1).Split(2).Split(3)
+	if got, _ := child.Payload().(*marker); got != mk {
+		t.Fatal("payload not inherited through Split chain")
+	}
+	// Attaching a payload must not change a single random bit.
+	a, b := New(17), New(17).WithPayload(mk)
+	for i := 0; i < 200; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("payload changed the random sequence at draw %d", i)
+		}
+	}
+	ca, cb := New(17).Split(9), New(17).WithPayload(mk).Split(9)
+	for i := 0; i < 200; i++ {
+		if ca.Uint64() != cb.Uint64() {
+			t.Fatalf("payload changed a child sequence at draw %d", i)
+		}
+	}
+}
+
 func TestIntnRange(t *testing.T) {
 	s := New(3)
 	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {

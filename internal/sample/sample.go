@@ -8,6 +8,7 @@ package sample
 import (
 	"sync/atomic"
 
+	"inplacehull/internal/fault"
 	"inplacehull/internal/pram"
 	"inplacehull/internal/rng"
 )
@@ -43,6 +44,14 @@ type Result struct {
 func Random(m *pram.Machine, rnd *rng.Stream, n, k int, prob float64, live func(p int) bool) Result {
 	if k < 1 {
 		k = 1
+	}
+	if fault.On(rnd).Hit(fault.SampleStorm) {
+		// Injected claim-collision storm (Lemma 3.1's failure event):
+		// every write round collides, the sample comes back empty and the
+		// caller's retry path must absorb it. The charge mirrors a real
+		// all-colliding run.
+		m.Charge(2*Attempts+1, int64(Attempts)*int64(n))
+		return Result{Collisions: n * Attempts}
 	}
 	space := SpaceFactor * k
 	release := m.AllocScratch(int64(space))

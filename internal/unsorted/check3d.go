@@ -1,0 +1,45 @@
+package unsorted
+
+import (
+	"fmt"
+
+	"inplacehull/internal/geom"
+	"inplacehull/internal/lp"
+)
+
+// CheckCaps3D verifies a Result3D against the §4.3 output contract: every
+// point has a cap facet whose plane it does not exceed and (for
+// non-degenerate caps) whose xy-projection covers it, with boundary
+// tolerance for anchor points — facet vertices and quadrant survivors
+// assigned at facet corners. It is the standard validity oracle for the
+// example programs, the benchmark harness and the E14 chaos soak.
+func CheckCaps3D(pts []geom.Point3, res Result3D) error {
+	if len(res.FacetOf) != len(pts) {
+		return fmt.Errorf("FacetOf has %d entries for %d points", len(res.FacetOf), len(pts))
+	}
+	for p := range pts {
+		fi := res.FacetOf[p]
+		if fi < 0 {
+			return fmt.Errorf("point %d has no facet", p)
+		}
+		if fi >= len(res.Facets) {
+			return fmt.Errorf("point %d has out-of-range facet %d", p, fi)
+		}
+		c := res.Facets[fi]
+		if c.Violates(pts[p]) {
+			return fmt.Errorf("point %v above its cap %+v", pts[p], c)
+		}
+		if !c.Degenerate() && !capCovers(c, pts[p]) {
+			return fmt.Errorf("point %v not covered by its cap %+v", pts[p], c)
+		}
+	}
+	return nil
+}
+
+// capCovers is the coverage predicate of CheckCaps3D.
+func capCovers(c lp.Solution3D, p geom.Point3) bool {
+	if p == c.A || p == c.B || p == c.C {
+		return true
+	}
+	return underFacet(c, p) || !c.Violates(p)
+}

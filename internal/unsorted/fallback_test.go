@@ -1,0 +1,73 @@
+package unsorted
+
+import (
+	"testing"
+
+	"inplacehull/internal/hull2d"
+	"inplacehull/internal/pram"
+	"inplacehull/internal/rng"
+	"inplacehull/internal/workload"
+)
+
+// TestFallbackSwitchAllWorkloads forces the §4.1 l ≥ threshold switch on
+// every registered workload generator, so the O(n log n)-work fallback
+// (radix sort + segmented presorted hull) carries the whole run, and
+// verifies the resulting chain against Kirkpatrick–Seidel and the full
+// reference oracle.
+func TestFallbackSwitchAllWorkloads(t *testing.T) {
+	for _, g := range workload.Gens2D {
+		g := g
+		t.Run(g.Name, func(t *testing.T) {
+			pts := g.Gen(31, 400)
+			m := pram.New()
+			// PhaseIters=1 puts a phase boundary after every level, so the
+			// l >= 1 test fires at the first boundary with live problems.
+			res, err := Hull2DOpts(m, rng.New(17), pts, Options{FallbackThreshold: 1, PhaseIters: 1})
+			if err != nil {
+				t.Fatalf("fallback run failed: %v", err)
+			}
+			if !res.Stats.FellBack {
+				t.Fatal("FallbackThreshold=1 did not trigger the fallback switch")
+			}
+			if verr := CheckAgainstReference(pts, res); verr != nil {
+				t.Fatalf("oracle rejected fallback hull: %v", verr)
+			}
+			// The chain's vertex set must match Kirkpatrick–Seidel's upper
+			// hull exactly (CheckAgainstReference already tolerates
+			// subdivided collinear edges; here we pin the strict chain).
+			ks := hull2d.KirkpatrickSeidel(pts)
+			strict := hull2d.UpperHull(res.Chain)
+			if len(strict) != len(ks) {
+				t.Fatalf("fallback chain has %d strict vertices, KS has %d", len(strict), len(ks))
+			}
+			for i := range ks {
+				if strict[i] != ks[i] {
+					t.Fatalf("vertex %d: fallback %v vs KS %v", i, strict[i], ks[i])
+				}
+			}
+		})
+	}
+}
+
+// TestFallbackMatchesDirectRun: with the same seed, the fallback-forced
+// hull and the unrestricted run agree on the strict upper hull.
+func TestFallbackMatchesDirectRun(t *testing.T) {
+	pts := workload.Disk(9, 300)
+	fb, err := Hull2DOpts(pram.New(), rng.New(5), pts, Options{FallbackThreshold: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := Hull2D(pram.New(), rng.New(5), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := hull2d.UpperHull(fb.Chain), hull2d.UpperHull(direct.Chain)
+	if len(a) != len(b) {
+		t.Fatalf("strict hulls differ in size: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("vertex %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

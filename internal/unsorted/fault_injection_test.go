@@ -1,0 +1,172 @@
+package unsorted
+
+import (
+	"errors"
+	"testing"
+
+	"inplacehull/internal/fault"
+	"inplacehull/internal/hullerr"
+	"inplacehull/internal/pram"
+	"inplacehull/internal/rng"
+	"inplacehull/internal/workload"
+)
+
+// These tests force each paper-named failure mode at rate 1 and check the
+// recovery path the paper prescribes actually runs: failure sweeping,
+// retries, and the fallback switch absorb bounded poisoning with a correct
+// hull, while unbounded poisoning of a budgeted loop surrenders with a
+// typed error — never a panic or a wrong answer.
+
+func faultStream(seed uint64, plan fault.Plan) (*rng.Stream, *fault.Injector) {
+	in := fault.NewInjector(plan)
+	return fault.Attach(rng.New(seed), in), in
+}
+
+func planFor(site fault.Site, rate float64, maxPerSite int) fault.Plan {
+	var p fault.Plan
+	p.Seed = 0xFA17
+	p.Rates[site] = rate
+	p.MaxPerSite = maxPerSite
+	return p
+}
+
+func run2DWithPlan(t *testing.T, plan fault.Plan) (Result2D, *fault.Injector, error) {
+	t.Helper()
+	m := pram.New()
+	rnd, in := faultStream(11, plan)
+	pts := workload.Disk(5, 256)
+	res, err := Hull2D(m, rnd, pts)
+	if err == nil {
+		if verr := CheckAgainstReference(pts, res); verr != nil {
+			t.Fatalf("oracle rejected hull under plan %+v: %v", plan, verr)
+		}
+	} else if !hullerr.IsTyped(err) {
+		t.Fatalf("untyped error under plan %+v: %v", plan, err)
+	}
+	return res, in, err
+}
+
+func TestInjectSampleStormBounded(t *testing.T) {
+	// A bounded storm of empty samples must be absorbed by resampling and
+	// failure sweeping: correct hull, no error.
+	_, in, err := run2DWithPlan(t, planFor(fault.SampleStorm, 1, 6))
+	if err != nil {
+		t.Fatalf("bounded sample storm not absorbed: %v", err)
+	}
+	if got := in.Counts()[fault.SampleStorm].Injected; got != 6 {
+		t.Fatalf("injected %d storms, want the full budget of 6", got)
+	}
+}
+
+func TestInjectSampleStormUnbounded(t *testing.T) {
+	// With every sample poisoned forever, the recursion's level budget must
+	// still terminate the run — verified hull via sweeping/fallback, or a
+	// typed surrender. run2DWithPlan fails the test on anything else.
+	_, in, _ := run2DWithPlan(t, planFor(fault.SampleStorm, 1, 0))
+	if in.Counts()[fault.SampleStorm].Injected == 0 {
+		t.Fatal("storm site never fired")
+	}
+}
+
+func TestInjectCompactOverflowAbsorbed(t *testing.T) {
+	// Forced compaction overflows route through sweeping's resolve-all
+	// path (§2.3): the hull must still come out correct.
+	for _, cap := range []int{4, 0} {
+		_, in, err := run2DWithPlan(t, planFor(fault.CompactOverflow, 1, cap))
+		if in.Counts()[fault.CompactOverflow].Injected == 0 {
+			t.Fatalf("cap=%d: overflow site never fired", cap)
+		}
+		if cap > 0 && err != nil {
+			t.Fatalf("bounded overflow not absorbed: %v", err)
+		}
+	}
+}
+
+func TestInjectLPTimeoutSweptUp(t *testing.T) {
+	// Every bridge LP refuses to converge; failure sweeping must resolve
+	// the affected subproblems directly and the hull must be correct.
+	res, in, err := run2DWithPlan(t, planFor(fault.LPTimeout, 1, 0))
+	if err != nil {
+		t.Fatalf("LP timeouts not swept up: %v", err)
+	}
+	if in.Counts()[fault.LPTimeout].Injected == 0 {
+		t.Fatal("timeout site never fired")
+	}
+	if res.Stats.BridgeFailures == 0 {
+		t.Fatal("no bridge failures recorded despite rate-1 LP timeouts")
+	}
+}
+
+func TestInjectVoteSkewBoundedRecovers(t *testing.T) {
+	// A couple of skewed vote rounds are inside the 8-round retry
+	// escalation: the vote must still elect a splitter and the hull must be
+	// correct.
+	_, in, err := run2DWithPlan(t, planFor(fault.VoteSkew, 1, 2))
+	if err != nil {
+		t.Fatalf("bounded vote skew not absorbed: %v", err)
+	}
+	if in.Counts()[fault.VoteSkew].Injected == 0 {
+		t.Skip("vote site not reached on this workload (vote phase skipped)")
+	}
+}
+
+func TestInjectVoteSkewUnboundedSurrenders(t *testing.T) {
+	// All 8 escalation rounds skewed: the vote exhausts its budget and the
+	// run must surrender with a typed BudgetExhausted error.
+	m := pram.New()
+	rnd, in := faultStream(11, planFor(fault.VoteSkew, 1, 0))
+	pts := workload.Disk(5, 256)
+	_, err := Hull2D(m, rnd, pts)
+	if in.Counts()[fault.VoteSkew].Injected == 0 {
+		t.Skip("vote site not reached on this workload (vote phase skipped)")
+	}
+	if err == nil {
+		t.Fatal("unbounded vote skew produced no error")
+	}
+	var he *hullerr.Error
+	if !errors.As(err, &he) || he.Kind != hullerr.BudgetExhausted {
+		t.Fatalf("want typed BudgetExhausted, got %v", err)
+	}
+}
+
+func TestInjectForceFallback2D(t *testing.T) {
+	// Forcing the l ≥ threshold switch at the root must run the
+	// O(n log n)-work fallback and still produce the correct hull.
+	m := pram.New()
+	plan := fault.Plan{Seed: 1, FallbackLevel: 1}
+	rnd, in := faultStream(11, plan)
+	pts := workload.Disk(5, 256)
+	res, err := Hull2D(m, rnd, pts)
+	if err != nil {
+		t.Fatalf("forced fallback errored: %v", err)
+	}
+	if !res.Stats.FellBack {
+		t.Fatal("FallbackLevel=1 did not set Stats.FellBack")
+	}
+	if in.Counts()[fault.ForceFallback].Injected == 0 {
+		t.Fatal("fallback site recorded no injection")
+	}
+	if verr := CheckAgainstReference(pts, res); verr != nil {
+		t.Fatalf("fallback hull rejected: %v", verr)
+	}
+}
+
+func TestInjectForceFallback3D(t *testing.T) {
+	m := pram.New()
+	plan := fault.Plan{Seed: 1, FallbackLevel: 1}
+	rnd, in := faultStream(11, plan)
+	pts := workload.Ball(5, 128)
+	res, err := Hull3D(m, rnd, pts)
+	if err != nil {
+		t.Fatalf("forced 3-d fallback errored: %v", err)
+	}
+	if !res.Stats.FellBack {
+		t.Fatal("FallbackLevel=1 did not set 3-d Stats.FellBack")
+	}
+	if in.Counts()[fault.ForceFallback].Injected == 0 {
+		t.Fatal("fallback site recorded no injection")
+	}
+	if verr := CheckCaps3D(pts, res); verr != nil {
+		t.Fatalf("fallback 3-d hull rejected: %v", verr)
+	}
+}

@@ -27,11 +27,12 @@
 package unsorted
 
 import (
-	"fmt"
 	"math"
 	"sort"
 
+	"inplacehull/internal/fault"
 	"inplacehull/internal/geom"
+	"inplacehull/internal/hullerr"
 	"inplacehull/internal/lp"
 	"inplacehull/internal/par"
 	"inplacehull/internal/pram"
@@ -121,6 +122,9 @@ func Hull2DOpts(m *pram.Machine, rnd *rng.Stream, pts []geom.Point, opt Options)
 	n := len(pts)
 	opt.fill(n)
 	res := Result2D{EdgeOf: make([]int, n)}
+	if err := hullerr.CheckFinite2D("Hull2D", pts); err != nil {
+		return res, err
+	}
 	for i := range res.EdgeOf {
 		res.EdgeOf[i] = -1
 	}
@@ -149,7 +153,8 @@ func Hull2DOpts(m *pram.Machine, rnd *rng.Stream, pts []geom.Point, opt Options)
 			break
 		}
 		if level > maxLevels {
-			return res, fmt.Errorf("unsorted2d: recursion exceeded %d levels", maxLevels)
+			return res, hullerr.New(hullerr.BudgetExhausted, "unsorted2d",
+				"recursion exceeded %d levels", maxLevels)
 		}
 		res.Stats.Levels++
 
@@ -302,7 +307,7 @@ func Hull2DOpts(m *pram.Machine, rnd *rng.Stream, pts []geom.Point, opt Options)
 		if (level+1)%opt.PhaseIters == 0 && len(problems) > 0 {
 			res.Stats.Phases++
 			l := edgesFound + len(problems)
-			if l >= opt.FallbackThreshold {
+			if l >= opt.FallbackThreshold || fault.On(rnd).ForceFallbackAt(level) {
 				res.Stats.FellBack = true
 				res.Stats.FallbackLevel = level
 				fbEdges, err := fallback2D(m, rnd.Split(0xFB), pts, probNum, edgeU, edgeW, hasEdge)
@@ -351,10 +356,20 @@ func batchVote(m *pram.Machine, rnd *rng.Stream, n, q int, probID func(int) int,
 	for i := range votes {
 		votes[i] = -1
 	}
+	inj := fault.On(rnd)
 	missing := q
 	for round := 0; round < 8 && missing > 0; round++ {
 		pram.ResetClaims(cells)
 		m.Charge(1, int64(space*q))
+		if inj.Hit(fault.VoteSkew) {
+			// Injected skewed vote round (Corollary 3.1 failure event):
+			// every claimed cell is contested, no problem elects a winner
+			// this round, and the retry escalation doubles the write
+			// probability. Eight consecutive skewed rounds exhaust the
+			// budget below.
+			m.Charge(3, int64(space*q)+int64(n))
+			continue
+		}
 		base := rnd.Split(uint64(round))
 		m.Step(n, func(p int) bool {
 			i := probID(p)
@@ -386,7 +401,8 @@ func batchVote(m *pram.Machine, rnd *rng.Stream, n, q int, probID func(int) int,
 	}
 	for i, v := range votes {
 		if v < 0 {
-			return nil, fmt.Errorf("unsorted2d: problem %d failed to vote (live=%d)", i, liveOf(i))
+			return nil, hullerr.New(hullerr.BudgetExhausted, "unsorted2d.vote",
+				"problem %d failed to vote after 8 rounds (live=%d)", i, liveOf(i))
 		}
 	}
 	return votes, nil
@@ -553,7 +569,8 @@ func assemble2D(pts []geom.Point, edges []geom.Edge, edgeU, edgeW []geom.Point, 
 				res.EdgeOf[p] = -1
 				continue
 			}
-			return res, fmt.Errorf("unsorted2d: point %d (%v) has no edge", p, pts[p])
+			return res, hullerr.New(hullerr.Internal, "unsorted2d",
+				"point %d (%v) has no edge", p, pts[p])
 		}
 		e := geom.Edge{U: edgeU[p], W: edgeW[p]}
 		if e.U == e.W {
@@ -563,7 +580,8 @@ func assemble2D(pts []geom.Point, edges []geom.Edge, edgeU, edgeW []geom.Point, 
 		}
 		i, ok := idx[e]
 		if !ok {
-			return res, fmt.Errorf("unsorted2d: point %d references unknown edge %v", p, e)
+			return res, hullerr.New(hullerr.Internal, "unsorted2d",
+				"point %d references unknown edge %v", p, e)
 		}
 		res.EdgeOf[p] = i
 	}

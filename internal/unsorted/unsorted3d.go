@@ -1,11 +1,12 @@
 package unsorted
 
 import (
-	"fmt"
 	"math"
 
+	"inplacehull/internal/fault"
 	"inplacehull/internal/geom"
 	"inplacehull/internal/hull3d"
+	"inplacehull/internal/hullerr"
 	"inplacehull/internal/lp"
 	"inplacehull/internal/pram"
 	"inplacehull/internal/rng"
@@ -85,6 +86,9 @@ func Hull3DOpts(m *pram.Machine, rnd *rng.Stream, pts []geom.Point3, opt Options
 	for i := range res.FacetOf {
 		res.FacetOf[i] = -1
 	}
+	if err := hullerr.CheckFinite3D("Hull3D", pts); err != nil {
+		return res, err
+	}
 	if n == 0 {
 		return res, nil
 	}
@@ -128,7 +132,7 @@ func Hull3DOpts(m *pram.Machine, rnd *rng.Stream, pts []geom.Point3, opt Options
 		// Reif–Sen substitute (see DESIGN.md): sequential randomized
 		// incremental hull per remaining problem, composed concurrently.
 		l := facetsFound + len(problems)
-		if level >= opt.MaxLevels || l >= opt.FallbackThreshold {
+		if level >= opt.MaxLevels || l >= opt.FallbackThreshold || fault.On(rnd).ForceFallbackAt(level) {
 			res.Stats.FellBack = true
 			res.Stats.FallbackLevel = level
 			if err := fallback3D(m, rnd.Split(0x3FB), pts, probNum, problems, capOf, hasCap); err != nil {
@@ -457,7 +461,8 @@ func assemble3D(pts []geom.Point3, capOf []lp.Solution3D, hasCap []bool, res Res
 	idx := map[lp.Solution3D]int{}
 	for p := range pts {
 		if !hasCap[p] {
-			return res, fmt.Errorf("unsorted3d: point %d (%v) has no cap", p, pts[p])
+			return res, hullerr.New(hullerr.Internal, "unsorted3d",
+				"point %d (%v) has no cap", p, pts[p])
 		}
 		c := capOf[p]
 		i, ok := idx[c]

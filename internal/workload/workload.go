@@ -135,6 +135,9 @@ func Collinear(seed uint64, n int) []geom.Point {
 func Grid(seed uint64, n int) []geom.Point {
 	s := rng.New(seed)
 	side := int(math.Ceil(math.Sqrt(float64(n))))
+	if side < 1 {
+		side = 1 // rng.Intn requires a positive bound (n = 0 inputs)
+	}
 	pts := make([]geom.Point, n)
 	for i := range pts {
 		pts[i] = geom.Point{X: float64(s.Intn(side)), Y: float64(s.Intn(side))}
