@@ -1,6 +1,8 @@
 // Command hullbench runs the experiments of DESIGN.md §6 and prints their
 // tables — the reproduction's equivalent of regenerating the paper's
-// evaluation figures.
+// evaluation figures. The registry spans E1–E15: the theorem-by-theorem
+// measurements, the E14 chaos soak (with the E14c supervised-recovery
+// re-run), and the E15 resilience-overhead sweep.
 //
 // Usage:
 //

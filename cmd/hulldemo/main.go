@@ -8,11 +8,14 @@
 //	hulldemo -algo logstar -gen gauss -n 65536
 //	hulldemo -algo hull3d -gen3 ball -n 2048
 //	hulldemo -algo ks -gen disk -n 100000                # sequential baseline
+//	hulldemo -algo hull2d -n 100000 -timeout 2s          # supervised, with deadline
+//	hulldemo -algo hull3d -retries 5                     # supervised, 5 extra attempts
 //	printf '0 0\n1 2\n2 1\n' | hulldemo -algo hull2d -stdin
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -23,23 +26,62 @@ import (
 	"inplacehull/internal/workload"
 )
 
+// supCfg carries the supervision flags. Setting either -timeout or
+// -retries routes the parallel algorithms through the resilient layer:
+// the run honors the deadline, reseeds and retries typed failures, and
+// degrades to the sequential baseline after the retry cap.
+type supCfg struct {
+	timeout time.Duration
+	retries int
+}
+
+func (s supCfg) enabled() bool { return s.timeout > 0 || s.retries > 0 }
+
+// ctx returns the run context and its cancel func.
+func (s supCfg) ctx() (context.Context, context.CancelFunc) {
+	if s.timeout > 0 {
+		return context.WithTimeout(context.Background(), s.timeout)
+	}
+	return context.Background(), func() {}
+}
+
+// policy maps -retries onto the supervisor policy, echoing retries on
+// stderr so a degraded run explains itself.
+func (s supCfg) policy() inplacehull.Policy {
+	pol := inplacehull.Policy{OnRetry: func(attempt int, err error) {
+		fmt.Fprintf(os.Stderr, "attempt %d failed (%v); reseeding and retrying\n", attempt, err)
+	}}
+	if s.retries > 0 {
+		pol.MaxAttempts = s.retries + 1
+	}
+	return pol
+}
+
+func printReport(rep inplacehull.RunReport) {
+	fmt.Printf("attempts       %d\n", rep.Attempts)
+	fmt.Printf("result tier    %s\n", rep.Tier)
+}
+
 func main() {
 	var (
-		algo  = flag.String("algo", "hull2d", "hull2d | presorted | logstar | hull3d | ks | chan | quickhull | monotone | incremental3d | giftwrap3d")
-		gen   = flag.String("gen", "disk", "2-d generator: circle disk gauss poly16 poly64 onion64 collinear grid")
-		gen3  = flag.String("gen3", "ball", "3-d generator: ball sphere cap ballfew64 moment")
-		n     = flag.Int("n", 10000, "number of points")
-		seed  = flag.Uint64("seed", 1, "random seed")
-		stdin = flag.Bool("stdin", false, "read 2-d points (x y per line) from stdin")
-		show  = flag.Int("show", 8, "hull vertices to print (0 = all)")
-		svg   = flag.String("svg", "", "write an SVG rendering of points + hull to this file (2-d only)")
+		algo    = flag.String("algo", "hull2d", "hull2d | presorted | logstar | hull3d | ks | chan | quickhull | monotone | incremental3d | giftwrap3d")
+		gen     = flag.String("gen", "disk", "2-d generator: circle disk gauss poly16 poly64 onion64 collinear grid")
+		gen3    = flag.String("gen3", "ball", "3-d generator: ball sphere cap ballfew64 moment")
+		n       = flag.Int("n", 10000, "number of points")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		stdin   = flag.Bool("stdin", false, "read 2-d points (x y per line) from stdin")
+		show    = flag.Int("show", 8, "hull vertices to print (0 = all)")
+		svg     = flag.String("svg", "", "write an SVG rendering of points + hull to this file (2-d only)")
+		timeout = flag.Duration("timeout", 0, "supervised run deadline (0 = none; implies the resilient layer)")
+		retries = flag.Int("retries", 0, "extra randomized attempts before degrading to the sequential baseline (implies the resilient layer)")
 	)
 	flag.Parse()
+	sup := supCfg{timeout: *timeout, retries: *retries}
 
 	switch *algo {
 	case "hull3d", "incremental3d", "giftwrap3d":
 		pts := gen3D(*gen3, *seed, *n)
-		run3D(*algo, *seed, pts, *show)
+		run3D(*algo, *seed, pts, *show, sup)
 	default:
 		var pts []inplacehull.Point
 		if *stdin {
@@ -47,7 +89,7 @@ func main() {
 		} else {
 			pts = gen2D(*gen, *seed, *n)
 		}
-		chain := run2D(*algo, *seed, pts, *show)
+		chain := run2D(*algo, *seed, pts, *show, sup)
 		if *svg != "" {
 			doc := viz.SVG2D(pts, chain, false)
 			if err := os.WriteFile(*svg, []byte(doc), 0o644); err != nil {
@@ -83,27 +125,48 @@ func gen3D(name string, seed uint64, n int) []inplacehull.Point3 {
 	return g(seed, n)
 }
 
-func run2D(algo string, seed uint64, pts []inplacehull.Point, show int) []inplacehull.Point {
+func run2D(algo string, seed uint64, pts []inplacehull.Point, show int, sup supCfg) []inplacehull.Point {
 	start := time.Now()
 	switch algo {
 	case "hull2d", "presorted", "logstar":
 		m := inplacehull.NewMachine()
 		rnd := inplacehull.NewRand(seed)
 		var chain []inplacehull.Point
+		var rep inplacehull.RunReport
 		var err error
-		switch algo {
-		case "hull2d":
-			var res inplacehull.Hull2DResult
-			res, err = inplacehull.Hull2D(m, rnd, pts)
-			chain = res.Chain
-		case "presorted":
-			var res inplacehull.PresortedResult
-			res, err = inplacehull.PresortedHull(m, rnd, dedupeSorted(pts))
-			chain = res.Chain
-		case "logstar":
-			var res inplacehull.PresortedResult
-			res, err = inplacehull.LogStarHull(m, rnd, dedupeSorted(pts))
-			chain = res.Chain
+		if sup.enabled() {
+			ctx, cancel := sup.ctx()
+			defer cancel()
+			pol := sup.policy()
+			switch algo {
+			case "hull2d":
+				var res inplacehull.Hull2DResult
+				res, rep, err = inplacehull.Hull2DCtx(ctx, m, rnd, pts, pol)
+				chain = res.Chain
+			case "presorted":
+				var res inplacehull.PresortedResult
+				res, rep, err = inplacehull.PresortedHullCtx(ctx, m, rnd, dedupeSorted(pts), pol)
+				chain = res.Chain
+			case "logstar":
+				var res inplacehull.PresortedResult
+				res, rep, err = inplacehull.LogStarHullCtx(ctx, m, rnd, dedupeSorted(pts), pol)
+				chain = res.Chain
+			}
+		} else {
+			switch algo {
+			case "hull2d":
+				var res inplacehull.Hull2DResult
+				res, err = inplacehull.Hull2D(m, rnd, pts)
+				chain = res.Chain
+			case "presorted":
+				var res inplacehull.PresortedResult
+				res, err = inplacehull.PresortedHull(m, rnd, dedupeSorted(pts))
+				chain = res.Chain
+			case "logstar":
+				var res inplacehull.PresortedResult
+				res, err = inplacehull.LogStarHull(m, rnd, dedupeSorted(pts))
+				chain = res.Chain
+			}
 		}
 		if err != nil {
 			fatalf("%v", err)
@@ -115,6 +178,9 @@ func run2D(algo string, seed uint64, pts []inplacehull.Point, show int) []inplac
 		fmt.Printf("PRAM work      %d\n", m.Work())
 		fmt.Printf("peak procs     %d\n", m.PeakProcessors())
 		fmt.Printf("wall time      %v\n", time.Since(start).Round(time.Microsecond))
+		if sup.enabled() {
+			printReport(rep)
+		}
 		printChain(chain, show)
 		return chain
 	case "ks", "chan", "quickhull", "monotone":
@@ -144,12 +210,21 @@ func run2D(algo string, seed uint64, pts []inplacehull.Point, show int) []inplac
 	return nil
 }
 
-func run3D(algo string, seed uint64, pts []inplacehull.Point3, show int) {
+func run3D(algo string, seed uint64, pts []inplacehull.Point3, show int, sup supCfg) {
 	start := time.Now()
 	switch algo {
 	case "hull3d":
 		m := inplacehull.NewMachine()
-		res, err := inplacehull.Hull3D(m, inplacehull.NewRand(seed), pts)
+		var res inplacehull.Hull3DResult
+		var rep inplacehull.RunReport
+		var err error
+		if sup.enabled() {
+			ctx, cancel := sup.ctx()
+			defer cancel()
+			res, rep, err = inplacehull.Hull3DCtx(ctx, m, inplacehull.NewRand(seed), pts, sup.policy())
+		} else {
+			res, err = inplacehull.Hull3D(m, inplacehull.NewRand(seed), pts)
+		}
 		if err != nil {
 			fatalf("%v", err)
 		}
@@ -160,6 +235,9 @@ func run3D(algo string, seed uint64, pts []inplacehull.Point3, show int) {
 		fmt.Printf("PRAM work      %d\n", m.Work())
 		fmt.Printf("3d levels      %d (total depth %d)\n", res.Stats.Levels, res.Stats.TotalDepth)
 		fmt.Printf("wall time      %v\n", time.Since(start).Round(time.Microsecond))
+		if sup.enabled() {
+			printReport(rep)
+		}
 	case "incremental3d", "giftwrap3d":
 		var h inplacehull.Hull3DExact
 		var err error

@@ -31,12 +31,15 @@
 package inplacehull
 
 import (
+	"context"
+
 	"inplacehull/internal/geom"
 	"inplacehull/internal/hull2d"
 	"inplacehull/internal/hull3d"
 	"inplacehull/internal/hullerr"
 	"inplacehull/internal/pram"
 	"inplacehull/internal/presorted"
+	"inplacehull/internal/resilient"
 	"inplacehull/internal/rng"
 	"inplacehull/internal/unsorted"
 )
@@ -100,6 +103,11 @@ const (
 	// ErrKindInternal: an invariant the algorithms guarantee was violated —
 	// always a bug, never caused by user input.
 	ErrKindInternal = hullerr.Internal
+	// ErrKindCanceled: the context of a *Ctx entry point was canceled; the
+	// machine stopped between PRAM steps with its counters consistent.
+	ErrKindCanceled = hullerr.Canceled
+	// ErrKindDeadline: the context deadline of a *Ctx entry point expired.
+	ErrKindDeadline = hullerr.DeadlineExceeded
 )
 
 // Sentinel errors for errors.Is matching (kind-based).
@@ -112,6 +120,12 @@ var (
 	ErrUnsorted = hullerr.ErrUnsorted
 	// ErrBudget matches budget-exhaustion errors.
 	ErrBudget = hullerr.ErrBudget
+	// ErrCanceled matches context-cancellation errors from the *Ctx entry
+	// points.
+	ErrCanceled = hullerr.ErrCanceled
+	// ErrDeadline matches context-deadline errors from the *Ctx entry
+	// points.
+	ErrDeadline = hullerr.ErrDeadline
 )
 
 // IsTyped reports whether err is (or wraps) a typed *Error — the guarantee
@@ -177,6 +191,67 @@ func Hull3D(m *Machine, rnd *Rand, pts []Point3) (Hull3DResult, error) {
 // Hull3DWithOptions is Hull3D with explicit §4.3 constants.
 func Hull3DWithOptions(m *Machine, rnd *Rand, pts []Point3, opt Hull3DOptions) (Hull3DResult, error) {
 	return unsorted.Hull3DOpts(m, rnd, pts, opt)
+}
+
+// Supervision layer (internal/resilient): the *Ctx entry points run the
+// randomized algorithms under a supervisor combining cancellation/deadline
+// propagation, reseeded retries with exponential budget escalation, and a
+// deterministic sequential degradation ladder. Their contract is "a
+// correct hull or a typed error, never a wrong answer": every ladder
+// result is checked against the sequential oracle before it is returned.
+type (
+	// Policy tunes the supervisor (zero value = defaults: 3 attempts,
+	// budget-escalation base 2, ladder enabled).
+	Policy = resilient.Policy
+	// RunReport is the supervisor's account of one run: attempts, tier,
+	// cumulative PRAM cost across attempts.
+	RunReport = resilient.Report
+	// ResultTier identifies the degradation-ladder rung that produced a
+	// supervised result.
+	ResultTier = resilient.Tier
+)
+
+// Degradation-ladder tiers, reported in RunReport.Tier.
+const (
+	// TierRandomized: the randomized parallel algorithm succeeded
+	// (possibly after reseeded retries).
+	TierRandomized = resilient.TierRandomized
+	// TierSequential: the deterministic sequential baseline answered.
+	TierSequential = resilient.TierSequential
+	// TierDegenerate: the last-resort 3-d degenerate-cap construction.
+	TierDegenerate = resilient.TierDegenerate
+)
+
+// Hull2DCtx is Hull2D under the supervisor: it honors ctx cancellation and
+// deadlines between PRAM steps, retries budget surrenders with fresh
+// seeds, and degrades to the sequential baseline after the retry cap.
+func Hull2DCtx(ctx context.Context, m *Machine, rnd *Rand, pts []Point, pol Policy) (Hull2DResult, RunReport, error) {
+	return resilient.Hull2D(ctx, m, rnd, pts, pol)
+}
+
+// Hull2DCtxOptions is Hull2DCtx with explicit §4.1 constants.
+func Hull2DCtxOptions(ctx context.Context, m *Machine, rnd *Rand, pts []Point, opt Hull2DOptions, pol Policy) (Hull2DResult, RunReport, error) {
+	return resilient.Hull2DOpts(ctx, m, rnd, pts, opt, pol)
+}
+
+// Hull3DCtx is Hull3D under the supervisor (see Hull2DCtx).
+func Hull3DCtx(ctx context.Context, m *Machine, rnd *Rand, pts []Point3, pol Policy) (Hull3DResult, RunReport, error) {
+	return resilient.Hull3D(ctx, m, rnd, pts, pol)
+}
+
+// Hull3DCtxOptions is Hull3DCtx with explicit §4.3 constants.
+func Hull3DCtxOptions(ctx context.Context, m *Machine, rnd *Rand, pts []Point3, opt Hull3DOptions, pol Policy) (Hull3DResult, RunReport, error) {
+	return resilient.Hull3DOpts(ctx, m, rnd, pts, opt, pol)
+}
+
+// PresortedHullCtx is PresortedHull under the supervisor (see Hull2DCtx).
+func PresortedHullCtx(ctx context.Context, m *Machine, rnd *Rand, pts []Point, pol Policy) (PresortedResult, RunReport, error) {
+	return resilient.PresortedHull(ctx, m, rnd, pts, pol)
+}
+
+// LogStarHullCtx is LogStarHull under the supervisor (see Hull2DCtx).
+func LogStarHullCtx(ctx context.Context, m *Machine, rnd *Rand, pts []Point, pol Policy) (PresortedResult, RunReport, error) {
+	return resilient.LogStarHull(ctx, m, rnd, pts, pol)
 }
 
 // FullHullResult is the output of FullHull2DParallel.

@@ -5,6 +5,7 @@ import (
 
 	"inplacehull/internal/fault"
 	"inplacehull/internal/fault/soak"
+	"inplacehull/internal/resilient"
 )
 
 func init() {
@@ -57,7 +58,35 @@ func init() {
 			}
 			ti.Notes = append(ti.Notes,
 				"every paper-named failure mode (sampling storm, compaction overflow, LP non-convergence, vote skew, forced fallback) must show non-zero injections")
-			return []Table{t, ti}
+
+			// E14c: re-run every typed surrender through the resilient
+			// supervisor at the default policy. The recovery contract:
+			// zero unrecovered surrenders.
+			rs := soak.Resoak(cfg.Seed, count, resilient.Policy{})
+			tr := Table{
+				Title:   fmt.Sprintf("E14c — supervised recovery of the %d typed surrenders (default policy)", rs.Surrenders),
+				Columns: []string{"population", "count"},
+			}
+			tr.Add("surrenders (raw soak)", rs.Surrenders)
+			tr.Add("recovered", rs.Recovered)
+			tr.Add("unrecovered", len(rs.Unrecovered))
+			for _, tier := range []string{"randomized", "sequential", "degenerate"} {
+				tr.Add("recovered via "+tier, rs.ByTier[tier])
+			}
+			tr.Add("max attempts in a re-run", rs.MaxAttempts)
+			tr.Add("total randomized attempts", rs.TotalAttempts)
+			if len(rs.Unrecovered) == 0 {
+				tr.Notes = append(tr.Notes, "recovery contract held: every surrender became an oracle-verified hull")
+			} else {
+				for i, rec := range rs.Unrecovered {
+					if i >= 10 {
+						tr.Notes = append(tr.Notes, fmt.Sprintf("… %d more", len(rs.Unrecovered)-10))
+						break
+					}
+					tr.Notes = append(tr.Notes, fmt.Sprintf("UNRECOVERED %s: scenario %+v — %s", rec.Outcome, rec.Scenario, rec.Detail))
+				}
+			}
+			return []Table{t, ti, tr}
 		},
 	})
 }

@@ -1,0 +1,155 @@
+// Supervised re-soak: re-running chaos scenarios through the resilient
+// supervisor. E14 established that under injected faults the raw
+// algorithms surrender with typed errors (80 of 1200 scenarios at the
+// default menus). The supervisor's contract upgrades that: with reseeded
+// retries and the sequential ladder, every such surrender must recover to
+// an oracle-verified hull — zero unrecovered surrenders at the default
+// policy (experiment E14c).
+package soak
+
+import (
+	"context"
+	"fmt"
+
+	"inplacehull/internal/fault"
+	"inplacehull/internal/hullerr"
+	"inplacehull/internal/pram"
+	"inplacehull/internal/resilient"
+	"inplacehull/internal/rng"
+	"inplacehull/internal/unsorted"
+)
+
+// RunScenarioSupervised executes one scenario through the resilient
+// supervisor (fresh injector from the same plan, one-worker machine for
+// the determinism argument of RunScenario) and classifies the result under
+// the same contract. The returned report carries the supervisor's attempt
+// count and final tier.
+func RunScenarioSupervised(sc Scenario, pol resilient.Policy) (rec Record, rep resilient.Report) {
+	rec.Scenario = sc
+	inj := fault.NewInjector(sc.Plan)
+	defer func() {
+		rec.Counts = inj.Counts()
+		if r := recover(); r != nil {
+			rec.Outcome = Panicked
+			rec.Detail = fmt.Sprint(r)
+		}
+	}()
+	m := pram.New(pram.WithWorkers(1))
+	rnd := fault.Attach(rng.New(sc.Seed), inj)
+	ctx := context.Background()
+	classify := func(err error, verify func() error) {
+		if err != nil {
+			rec.Detail = err.Error()
+			if hullerr.IsTyped(err) {
+				rec.Outcome = TypedError
+			} else {
+				rec.Outcome = UntypedError
+			}
+			return
+		}
+		if verr := verify(); verr != nil {
+			rec.Outcome = WrongAnswer
+			rec.Detail = verr.Error()
+			return
+		}
+		rec.Outcome = OK
+	}
+	switch sc.Algo {
+	case AlgoHull3D:
+		g, ok := gen3D(sc.Gen)
+		if !ok {
+			rec.Outcome, rec.Detail = UntypedError, "unknown generator "+sc.Gen
+			return rec, rep
+		}
+		pts := g.Gen(sc.Seed, sc.N)
+		res, r, err := resilient.Hull3D(ctx, m, rnd, pts, pol)
+		rep = r
+		classify(err, func() error { return unsorted.CheckCaps3D(pts, res) })
+	case AlgoHull2D:
+		g, ok := gen2D(sc.Gen)
+		if !ok {
+			rec.Outcome, rec.Detail = UntypedError, "unknown generator "+sc.Gen
+			return rec, rep
+		}
+		pts := g.Gen(sc.Seed, sc.N)
+		res, r, err := resilient.Hull2D(ctx, m, rnd, pts, pol)
+		rep = r
+		classify(err, func() error { return unsorted.CheckAgainstReference(pts, res) })
+	case AlgoPresorted, AlgoLogStar:
+		g, ok := gen2D(sc.Gen)
+		if !ok {
+			rec.Outcome, rec.Detail = UntypedError, "unknown generator "+sc.Gen
+			return rec, rep
+		}
+		pts := prepSorted(g.Gen(sc.Seed, sc.N))
+		run := resilient.PresortedHull
+		if sc.Algo == AlgoLogStar {
+			run = resilient.LogStarHull
+		}
+		res, r, err := run(ctx, m, rnd, pts, pol)
+		rep = r
+		classify(err, func() error {
+			return unsorted.CheckAgainstReference(pts, unsorted.Result2D{
+				Edges: res.Edges, Chain: res.Chain, EdgeOf: res.EdgeOf,
+			})
+		})
+	default:
+		rec.Outcome, rec.Detail = UntypedError, "unknown algorithm "+sc.Algo
+	}
+	return rec, rep
+}
+
+// RecoverySummary aggregates a supervised re-soak of the raw soak's
+// surrenders.
+type RecoverySummary struct {
+	// Surrenders is how many raw scenarios ended in a typed error — the
+	// population re-run under supervision.
+	Surrenders int
+	// Recovered counts surrenders the supervisor turned into
+	// oracle-verified hulls.
+	Recovered int
+	// ByTier[tier.String()] counts recoveries per ladder tier.
+	ByTier map[string]int
+	// ByAttempts[a] counts recoveries that needed exactly a randomized
+	// attempts (index 0 collects ladder recoveries whose attempts hit the
+	// policy cap).
+	ByAttempts map[int]int
+	// TotalAttempts sums randomized attempts across all re-runs;
+	// MaxAttempts is the largest single re-run's count.
+	TotalAttempts, MaxAttempts int
+	// Unrecovered holds every re-run that still violated the contract or
+	// surrendered — empty iff the supervisor's recovery guarantee holds.
+	Unrecovered []Record
+}
+
+// Resoak runs the raw soak batch (master, count), collects every typed
+// surrender, and re-runs each through the supervisor under pol. The
+// acceptance criterion for the resilient layer: Unrecovered is empty at
+// the default policy.
+func Resoak(master uint64, count int, pol resilient.Policy) RecoverySummary {
+	out := RecoverySummary{ByTier: map[string]int{}, ByAttempts: map[int]int{}}
+	for _, sc := range Scenarios(master, count) {
+		raw := RunScenario(sc)
+		if raw.Outcome != TypedError {
+			continue
+		}
+		out.Surrenders++
+		rec, rep := RunScenarioSupervised(sc, pol)
+		out.TotalAttempts += rep.Attempts
+		if rep.Attempts > out.MaxAttempts {
+			out.MaxAttempts = rep.Attempts
+		}
+		if rec.Outcome != OK {
+			out.Unrecovered = append(out.Unrecovered, rec)
+			continue
+		}
+		out.Recovered++
+		out.ByTier[rep.Tier.String()]++
+		if rep.Tier == resilient.TierRandomized {
+			out.ByAttempts[rep.Attempts]++
+		} else {
+			out.ByAttempts[0]++
+		}
+	}
+	return out
+}

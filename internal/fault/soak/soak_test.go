@@ -1,6 +1,10 @@
 package soak
 
-import "testing"
+import (
+	"testing"
+
+	"inplacehull/internal/resilient"
+)
 
 // TestSoakSmoke runs a small deterministic batch across all four
 // algorithms; every run must return a verified hull or a typed error.
@@ -54,6 +58,47 @@ func TestRunScenarioReproducible(t *testing.T) {
 		r2 := RunScenario(sc)
 		if r1.Outcome != r2.Outcome || r1.Detail != r2.Detail || r1.Counts != r2.Counts {
 			t.Fatalf("scenario %d not reproducible: %+v vs %+v", sc.ID, r1, r2)
+		}
+	}
+}
+
+// TestResoakRecoversAllSurrenders is the resilient layer's acceptance
+// criterion at test scale: every typed surrender of the raw soak must
+// recover to an oracle-verified hull under the default supervisor policy.
+// (The full-scale E14 batch — 1200 scenarios, 80 surrenders — runs as
+// experiment E14c in internal/bench.)
+func TestResoakRecoversAllSurrenders(t *testing.T) {
+	n := 160
+	if testing.Short() {
+		n = 48
+	}
+	rs := Resoak(1, n, resilient.Policy{})
+	if rs.Surrenders == 0 {
+		t.Fatal("no raw surrenders in the batch — widen it; the recovery claim was not exercised")
+	}
+	for _, rec := range rs.Unrecovered {
+		t.Errorf("scenario %+v unrecovered: %s (%s)", rec.Scenario, rec.Outcome, rec.Detail)
+	}
+	if rs.Recovered != rs.Surrenders-len(rs.Unrecovered) {
+		t.Fatalf("bookkeeping: %d recovered of %d surrenders with %d unrecovered",
+			rs.Recovered, rs.Surrenders, len(rs.Unrecovered))
+	}
+	if rs.MaxAttempts > 3 {
+		t.Fatalf("max attempts %d exceeds the default policy cap", rs.MaxAttempts)
+	}
+}
+
+// TestResoakDeterministic: the supervised re-run is as reproducible as the
+// raw one.
+func TestResoakDeterministic(t *testing.T) {
+	for _, sc := range Scenarios(0xBEEF, 12) {
+		r1, rep1 := RunScenarioSupervised(sc, resilient.Policy{})
+		r2, rep2 := RunScenarioSupervised(sc, resilient.Policy{})
+		if r1.Outcome != r2.Outcome || r1.Detail != r2.Detail || r1.Counts != r2.Counts {
+			t.Fatalf("scenario %d not reproducible: %+v vs %+v", sc.ID, r1, r2)
+		}
+		if rep1.Attempts != rep2.Attempts || rep1.Tier != rep2.Tier {
+			t.Fatalf("scenario %d report drifts: %+v vs %+v", sc.ID, rep1, rep2)
 		}
 	}
 }

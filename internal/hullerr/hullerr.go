@@ -8,6 +8,7 @@
 package hullerr
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -31,6 +32,11 @@ const (
 	// Internal: a postcondition that should be unreachable failed; a bug,
 	// reported instead of panicking.
 	Internal
+	// Canceled: the caller's context was canceled mid-run; the machine
+	// stopped between PRAM steps with its counters consistent.
+	Canceled
+	// DeadlineExceeded: the caller's context deadline expired mid-run.
+	DeadlineExceeded
 )
 
 // String names the kind for error messages.
@@ -42,6 +48,10 @@ func (k Kind) String() string {
 		return "unsorted input"
 	case BudgetExhausted:
 		return "budget exhausted"
+	case Canceled:
+		return "canceled"
+	case DeadlineExceeded:
+		return "deadline exceeded"
 	default:
 		return "internal error"
 	}
@@ -80,6 +90,10 @@ var (
 	ErrUnsorted = &Error{Kind: UnsortedInput, Msg: "input not strictly x-sorted"}
 	// ErrBudget: a retry/step budget was exhausted.
 	ErrBudget = &Error{Kind: BudgetExhausted, Msg: "retry budget exhausted"}
+	// ErrCanceled: the run's context was canceled.
+	ErrCanceled = &Error{Kind: Canceled, Msg: "run canceled"}
+	// ErrDeadline: the run's context deadline expired.
+	ErrDeadline = &Error{Kind: DeadlineExceeded, Msg: "run deadline exceeded"}
 )
 
 // New builds a typed error.
@@ -92,6 +106,17 @@ func New(kind Kind, op, format string, args ...any) *Error {
 func IsTyped(err error) bool {
 	var e *Error
 	return errors.As(err, &e)
+}
+
+// FromContext converts a context error (context.Canceled or
+// context.DeadlineExceeded) into the matching typed kind. Any other cause
+// is classified Canceled: the run was stopped by its context either way.
+func FromContext(op string, cause error) *Error {
+	k := Canceled
+	if errors.Is(cause, context.DeadlineExceeded) {
+		k = DeadlineExceeded
+	}
+	return New(k, op, "%v", cause)
 }
 
 // CheckFinite2D validates that every coordinate is finite; the first

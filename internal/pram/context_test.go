@@ -1,0 +1,152 @@
+package pram
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// runCanceled runs f expecting it to panic with a *Cancellation and
+// returns the cause.
+func runCanceled(t *testing.T, f func()) error {
+	t.Helper()
+	var cause error
+	func() {
+		defer func() {
+			c, ok := AsCancellation(recover())
+			if !ok {
+				t.Fatalf("program did not abort with *Cancellation")
+			}
+			cause = c.Cause
+		}()
+		f()
+		t.Fatalf("program ran to completion despite canceled context")
+	}()
+	return cause
+}
+
+// TestStepAbortsOnCanceledContext: a done context makes Step panic with
+// *Cancellation before any counter moves.
+func TestStepAbortsOnCanceledContext(t *testing.T) {
+	m := New(WithWorkers(1))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m.SetContext(ctx)
+	cause := runCanceled(t, func() {
+		m.Step(8, func(i int) bool { t.Errorf("processor body %d ran after cancel", i); return true })
+	})
+	if !errors.Is(cause, context.Canceled) {
+		t.Fatalf("cause = %v, want context.Canceled", cause)
+	}
+	if m.Time() != 0 || m.Work() != 0 {
+		t.Fatalf("canceled step charged counters: time=%d work=%d", m.Time(), m.Work())
+	}
+}
+
+// TestChargeAndStepsAbort: the sequential-substitute and multi-step paths
+// poll too.
+func TestChargeAndStepsAbort(t *testing.T) {
+	m := New(WithWorkers(1))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m.SetContext(ctx)
+	runCanceled(t, func() { m.Charge(3, 300) })
+	runCanceled(t, func() { m.Steps(3, 4, func(i int) bool { return true }) })
+	if m.Time() != 0 || m.Work() != 0 {
+		t.Fatalf("canceled charge moved counters: time=%d work=%d", m.Time(), m.Work())
+	}
+}
+
+// TestDeadlineCause: an expired deadline reports context.DeadlineExceeded.
+func TestDeadlineCause(t *testing.T) {
+	m := New(WithWorkers(1))
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	m.SetContext(ctx)
+	cause := runCanceled(t, func() { m.Step(1, func(i int) bool { return true }) })
+	if !errors.Is(cause, context.DeadlineExceeded) {
+		t.Fatalf("cause = %v, want context.DeadlineExceeded", cause)
+	}
+}
+
+// TestMachineReusableAfterCancel: detaching the context (or attaching a
+// live one) makes the same machine fully usable again, with counters
+// resuming from their pre-cancel values.
+func TestMachineReusableAfterCancel(t *testing.T) {
+	m := New(WithWorkers(1))
+	m.Step(4, func(i int) bool { return true })
+	before := m.Time()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m.SetContext(ctx)
+	runCanceled(t, func() { m.Step(4, func(i int) bool { return true }) })
+
+	m.SetContext(nil)
+	if m.Context() != nil {
+		t.Fatalf("SetContext(nil) did not detach")
+	}
+	m.Step(4, func(i int) bool { return true })
+	if m.Time() != before+1 {
+		t.Fatalf("time = %d after reuse, want %d", m.Time(), before+1)
+	}
+}
+
+// TestConcurrentInheritsContext: sub-machines of a Concurrent composition
+// observe the parent's context.
+func TestConcurrentInheritsContext(t *testing.T) {
+	m := New(WithWorkers(1))
+	ctx, cancel := context.WithCancel(context.Background())
+	m.SetContext(ctx)
+
+	// Live context: sub-machines run and inherit ctx.
+	m.Concurrent(func(sub *Machine) {
+		if sub.Context() != ctx {
+			t.Errorf("sub-machine did not inherit the parent context")
+		}
+		sub.Step(2, func(i int) bool { return true })
+	})
+
+	// Done context: the composition aborts before running branches.
+	cancel()
+	runCanceled(t, func() {
+		m.Concurrent(func(sub *Machine) { t.Errorf("branch ran after cancel") })
+	})
+}
+
+// countdownCtx is a context whose Err flips to context.Canceled after a
+// fixed number of Err() polls — a deterministic mid-run cancel.
+type countdownCtx struct {
+	context.Context
+	remaining int
+}
+
+func (c *countdownCtx) Err() error {
+	if c.remaining <= 0 {
+		return context.Canceled
+	}
+	c.remaining--
+	return nil
+}
+
+// TestMidProgramCancelConsistency: cancel partway through a multi-step
+// program; exactly the steps that polled successfully are charged.
+func TestMidProgramCancelConsistency(t *testing.T) {
+	m := New(WithWorkers(1))
+	m.SetContext(&countdownCtx{Context: context.Background(), remaining: 3})
+	ran := 0
+	runCanceled(t, func() {
+		for i := 0; i < 10; i++ {
+			m.Step(5, func(int) bool { return true })
+			ran++
+		}
+	})
+	if ran != 3 {
+		t.Fatalf("%d steps ran before the countdown cancel, want 3", ran)
+	}
+	if m.Time() != 3 || m.Work() != 15 {
+		t.Fatalf("counters time=%d work=%d, want exactly the 3 completed steps (work 15)",
+			m.Time(), m.Work())
+	}
+}

@@ -23,6 +23,7 @@
 package pram
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -31,6 +32,9 @@ import (
 // Machine is a simulated CRCW PRAM with instrumentation.
 type Machine struct {
 	workers int
+	// ctx, when non-nil, is polled at the start of every Step/Steps/Charge
+	// and of every Concurrent composition; see SetContext.
+	ctx context.Context
 
 	steps     atomic.Int64 // parallel time: number of synchronous steps
 	work      atomic.Int64 // total live processor activations
@@ -69,6 +73,48 @@ func New(opts ...Option) *Machine {
 		o(m)
 	}
 	return m
+}
+
+// Cancellation is the panic value with which a Machine aborts a program
+// once its attached context is done. It unwinds the (host-side, strictly
+// sequential) program between two PRAM steps: worker goroutines of the
+// previous step have already joined, counters reflect exactly the steps
+// that completed, and every deferred scratch release runs during the
+// unwind, so the machine stays consistent and reusable. A supervision
+// boundary (internal/resilient) recovers it and converts the cause into
+// the typed Canceled/DeadlineExceeded error kinds.
+type Cancellation struct {
+	// Cause is the context's error: context.Canceled or
+	// context.DeadlineExceeded.
+	Cause error
+}
+
+// AsCancellation extracts a *Cancellation from a recover() value.
+func AsCancellation(r any) (*Cancellation, bool) {
+	c, ok := r.(*Cancellation)
+	return c, ok
+}
+
+// SetContext attaches ctx to the machine: subsequent steps first poll ctx
+// and, once it is done, abort the program by panicking with a
+// *Cancellation (see that type for the unwind contract). Pass nil to
+// detach. Callers attaching a context must run the program under a
+// recovery boundary — the resilient supervisor is the library's; raw
+// algorithm entry points assume the default nil context and never panic.
+func (m *Machine) SetContext(ctx context.Context) { m.ctx = ctx }
+
+// Context returns the context attached with SetContext (nil if none).
+func (m *Machine) Context() context.Context { return m.ctx }
+
+// poll aborts the program if the attached context is done. It is called
+// before any counter mutation so a canceled step is never half-charged.
+func (m *Machine) poll() {
+	if m.ctx == nil {
+		return
+	}
+	if err := m.ctx.Err(); err != nil {
+		panic(&Cancellation{Cause: err})
+	}
 }
 
 // Time returns the number of synchronous PRAM steps executed so far.
@@ -135,6 +181,7 @@ func (m *Machine) Step(n int, f func(p int) bool) {
 	if n <= 0 {
 		return
 	}
+	m.poll()
 	m.steps.Add(1)
 	live := m.runChunks(n, f)
 	m.work.Add(live)
@@ -179,6 +226,7 @@ func (m *Machine) Steps(k int64, n int, f func(p int) bool) {
 	if n <= 0 || k <= 0 {
 		return
 	}
+	m.poll()
 	m.steps.Add(k)
 	live := m.runChunks(n, f)
 	m.work.Add(live * k)
@@ -191,6 +239,7 @@ func (m *Machine) Steps(k int64, n int, f func(p int) bool) {
 // machine (e.g. by a documented sequential substitute) and its PRAM cost is
 // charged explicitly; every use site documents the charge.
 func (m *Machine) Charge(steps, work int64) {
+	m.poll()
 	m.steps.Add(steps)
 	m.work.Add(work)
 	if steps > 0 && work > 0 {
@@ -235,7 +284,9 @@ func (m *Machine) bumpPeak(live int64) {
 func (m *Machine) Concurrent(fns ...func(sub *Machine)) {
 	var maxTime, sumWork, sumSpace, maxProcs int64
 	for _, fn := range fns {
+		m.poll()
 		sub := New(WithWorkers(m.workers))
+		sub.ctx = m.ctx // cancellation reaches concurrently composed subprograms
 		fn(sub)
 		if t := sub.Time(); t > maxTime {
 			maxTime = t

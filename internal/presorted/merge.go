@@ -169,6 +169,40 @@ func mergeHulls(m *pram.Machine, rnd *rng.Stream, pts []geom.Point, g int, hulls
 	m.Concurrent(fns...)
 	res.SweptNodes = swept
 
+	// Canonicalize ties, as in the point algorithm (Segmented): a sampled
+	// base problem can return any of the optimal segments on a collinear
+	// support line, but coverage filtering needs equal support lines to
+	// yield equal segments. Extend every bridge to the extreme on-line
+	// hull vertices of its node — one step, work linear in the hulls
+	// consulted (the violation test's own rate).
+	{
+		var work int64
+		for i := range nodes {
+			s := sols[i]
+			if s.Degenerate() {
+				continue
+			}
+			nd := nodes[i]
+			u, w := s.U, s.W
+			for gi := nd.glo; gi < nd.ghi; gi++ {
+				work += int64(hulls[gi].Len())
+				for _, v := range hulls[gi].V {
+					if geom.Orientation(s.U, s.W, v) != 0 {
+						continue
+					}
+					if v.X < u.X {
+						u = v
+					}
+					if v.X > w.X {
+						w = v
+					}
+				}
+			}
+			sols[i] = lp.Solution2D{U: u, W: w}
+		}
+		m.Charge(1, work)
+	}
+
 	// Coverage filtering among tree bridges, as in the point algorithm.
 	covered := make([]bool, q)
 	levels := logM

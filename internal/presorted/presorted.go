@@ -232,6 +232,45 @@ func Segmented(m *pram.Machine, rnd *rng.Stream, pts []geom.Point, segs []Segmen
 		})
 	res.SweptNodes = rep.Failures
 
+	// Canonicalize ties: under collinear degeneracies the bridge LP has
+	// many optimal segments on one support line, and which one comes back
+	// depends on the sample. Coverage filtering and chain assembly need
+	// equal support lines to yield equal segments, so every bridge is
+	// extended to the extreme on-line points of its node: one step of
+	// n·maxLevels processors finding, per problem, the leftmost and
+	// rightmost point on the bridge's line (min/max-combining writes),
+	// then one step of q processors snapping the endpoints.
+	lmost := make([]pram.MinCell, q)
+	rmost := make([]pram.MaxCell, q)
+	for j := range lmost {
+		lmost[j].InitMax()
+		rmost[j].Init(math.MinInt64)
+	}
+	m.StepAll(nVirt, func(v int) {
+		j := probID(v)
+		if j < 0 {
+			return
+		}
+		s := results[j].Sol
+		if s.Degenerate() {
+			return
+		}
+		p := v % n
+		if geom.Orientation(s.U, s.W, pts[p]) == 0 {
+			lmost[j].Write(int64(p))
+			rmost[j].Write(int64(p))
+		}
+	})
+	m.StepAll(q, func(j int) {
+		if results[j].Sol.Degenerate() {
+			return
+		}
+		if l := lmost[j].Get(); l != math.MaxInt64 {
+			results[j].Sol.U = pts[l]
+			results[j].Sol.W = pts[rmost[j].Get()]
+		}
+	})
+
 	// Coverage filtering: node j's bridge is a global (segment-)hull edge
 	// iff no proper ancestor in its segment holds a *different* bridge
 	// whose open x-span overlaps it; equal bridges keep only the

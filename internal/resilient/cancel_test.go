@@ -1,0 +1,172 @@
+package resilient
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"inplacehull/internal/hullerr"
+	"inplacehull/internal/pram"
+	"inplacehull/internal/rng"
+	"inplacehull/internal/workload"
+)
+
+// countdownCtx flips Err() to context.Canceled after a fixed number of
+// polls — a deterministic mid-run cancel landing between two PRAM steps.
+type countdownCtx struct {
+	context.Context
+	remaining int
+}
+
+func (c *countdownCtx) Err() error {
+	if c.remaining <= 0 {
+		return context.Canceled
+	}
+	c.remaining--
+	return nil
+}
+
+// TestMidRunCancelTyped: a cancel that fires partway through the run
+// surfaces as the typed ErrCanceled, with the machine's counters covering
+// exactly the steps that completed.
+func TestMidRunCancelTyped(t *testing.T) {
+	pts := workload.Disk(41, 2048)
+
+	// Measure an uncanceled run to find a poll count strictly inside it.
+	probe := pram.New(pram.WithWorkers(1))
+	if _, _, err := Hull2D(context.Background(), probe, rng.New(41), pts, Policy{}); err != nil {
+		t.Fatalf("probe run failed: %v", err)
+	}
+	total := probe.Time()
+	if total < 10 {
+		t.Fatalf("probe run too short to cancel inside (%d steps)", total)
+	}
+
+	m := pram.New(pram.WithWorkers(1))
+	ctx := &countdownCtx{Context: context.Background(), remaining: int(total / 2)}
+	_, rep, err := Hull2D(ctx, m, rng.New(41), pts, Policy{})
+	if !errors.Is(err, hullerr.ErrCanceled) {
+		t.Fatalf("mid-run cancel returned %v, want ErrCanceled", err)
+	}
+	if rep.Tier != TierRandomized || rep.Attempts != 1 {
+		t.Fatalf("canceled run reports attempts=%d tier=%v", rep.Attempts, rep.Tier)
+	}
+	if m.Time() == 0 || m.Time() >= total {
+		t.Fatalf("canceled run charged %d steps, want strictly inside (0, %d)", m.Time(), total)
+	}
+
+	// The machine is reusable afterwards and counters stay monotone.
+	before := m.Time()
+	if _, _, err := Hull2D(context.Background(), m, rng.New(41), pts, Policy{}); err != nil {
+		t.Fatalf("machine not reusable after cancel: %v", err)
+	}
+	if m.Time() <= before {
+		t.Fatalf("counters went backwards after reuse: %d -> %d", before, m.Time())
+	}
+	if m.Context() != nil {
+		t.Fatalf("supervisor left a context attached to the machine")
+	}
+}
+
+// TestExpiredDeadlineTyped: an already-expired deadline yields ErrDeadline
+// before any work is charged.
+func TestExpiredDeadlineTyped(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	m := seqMachine()
+	_, rep, err := Hull2D(ctx, m, rng.New(43), workload.Disk(43, 128), Policy{})
+	if !errors.Is(err, hullerr.ErrDeadline) {
+		t.Fatalf("expired deadline returned %v, want ErrDeadline", err)
+	}
+	if rep.Attempts != 0 || m.Time() != 0 {
+		t.Fatalf("expired deadline still ran: attempts=%d steps=%d", rep.Attempts, m.Time())
+	}
+}
+
+// TestCancelAtRetryBoundary: a context canceled inside OnRetry (i.e. at
+// the boundary between attempts) stops the supervisor before the next
+// attempt starts — the ladder must NOT run after a cancel.
+func TestCancelAtRetryBoundary(t *testing.T) {
+	pts := workload.Disk(47, 256)
+	ctx, cancel := context.WithCancel(context.Background())
+	attempts := 0
+	pol := Policy{OnRetry: func(attempt int, err error) {
+		attempts = attempt
+		cancel()
+	}}
+	m := seqMachine()
+	_, rep, err := Hull2D(ctx, m, votePoisonStream(47, 0), pts, pol)
+	if !errors.Is(err, hullerr.ErrCanceled) {
+		t.Fatalf("cancel at retry boundary returned %v, want ErrCanceled", err)
+	}
+	if attempts != 1 || rep.Attempts != 1 {
+		t.Fatalf("supervisor kept going after the boundary cancel: OnRetry attempt=%d report=%d",
+			attempts, rep.Attempts)
+	}
+	if rep.Tier != TierRandomized {
+		t.Fatalf("ladder ran after cancel (tier=%v)", rep.Tier)
+	}
+}
+
+// TestCancelLeaksNoGoroutines: canceled supervised runs (including on a
+// multi-worker machine, whose step workers must have joined before the
+// unwind) leave the goroutine count where it started.
+func TestCancelLeaksNoGoroutines(t *testing.T) {
+	pts := workload.Disk(53, 4096)
+	runtime.GC()
+	base := runtime.NumGoroutine()
+	for i := 0; i < 8; i++ {
+		m := pram.New(pram.WithWorkers(4))
+		ctx := &countdownCtx{Context: context.Background(), remaining: 20 + 10*i}
+		_, _, err := Hull2D(ctx, m, rng.New(uint64(53+i)), pts, Policy{})
+		if err != nil && !errors.Is(err, hullerr.ErrCanceled) {
+			t.Fatalf("run %d: unexpected error %v", i, err)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > base && time.Now().Before(deadline) {
+		runtime.GC()
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > base {
+		t.Fatalf("goroutines leaked across canceled runs: %d -> %d", base, got)
+	}
+}
+
+// countingCtx counts Err() polls without ever canceling.
+type countingCtx struct {
+	context.Context
+	polls int
+}
+
+func (c *countingCtx) Err() error { c.polls++; return nil }
+
+// TestCancelAtLadderBoundary: a cancel landing after the last randomized
+// attempt but before the ladder stops the supervisor with the typed error
+// — the ladder must not run on a dead context. The probe counts every
+// context poll of a fully poisoned run; its last poll is the supervisor's
+// pre-ladder check (the ladder itself runs with the context detached, by
+// design: the last-resort rung is not interruptible).
+func TestCancelAtLadderBoundary(t *testing.T) {
+	pts := workload.Disk(59, 256)
+
+	probe := &countingCtx{Context: context.Background()}
+	if _, rep, err := Hull2D(probe, pram.New(pram.WithWorkers(1)), votePoisonStream(59, 0), pts, Policy{}); err != nil || rep.Tier != TierSequential {
+		t.Fatalf("probe: tier=%v err=%v", rep.Tier, err)
+	}
+
+	m := seqMachine()
+	ctx := &countdownCtx{Context: context.Background(), remaining: probe.polls - 1}
+	_, rep, err := Hull2D(ctx, m, votePoisonStream(59, 0), pts, Policy{})
+	if !errors.Is(err, hullerr.ErrCanceled) {
+		t.Fatalf("ladder-boundary cancel returned %v, want ErrCanceled", err)
+	}
+	if rep.Attempts != 3 {
+		t.Fatalf("attempts=%d, want all 3 randomized attempts before the boundary cancel", rep.Attempts)
+	}
+	if rep.Tier != TierRandomized {
+		t.Fatalf("ladder ran on a dead context (tier=%v)", rep.Tier)
+	}
+}

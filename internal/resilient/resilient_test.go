@@ -1,0 +1,303 @@
+package resilient
+
+import (
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"inplacehull/internal/fault"
+	"inplacehull/internal/geom"
+	"inplacehull/internal/hullerr"
+	"inplacehull/internal/pram"
+	"inplacehull/internal/rng"
+	"inplacehull/internal/unsorted"
+	"inplacehull/internal/workload"
+)
+
+func seqMachine() *pram.Machine { return pram.New(pram.WithWorkers(1)) }
+
+// TestCleanRunSingleAttempt: with no faults, the supervisor is a thin
+// wrapper — one attempt, randomized tier, verified output.
+func TestCleanRunSingleAttempt(t *testing.T) {
+	pts := workload.Disk(1, 512)
+	m := seqMachine()
+	res, rep, err := Hull2D(context.Background(), m, rng.New(7), pts, Policy{})
+	if err != nil {
+		t.Fatalf("clean run failed: %v", err)
+	}
+	if rep.Attempts != 1 || rep.Tier != TierRandomized {
+		t.Fatalf("clean run: attempts=%d tier=%v, want 1 attempt on the randomized tier", rep.Attempts, rep.Tier)
+	}
+	if rep.TotalSteps != m.Time() || rep.TotalWork != m.Work() {
+		t.Fatalf("report cost (%d,%d) disagrees with machine (%d,%d)",
+			rep.TotalSteps, rep.TotalWork, m.Time(), m.Work())
+	}
+	if verr := unsorted.CheckAgainstReference(pts, res); verr != nil {
+		t.Fatalf("oracle rejected: %v", verr)
+	}
+}
+
+// votePoisonStream returns a stream whose injector skews every vote round
+// until budget hits, forcing ErrBudget from the randomized algorithm.
+func votePoisonStream(seed uint64, maxPerSite int) *rng.Stream {
+	var plan fault.Plan
+	plan.Seed = seed
+	plan.Rates[fault.VoteSkew] = 1
+	plan.MaxPerSite = maxPerSite
+	return fault.Attach(rng.New(seed), fault.NewInjector(plan))
+}
+
+// TestRetryRecoversBudgetedPoison: with a per-site injection budget, the
+// poison runs out and a reseeded retry succeeds on the randomized tier.
+func TestRetryRecoversBudgetedPoison(t *testing.T) {
+	pts := workload.Disk(3, 256)
+	m := seqMachine()
+	// Budget 8 exhausts during attempt 1's first vote (8 rounds), so the
+	// vote surrenders once; attempt 2 runs unpoisoned.
+	res, rep, err := Hull2D(context.Background(), m, votePoisonStream(3, 8), pts, Policy{})
+	if err != nil {
+		t.Fatalf("supervised run failed: %v", err)
+	}
+	if rep.Attempts < 2 || rep.Tier != TierRandomized {
+		t.Fatalf("attempts=%d tier=%v, want ≥2 attempts recovering on the randomized tier", rep.Attempts, rep.Tier)
+	}
+	if len(rep.AttemptErrors) != rep.Attempts-1 {
+		t.Fatalf("%d attempt errors for %d attempts", len(rep.AttemptErrors), rep.Attempts)
+	}
+	if verr := unsorted.CheckAgainstReference(pts, res); verr != nil {
+		t.Fatalf("oracle rejected: %v", verr)
+	}
+}
+
+// TestLadderRecoversUnboundedPoison: with unlimited rate-1 vote skew every
+// randomized attempt surrenders; the sequential ladder must answer
+// correctly (the injector rides the rng payload, which the ladder never
+// consults).
+func TestLadderRecoversUnboundedPoison(t *testing.T) {
+	pts := workload.Disk(5, 256)
+	m := seqMachine()
+	retries := 0
+	pol := Policy{OnRetry: func(attempt int, err error) {
+		retries++
+		if !errors.Is(err, hullerr.ErrBudget) {
+			t.Fatalf("retry %d on non-budget error: %v", attempt, err)
+		}
+	}}
+	res, rep, err := Hull2D(context.Background(), m, votePoisonStream(5, 0), pts, pol)
+	if err != nil {
+		t.Fatalf("supervised run failed: %v", err)
+	}
+	if rep.Tier != TierSequential {
+		t.Fatalf("tier=%v, want sequential ladder", rep.Tier)
+	}
+	if rep.Attempts != 3 || retries != 2 {
+		t.Fatalf("attempts=%d retries=%d, want 3 attempts and 2 OnRetry calls", rep.Attempts, retries)
+	}
+	if verr := unsorted.CheckAgainstReference(pts, res); verr != nil {
+		t.Fatalf("oracle rejected ladder hull: %v", verr)
+	}
+}
+
+// TestNoLadderSurrendersTyped: with the ladder disabled, unbounded poison
+// ends in a typed budget surrender carrying the attempt history.
+func TestNoLadderSurrendersTyped(t *testing.T) {
+	pts := workload.Disk(9, 128)
+	_, rep, err := Hull2D(context.Background(), seqMachine(), votePoisonStream(9, 0), pts, Policy{NoLadder: true})
+	if !errors.Is(err, hullerr.ErrBudget) {
+		t.Fatalf("want ErrBudget, got %v", err)
+	}
+	if rep.Attempts != 3 {
+		t.Fatalf("attempts=%d, want 3", rep.Attempts)
+	}
+	if !strings.Contains(err.Error(), "3 randomized attempts") {
+		t.Fatalf("surrender does not name the attempt count: %v", err)
+	}
+}
+
+// TestInvalidInputNotRetried: input-contract violations fail fast on the
+// first attempt, without retries or ladder.
+func TestInvalidInputNotRetried(t *testing.T) {
+	bad := []geom.Point{{X: 0, Y: 0}, {X: 1, Y: nan()}, {X: 2, Y: 0}}
+	_, rep, err := Hull2D(context.Background(), seqMachine(), rng.New(1), bad, Policy{})
+	if !errors.Is(err, hullerr.ErrNonFinite) {
+		t.Fatalf("want ErrNonFinite, got %v", err)
+	}
+	if rep.Attempts != 1 || rep.Tier != TierRandomized {
+		t.Fatalf("invalid input retried: attempts=%d tier=%v", rep.Attempts, rep.Tier)
+	}
+
+	unsortedPts := []geom.Point{{X: 5, Y: 0}, {X: 1, Y: 1}, {X: 3, Y: 2}}
+	_, rep, err = PresortedHull(context.Background(), seqMachine(), rng.New(1), unsortedPts, Policy{})
+	if !errors.Is(err, hullerr.ErrUnsorted) {
+		t.Fatalf("want ErrUnsorted, got %v", err)
+	}
+	if rep.Attempts != 1 {
+		t.Fatalf("unsorted input retried %d times", rep.Attempts)
+	}
+}
+
+// TestBudgetEscalationReachesAlgorithm: attempt a runs with BudgetScale^a;
+// verify through the vote-rounds budget that escalation actually reaches
+// the algorithm (a budget of 16 injections kills attempt 1's 8 rounds and
+// attempt 2's first 8, but attempt 2 under scale 2 has 16 rounds and
+// recovers within the attempt).
+func TestBudgetEscalationReachesAlgorithm(t *testing.T) {
+	pts := workload.Disk(11, 256)
+	res, rep, err := Hull2D(context.Background(), seqMachine(), votePoisonStream(11, 16), pts, Policy{BudgetScale: 2})
+	if err != nil {
+		t.Fatalf("supervised run failed: %v", err)
+	}
+	if rep.Tier != TierRandomized || rep.Attempts != 2 {
+		t.Fatalf("tier=%v attempts=%d, want randomized recovery on attempt 2", rep.Tier, rep.Attempts)
+	}
+	if verr := unsorted.CheckAgainstReference(pts, res); verr != nil {
+		t.Fatalf("oracle rejected: %v", verr)
+	}
+}
+
+// TestSupervised3DAndPresorted: the other three supervised entry points
+// recover unbounded poison through their ladders.
+func TestSupervised3DAndPresorted(t *testing.T) {
+	t.Run("hull3d", func(t *testing.T) {
+		pts := workload.Ball(13, 96)
+		res, rep, err := Hull3D(context.Background(), seqMachine(), votePoisonStream(13, 0), pts, Policy{})
+		if err != nil {
+			t.Fatalf("supervised 3-d run failed: %v", err)
+		}
+		if rep.Tier != TierSequential {
+			t.Fatalf("tier=%v, want sequential", rep.Tier)
+		}
+		if verr := unsorted.CheckCaps3D(pts, res); verr != nil {
+			t.Fatalf("oracle rejected: %v", verr)
+		}
+	})
+	t.Run("hull3d-degenerate", func(t *testing.T) {
+		// Coplanar input: the incremental rung refuses, the degenerate
+		// column-cap rung answers.
+		var pts []geom.Point3
+		for i := 0; i < 32; i++ {
+			pts = append(pts, geom.Point3{X: float64(i % 8), Y: float64(i / 8), Z: 0})
+		}
+		res, rep, err := Hull3D(context.Background(), seqMachine(), votePoisonStream(17, 0), pts, Policy{})
+		if err != nil {
+			t.Fatalf("supervised coplanar run failed: %v", err)
+		}
+		if rep.Tier != TierDegenerate {
+			t.Fatalf("tier=%v, want degenerate", rep.Tier)
+		}
+		if verr := unsorted.CheckCaps3D(pts, res); verr != nil {
+			t.Fatalf("oracle rejected: %v", verr)
+		}
+	})
+	t.Run("presorted-and-logstar", func(t *testing.T) {
+		pts := workload.Sorted(workload.Disk(19, 300))
+		var dedup []geom.Point
+		for _, p := range pts {
+			if len(dedup) > 0 && dedup[len(dedup)-1].X == p.X {
+				if p.Y > dedup[len(dedup)-1].Y {
+					dedup[len(dedup)-1] = p
+				}
+				continue
+			}
+			dedup = append(dedup, p)
+		}
+		for name, run := range map[string]func() (unsorted.Result2D, Report, error){
+			"presorted": func() (unsorted.Result2D, Report, error) {
+				r, rep, err := PresortedHull(context.Background(), seqMachine(), votePoisonStream(19, 0), dedup, Policy{})
+				return unsorted.Result2D{Edges: r.Edges, Chain: r.Chain, EdgeOf: r.EdgeOf}, rep, err
+			},
+			"logstar": func() (unsorted.Result2D, Report, error) {
+				r, rep, err := LogStarHull(context.Background(), seqMachine(), votePoisonStream(19, 0), dedup, Policy{})
+				return unsorted.Result2D{Edges: r.Edges, Chain: r.Chain, EdgeOf: r.EdgeOf}, rep, err
+			},
+		} {
+			res, _, err := run()
+			if err != nil {
+				t.Fatalf("%s: supervised run failed: %v", name, err)
+			}
+			if verr := unsorted.CheckAgainstReference(dedup, res); verr != nil {
+				t.Fatalf("%s: oracle rejected: %v", name, verr)
+			}
+		}
+	})
+}
+
+// TestLadderDirect exercises the ladder rungs on degenerate 2-d shapes.
+func TestLadderDirect(t *testing.T) {
+	shapes := map[string][]geom.Point{
+		"empty":     nil,
+		"single":    {{X: 1, Y: 2}},
+		"column":    {{X: 3, Y: 0}, {X: 3, Y: 4}, {X: 3, Y: 2}},
+		"collinear": {{X: 0, Y: 0}, {X: 1, Y: 2}, {X: 2, Y: 4}, {X: 3, Y: 6}},
+		"disk":      workload.Disk(23, 200),
+	}
+	for name, pts := range shapes {
+		res, tier, err := ladder2D(seqMachine(), pts)
+		if err != nil {
+			t.Fatalf("%s: ladder failed: %v", name, err)
+		}
+		if tier != TierSequential {
+			t.Fatalf("%s: tier=%v", name, tier)
+		}
+		if verr := unsorted.CheckAgainstReference(pts, res); verr != nil {
+			t.Fatalf("%s: oracle rejected ladder result: %v", name, verr)
+		}
+	}
+}
+
+// TestPanicBecomesTypedInternal: a panic below the supervisor surfaces as
+// a typed Internal error (with the stack), then the ladder still answers.
+func TestPanicBecomesTypedInternal(t *testing.T) {
+	pts := workload.Disk(29, 64)
+	boom := 0
+	out, rep, err := supervise(context.Background(), seqMachine(), rng.New(29), Policy{}, "resilient.test",
+		func(_ *rng.Stream, _ float64) (unsorted.Result2D, error) {
+			boom++
+			panic("kaboom")
+		},
+		func() (unsorted.Result2D, Tier, error) { return ladder2D(seqMachine(), pts) })
+	if err != nil {
+		t.Fatalf("ladder did not rescue the panicking core: %v", err)
+	}
+	if boom != 3 || rep.Tier != TierSequential {
+		t.Fatalf("boom=%d tier=%v, want 3 attempts then sequential", boom, rep.Tier)
+	}
+	for _, ae := range rep.AttemptErrors {
+		if !strings.Contains(ae, "kaboom") || !strings.Contains(ae, "internal error") {
+			t.Fatalf("attempt error lost the panic detail: %q", ae)
+		}
+	}
+	if verr := unsorted.CheckAgainstReference(pts, out); verr != nil {
+		t.Fatalf("oracle rejected: %v", verr)
+	}
+}
+
+// TestSupervisedDeterministic: the whole supervised run — attempts, tier,
+// output — is a pure function of (seed, plan) on a sequential machine.
+func TestSupervisedDeterministic(t *testing.T) {
+	pts := workload.Disk(31, 256)
+	run := func() (Report, []geom.Point) {
+		res, rep, err := Hull2D(context.Background(), seqMachine(), votePoisonStream(31, 8), pts, Policy{})
+		if err != nil {
+			t.Fatalf("run failed: %v", err)
+		}
+		return rep, res.Chain
+	}
+	r1, c1 := run()
+	r2, c2 := run()
+	if r1.Attempts != r2.Attempts || r1.Tier != r2.Tier || r1.TotalWork != r2.TotalWork {
+		t.Fatalf("reports differ: %+v vs %+v", r1, r2)
+	}
+	if len(c1) != len(c2) {
+		t.Fatalf("chains differ: %d vs %d vertices", len(c1), len(c2))
+	}
+	for i := range c1 {
+		if c1[i] != c2[i] {
+			t.Fatalf("chain vertex %d differs", i)
+		}
+	}
+}
+
+func nan() float64 { return math.NaN() }

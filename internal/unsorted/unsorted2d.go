@@ -88,6 +88,14 @@ type Options struct {
 	FallbackThreshold int
 	// MaxK caps the base-problem parameter k = s^(1/3). Default 24.
 	MaxK int
+	// VoteRounds is the retry budget of each splitter vote (the O(1)-round
+	// doubling escalation of Corollary 3.1). Default 8.
+	VoteRounds int
+	// BudgetScale multiplies every surrender budget — the recursion-level
+	// cap and VoteRounds — without changing the algorithm's randomness.
+	// The resilient supervisor escalates it exponentially across reseeded
+	// attempts (§7.3 recovery semantics). Default 1.
+	BudgetScale float64
 }
 
 func (o *Options) fill(n int) {
@@ -103,6 +111,22 @@ func (o *Options) fill(n int) {
 	if o.MaxK <= 0 {
 		o.MaxK = 24
 	}
+	if o.VoteRounds <= 0 {
+		o.VoteRounds = 8
+	}
+	if o.BudgetScale < 1 {
+		o.BudgetScale = 1
+	}
+}
+
+// scaleBudget applies a BudgetScale multiplier to an integer budget,
+// saturating instead of overflowing.
+func scaleBudget(budget int, scale float64) int {
+	s := scale * float64(budget)
+	if s > math.MaxInt32 {
+		return math.MaxInt32
+	}
+	return int(s)
 }
 
 // Hull2D computes the upper hull of unsorted points with default options.
@@ -147,7 +171,8 @@ func Hull2DOpts(m *pram.Machine, rnd *rng.Stream, pts []geom.Point, opt Options)
 	edgesFound := 0
 	var edgeList []geom.Edge
 
-	maxLevels := 16*int(math.Ceil(math.Log2(float64(n+1)))) + 16
+	maxLevels := scaleBudget(16*int(math.Ceil(math.Log2(float64(n+1))))+16, opt.BudgetScale)
+	voteRounds := scaleBudget(opt.VoteRounds, opt.BudgetScale)
 	for level := 0; ; level++ {
 		if len(problems) == 0 {
 			break
@@ -186,7 +211,7 @@ func Hull2DOpts(m *pram.Machine, rnd *rng.Stream, pts []geom.Point, opt Options)
 
 		// Step 1a: random vote per problem (Corollary 3.1): all problems
 		// vote simultaneously in one claimed work space.
-		splitters, err := batchVote(m, rnd.Split(uint64(level)*3+1), n, len(problems), probID, func(i int) int { return problems[i].live })
+		splitters, err := batchVote(m, rnd.Split(uint64(level)*3+1), n, len(problems), voteRounds, probID, func(i int) int { return problems[i].live })
 		if err != nil {
 			return res, err
 		}
@@ -345,8 +370,8 @@ func Hull2DOpts(m *pram.Machine, rnd *rng.Stream, pts []geom.Point, opt Options)
 // 16k work space; each problem's winner is the occupant of its first
 // occupied cell. Retries with doubled write probability until every
 // problem has a vote (O(1) rounds whp; the write probability starts at 1
-// for small problems).
-func batchVote(m *pram.Machine, rnd *rng.Stream, n, q int, probID func(int) int, liveOf func(int) int) ([]int, error) {
+// for small problems) or the rounds budget runs out (typed surrender).
+func batchVote(m *pram.Machine, rnd *rng.Stream, n, q, rounds int, probID func(int) int, liveOf func(int) int) ([]int, error) {
 	const kv = 4
 	space := 16 * kv
 	release := m.AllocScratch(int64(space * q))
@@ -358,7 +383,7 @@ func batchVote(m *pram.Machine, rnd *rng.Stream, n, q int, probID func(int) int,
 	}
 	inj := fault.On(rnd)
 	missing := q
-	for round := 0; round < 8 && missing > 0; round++ {
+	for round := 0; round < rounds && missing > 0; round++ {
 		pram.ResetClaims(cells)
 		m.Charge(1, int64(space*q))
 		if inj.Hit(fault.VoteSkew) {
@@ -377,7 +402,10 @@ func batchVote(m *pram.Machine, rnd *rng.Stream, n, q int, probID func(int) int,
 				return false
 			}
 			s := base.Split(uint64(p))
-			prob := math.Min(1, float64(2*kv)/float64(liveOf(i))*float64(int(1)<<uint(round)))
+			prob := 1.0
+			if round < 62 { // doubling saturates at probability 1 long before the shift overflows
+				prob = math.Min(1, float64(2*kv)/float64(liveOf(i))*float64(int64(1)<<uint(round)))
+			}
 			if !s.Bernoulli(prob) {
 				return true
 			}
@@ -402,7 +430,7 @@ func batchVote(m *pram.Machine, rnd *rng.Stream, n, q int, probID func(int) int,
 	for i, v := range votes {
 		if v < 0 {
 			return nil, hullerr.New(hullerr.BudgetExhausted, "unsorted2d.vote",
-				"problem %d failed to vote after 8 rounds (live=%d)", i, liveOf(i))
+				"problem %d failed to vote after %d rounds (live=%d)", i, rounds, liveOf(i))
 		}
 	}
 	return votes, nil

@@ -55,6 +55,11 @@ type Options3D struct {
 	FallbackThreshold int
 	// MaxK caps k = s^(1/4). Default 10.
 	MaxK int
+	// VoteRounds is the retry budget of each splitter vote. Default 8.
+	VoteRounds int
+	// BudgetScale multiplies MaxLevels and VoteRounds — the knob the
+	// resilient supervisor escalates across reseeded attempts. Default 1.
+	BudgetScale float64
 }
 
 func (o *Options3D) fill(n int) {
@@ -67,6 +72,14 @@ func (o *Options3D) fill(n int) {
 	if o.MaxK <= 0 {
 		o.MaxK = 10
 	}
+	if o.VoteRounds <= 0 {
+		o.VoteRounds = 8
+	}
+	if o.BudgetScale < 1 {
+		o.BudgetScale = 1
+	}
+	o.MaxLevels = scaleBudget(o.MaxLevels, o.BudgetScale)
+	o.VoteRounds = scaleBudget(o.VoteRounds, o.BudgetScale)
 }
 
 // Hull3D computes the upper-hull cap structure of unsorted 3-d points with
@@ -142,7 +155,7 @@ func Hull3DOpts(m *pram.Machine, rnd *rng.Stream, pts []geom.Point3, opt Options
 		}
 
 		// Step 1: random vote splitter per problem.
-		splitters, err := batchVote(m, rnd.Split(uint64(level)*5+1), n, len(problems), probID,
+		splitters, err := batchVote(m, rnd.Split(uint64(level)*5+1), n, len(problems), opt.VoteRounds, probID,
 			func(i int) int { return problems[i].live })
 		if err != nil {
 			return res, err
