@@ -1,8 +1,10 @@
 // Command hullbench runs the experiments of DESIGN.md §6 and prints their
 // tables — the reproduction's equivalent of regenerating the paper's
-// evaluation figures. The registry spans E1–E15: the theorem-by-theorem
+// evaluation figures. The registry spans E1–E16: the theorem-by-theorem
 // measurements, the E14 chaos soak (with the E14c supervised-recovery
-// re-run), and the E15 resilience-overhead sweep.
+// re-run), the E15 resilience-overhead sweep, and the E16 observability
+// certification (exact phase attribution, Lemma 4.2 round bounds,
+// disabled-path overhead).
 //
 // Usage:
 //
@@ -11,23 +13,27 @@
 //	hullbench -quick          # smaller sweeps (seconds instead of minutes)
 //	hullbench -seed 7         # change the master seed
 //	hullbench -list           # list experiments and claims
+//	hullbench -exp E16 -metrics :9090   # per-phase table + Prometheus endpoint
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 
 	"inplacehull/internal/bench"
+	"inplacehull/internal/obs"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment id to run (e.g. E3); empty = all")
-		quick = flag.Bool("quick", false, "shrink the sweeps")
-		seed  = flag.Uint64("seed", 1, "master random seed")
-		list  = flag.Bool("list", false, "list experiments and exit")
-		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		exp     = flag.String("exp", "", "experiment id to run (e.g. E3); empty = all")
+		quick   = flag.Bool("quick", false, "shrink the sweeps")
+		seed    = flag.Uint64("seed", 1, "master random seed")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		metrics = flag.String("metrics", "", "after the runs, print the per-phase table and serve Prometheus metrics at this address (e.g. :9090) until interrupted")
 	)
 	flag.Parse()
 
@@ -39,6 +45,9 @@ func main() {
 	}
 
 	cfg := bench.Config{Seed: *seed, Quick: *quick}
+	if *metrics != "" {
+		cfg.Metrics = obs.NewMetrics()
+	}
 	run := func(e bench.Experiment) {
 		fmt.Printf("\n#### %s — %s\n", e.ID, e.Claim)
 		for _, t := range e.Run(cfg) {
@@ -56,9 +65,20 @@ func main() {
 			os.Exit(2)
 		}
 		run(e)
-		return
+	} else {
+		for _, e := range bench.All() {
+			run(e)
+		}
 	}
-	for _, e := range bench.All() {
-		run(e)
+
+	if cfg.Metrics != nil {
+		fmt.Println("\n== per-phase aggregate (observed runs) ==")
+		cfg.Metrics.WriteTable(os.Stdout)
+		fmt.Printf("\nserving Prometheus metrics at %s/metrics (ctrl-c to stop)\n", *metrics)
+		http.Handle("/metrics", cfg.Metrics)
+		if err := http.ListenAndServe(*metrics, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "metrics server: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

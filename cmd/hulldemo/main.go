@@ -10,6 +10,7 @@
 //	hulldemo -algo ks -gen disk -n 100000                # sequential baseline
 //	hulldemo -algo hull2d -n 100000 -timeout 2s          # supervised, with deadline
 //	hulldemo -algo hull3d -retries 5                     # supervised, 5 extra attempts
+//	hulldemo -algo hull2d -trace out.json                # Chrome trace-event timeline
 //	printf '0 0\n1 2\n2 1\n' | hulldemo -algo hull2d -stdin
 package main
 
@@ -26,16 +27,48 @@ import (
 	"inplacehull/internal/workload"
 )
 
-// supCfg carries the supervision flags. Setting either -timeout or
-// -retries routes the parallel algorithms through the resilient layer:
-// the run honors the deadline, reseeds and retries typed failures, and
-// degrades to the sequential baseline after the retry cap.
+// supCfg carries the supervision and observability flags. Setting either
+// -timeout or -retries routes the parallel algorithms through the
+// resilient layer: the run honors the deadline, reseeds and retries typed
+// failures, and degrades to the sequential baseline after the retry cap.
+// -trace records the run as a Chrome trace-event timeline.
 type supCfg struct {
-	timeout time.Duration
-	retries int
+	timeout   time.Duration
+	retries   int
+	tracePath string
+	trace     *inplacehull.Trace
 }
 
 func (s supCfg) enabled() bool { return s.timeout > 0 || s.retries > 0 }
+
+// config assembles the RunConfig shared by the 2-d and 3-d paths.
+func (s *supCfg) config() inplacehull.RunConfig {
+	cfg := inplacehull.RunConfig{Direct: !s.enabled(), Policy: s.policy()}
+	if s.tracePath != "" {
+		s.trace = inplacehull.NewTrace()
+		cfg.Observer = s.trace
+	}
+	return cfg
+}
+
+// flush writes the recorded trace, if one was requested.
+func (s *supCfg) flush() {
+	if s.trace == nil {
+		return
+	}
+	f, err := os.Create(s.tracePath)
+	if err != nil {
+		fatalf("writing trace: %v", err)
+	}
+	if _, err := s.trace.WriteTo(f); err != nil {
+		fatalf("writing trace: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		fatalf("writing trace: %v", err)
+	}
+	fmt.Printf("trace written  %s (%d events; open in chrome://tracing or ui.perfetto.dev)\n",
+		s.tracePath, s.trace.Len())
+}
 
 // ctx returns the run context and its cancel func.
 func (s supCfg) ctx() (context.Context, context.CancelFunc) {
@@ -74,14 +107,15 @@ func main() {
 		svg     = flag.String("svg", "", "write an SVG rendering of points + hull to this file (2-d only)")
 		timeout = flag.Duration("timeout", 0, "supervised run deadline (0 = none; implies the resilient layer)")
 		retries = flag.Int("retries", 0, "extra randomized attempts before degrading to the sequential baseline (implies the resilient layer)")
+		tracef  = flag.String("trace", "", "write a Chrome trace-event JSON timeline of the run to this file")
 	)
 	flag.Parse()
-	sup := supCfg{timeout: *timeout, retries: *retries}
+	sup := supCfg{timeout: *timeout, retries: *retries, tracePath: *tracef}
 
 	switch *algo {
 	case "hull3d", "incremental3d", "giftwrap3d":
 		pts := gen3D(*gen3, *seed, *n)
-		run3D(*algo, *seed, pts, *show, sup)
+		run3D(*algo, *seed, pts, *show, &sup)
 	default:
 		var pts []inplacehull.Point
 		if *stdin {
@@ -89,7 +123,7 @@ func main() {
 		} else {
 			pts = gen2D(*gen, *seed, *n)
 		}
-		chain := run2D(*algo, *seed, pts, *show, sup)
+		chain := run2D(*algo, *seed, pts, *show, &sup)
 		if *svg != "" {
 			doc := viz.SVG2D(pts, chain, false)
 			if err := os.WriteFile(*svg, []byte(doc), 0o644); err != nil {
@@ -125,52 +159,27 @@ func gen3D(name string, seed uint64, n int) []inplacehull.Point3 {
 	return g(seed, n)
 }
 
-func run2D(algo string, seed uint64, pts []inplacehull.Point, show int, sup supCfg) []inplacehull.Point {
+func run2D(algo string, seed uint64, pts []inplacehull.Point, show int, sup *supCfg) []inplacehull.Point {
 	start := time.Now()
 	switch algo {
 	case "hull2d", "presorted", "logstar":
-		m := inplacehull.NewMachine()
-		rnd := inplacehull.NewRand(seed)
-		var chain []inplacehull.Point
-		var rep inplacehull.RunReport
-		var err error
-		if sup.enabled() {
-			ctx, cancel := sup.ctx()
-			defer cancel()
-			pol := sup.policy()
-			switch algo {
-			case "hull2d":
-				var res inplacehull.Hull2DResult
-				res, rep, err = inplacehull.Hull2DCtx(ctx, m, rnd, pts, pol)
-				chain = res.Chain
-			case "presorted":
-				var res inplacehull.PresortedResult
-				res, rep, err = inplacehull.PresortedHullCtx(ctx, m, rnd, dedupeSorted(pts), pol)
-				chain = res.Chain
-			case "logstar":
-				var res inplacehull.PresortedResult
-				res, rep, err = inplacehull.LogStarHullCtx(ctx, m, rnd, dedupeSorted(pts), pol)
-				chain = res.Chain
-			}
-		} else {
-			switch algo {
-			case "hull2d":
-				var res inplacehull.Hull2DResult
-				res, err = inplacehull.Hull2D(m, rnd, pts)
-				chain = res.Chain
-			case "presorted":
-				var res inplacehull.PresortedResult
-				res, err = inplacehull.PresortedHull(m, rnd, dedupeSorted(pts))
-				chain = res.Chain
-			case "logstar":
-				var res inplacehull.PresortedResult
-				res, err = inplacehull.LogStarHull(m, rnd, dedupeSorted(pts))
-				chain = res.Chain
-			}
+		algos := map[string]inplacehull.Algo{
+			"hull2d": inplacehull.AlgoHull2D, "presorted": inplacehull.AlgoPresorted, "logstar": inplacehull.AlgoLogStar,
 		}
+		cfg := sup.config()
+		cfg.Algorithm = algos[algo]
+		input := pts
+		if cfg.Algorithm != inplacehull.AlgoHull2D {
+			input = dedupeSorted(pts)
+		}
+		ctx, cancel := sup.ctx()
+		defer cancel()
+		m := inplacehull.NewMachine()
+		res, rep, err := inplacehull.Run2D(ctx, m, inplacehull.NewRand(seed), input, cfg)
 		if err != nil {
 			fatalf("%v", err)
 		}
+		chain := res.Chain
 		fmt.Printf("algorithm      %s\n", algo)
 		fmt.Printf("points         %d\n", len(pts))
 		fmt.Printf("hull vertices  %d\n", len(chain))
@@ -181,6 +190,7 @@ func run2D(algo string, seed uint64, pts []inplacehull.Point, show int, sup supC
 		if sup.enabled() {
 			printReport(rep)
 		}
+		sup.flush()
 		printChain(chain, show)
 		return chain
 	case "ks", "chan", "quickhull", "monotone":
@@ -210,21 +220,14 @@ func run2D(algo string, seed uint64, pts []inplacehull.Point, show int, sup supC
 	return nil
 }
 
-func run3D(algo string, seed uint64, pts []inplacehull.Point3, show int, sup supCfg) {
+func run3D(algo string, seed uint64, pts []inplacehull.Point3, show int, sup *supCfg) {
 	start := time.Now()
 	switch algo {
 	case "hull3d":
 		m := inplacehull.NewMachine()
-		var res inplacehull.Hull3DResult
-		var rep inplacehull.RunReport
-		var err error
-		if sup.enabled() {
-			ctx, cancel := sup.ctx()
-			defer cancel()
-			res, rep, err = inplacehull.Hull3DCtx(ctx, m, inplacehull.NewRand(seed), pts, sup.policy())
-		} else {
-			res, err = inplacehull.Hull3D(m, inplacehull.NewRand(seed), pts)
-		}
+		ctx, cancel := sup.ctx()
+		defer cancel()
+		res, rep, err := inplacehull.Run3D(ctx, m, inplacehull.NewRand(seed), pts, sup.config())
 		if err != nil {
 			fatalf("%v", err)
 		}
@@ -238,6 +241,7 @@ func run3D(algo string, seed uint64, pts []inplacehull.Point3, show int, sup sup
 		if sup.enabled() {
 			printReport(rep)
 		}
+		sup.flush()
 	case "incremental3d", "giftwrap3d":
 		var h inplacehull.Hull3DExact
 		var err error

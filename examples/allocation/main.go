@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"inplacehull"
@@ -15,7 +16,8 @@ import (
 func main() {
 	pts := workload.Disk(3, 1<<14)
 	m := inplacehull.NewMachine(inplacehull.WithProfile())
-	if _, err := inplacehull.Hull2D(m, inplacehull.NewRand(3), pts); err != nil {
+	if _, _, err := inplacehull.Run2D(context.Background(), m, inplacehull.NewRand(3), pts,
+		inplacehull.RunConfig{Direct: true}); err != nil {
 		panic(err)
 	}
 	profile := m.Profile()

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -26,7 +27,8 @@ func main() {
 		pts := g.Gen(5, n)
 
 		m := inplacehull.NewMachine()
-		res, err := inplacehull.Hull3D(m, inplacehull.NewRand(5), pts)
+		res, _, err := inplacehull.Run3D(context.Background(), m, inplacehull.NewRand(5), pts,
+			inplacehull.RunConfig{Direct: true})
 		if err != nil {
 			fmt.Printf("%-20s ERROR %v\n", g.Name, err)
 			continue

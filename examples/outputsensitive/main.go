@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -30,7 +31,8 @@ func main() {
 	for _, g := range gens {
 		pts := g.Gen(7, n)
 		m := inplacehull.NewMachine()
-		res, err := inplacehull.Hull2D(m, inplacehull.NewRand(7), pts)
+		res, _, err := inplacehull.Run2D(context.Background(), m, inplacehull.NewRand(7), pts,
+			inplacehull.RunConfig{Direct: true})
 		if err != nil {
 			fmt.Printf("%-18s ERROR %v\n", g.Name, err)
 			continue

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -21,12 +22,14 @@ func main() {
 		pts := prep(workload.Gaussian(11, n))
 
 		m1 := inplacehull.NewMachine()
-		r1, err := inplacehull.PresortedHull(m1, inplacehull.NewRand(3), pts)
+		r1, _, err := inplacehull.Run2D(context.Background(), m1, inplacehull.NewRand(3), pts,
+			inplacehull.RunConfig{Algorithm: inplacehull.AlgoPresorted, Direct: true})
 		if err != nil {
 			panic(err)
 		}
 		m2 := inplacehull.NewMachine()
-		r2, err := inplacehull.LogStarHull(m2, inplacehull.NewRand(3), pts)
+		r2, _, err := inplacehull.Run2D(context.Background(), m2, inplacehull.NewRand(3), pts,
+			inplacehull.RunConfig{Algorithm: inplacehull.AlgoLogStar, Direct: true})
 		if err != nil {
 			panic(err)
 		}

@@ -1,12 +1,15 @@
 // Quickstart: compute the upper hull of unsorted points on the simulated
-// CRCW PRAM, check it against the sequential reference, and read off the
-// model costs the paper's Theorem 5 is about.
+// CRCW PRAM through the unified Run API, check it against the sequential
+// reference, and read off the model costs the paper's Theorem 5 is about
+// — with a phase-attributed breakdown of where the work went.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
+	"os"
 
 	"inplacehull"
 	"inplacehull/internal/workload"
@@ -18,11 +21,16 @@ func main() {
 
 	m := inplacehull.NewMachine()
 	rnd := inplacehull.NewRand(42)
-	res, err := inplacehull.Hull2D(m, rnd, pts)
+	phases := inplacehull.NewCollector()
+	res, _, err := inplacehull.Run2D(context.Background(), m, rnd, pts, inplacehull.RunConfig{
+		Algorithm: inplacehull.AlgoHull2D, // the §4.1 output-sensitive algorithm
+		Direct:    true,                   // one attempt, no supervisor
+		Observer:  phases,                 // attribute every unit of work to a paper phase
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := inplacehull.VerifyHull2D(pts, res); err != nil {
+	if err := inplacehull.VerifyHull2D(pts, *res.Unsorted); err != nil {
 		log.Fatalf("verification failed: %v", err)
 	}
 
@@ -34,12 +42,17 @@ func main() {
 	fmt.Printf("PRAM work              %d\n", m.Work())
 	fmt.Printf("work / (n·log2 h)      %.2f  (Theorem 5's O(1) ratio)\n",
 		float64(m.Work())/(n*math.Log2(h+2)))
-	fmt.Printf("recursion levels       %d\n", res.Stats.Levels)
-	fmt.Printf("bridges failure-swept  %d\n", res.Stats.BridgeFailures)
+	fmt.Printf("recursion levels       %d\n", res.Unsorted.Stats.Levels)
+	fmt.Printf("bridges failure-swept  %d\n", res.Unsorted.Stats.BridgeFailures)
 
 	// Every input point knows the hull edge above it — the paper's output
 	// contract. Spot-check one point.
 	p := 12345
 	e := res.Edges[res.EdgeOf[p]]
 	fmt.Printf("point %v lies under edge %v–%v\n", pts[p], e.U, e.W)
+
+	// Where the work went, by paper phase (the bottom row's work column
+	// sums to Machine.Work exactly — experiment E16's invariant).
+	fmt.Println()
+	inplacehull.WritePhaseTable(os.Stdout, phases)
 }

@@ -149,48 +149,71 @@ type (
 // PresortedHull computes the upper hull of points sorted by strictly
 // increasing x in O(1) measured PRAM steps with O(n log n) processors
 // (§2.2, Lemma 2.5).
+//
+// Deprecated: use Run2D with RunConfig{Algorithm: AlgoPresorted, Direct: true}.
 func PresortedHull(m *Machine, rnd *Rand, pts []Point) (PresortedResult, error) {
-	return presorted.ConstantTime(m, rnd, pts)
+	r, _, err := Run2D(context.Background(), m, rnd, pts, RunConfig{Algorithm: AlgoPresorted, Direct: true})
+	return *r.Presorted, err
 }
 
 // LogStarHull computes the upper hull of pre-sorted points in O(log* n)
 // measured steps with O(n) processors (§2.5, Theorem 2).
+//
+// Deprecated: use Run2D with RunConfig{Algorithm: AlgoLogStar, Direct: true}.
 func LogStarHull(m *Machine, rnd *Rand, pts []Point) (PresortedResult, error) {
-	return presorted.LogStar(m, rnd, pts)
+	r, _, err := Run2D(context.Background(), m, rnd, pts, RunConfig{Algorithm: AlgoLogStar, Direct: true})
+	return *r.Presorted, err
 }
 
-// OptimalReport is the output of OptimalHull (§2.6).
+// OptimalReport is the output of AlgoOptimal runs (§2.6).
 type OptimalReport = presorted.OptimalReport
 
 // OptimalHull computes the upper hull of pre-sorted points with the §2.6
 // processor budget: O(log* n) time scheduled on n/log*(n) processors via
 // the Lemma 7 simulation (the paper defers the construction to its full
 // version; see DESIGN.md §5).
+//
+// Deprecated: use Run2D with RunConfig{Algorithm: AlgoOptimal}.
 func OptimalHull(m *Machine, rnd *Rand, pts []Point) (OptimalReport, error) {
-	return presorted.Optimal(m, rnd, pts)
+	r, _, err := Run2D(context.Background(), m, rnd, pts, RunConfig{Algorithm: AlgoOptimal})
+	return *r.Optimal, err
 }
 
 // Hull2D computes the upper hull of unsorted points in O(log n) measured
 // steps and O(n log h) work (§4.1, Theorem 5).
+//
+// Deprecated: use Run2D with RunConfig{Direct: true} (or supervised with
+// the zero RunConfig).
 func Hull2D(m *Machine, rnd *Rand, pts []Point) (Hull2DResult, error) {
-	return unsorted.Hull2D(m, rnd, pts)
+	r, _, err := Run2D(context.Background(), m, rnd, pts, RunConfig{Direct: true})
+	return *r.Unsorted, err
 }
 
 // Hull2DWithOptions is Hull2D with explicit §4.1 constants.
+//
+// Deprecated: use Run2D with RunConfig{Options2D: opt, Direct: true}.
 func Hull2DWithOptions(m *Machine, rnd *Rand, pts []Point, opt Hull2DOptions) (Hull2DResult, error) {
-	return unsorted.Hull2DOpts(m, rnd, pts, opt)
+	r, _, err := Run2D(context.Background(), m, rnd, pts, RunConfig{Options2D: opt, Direct: true})
+	return *r.Unsorted, err
 }
 
 // Hull3D computes the upper-hull cap structure of unsorted 3-d points in
 // O(log² n) measured steps and O(min{n log² h, n log n}) work (§4.3,
 // Theorem 6). See Hull3DResult for the output contract.
+//
+// Deprecated: use Run3D with RunConfig{Direct: true} (or supervised with
+// the zero RunConfig).
 func Hull3D(m *Machine, rnd *Rand, pts []Point3) (Hull3DResult, error) {
-	return unsorted.Hull3D(m, rnd, pts)
+	r, _, err := Run3D(context.Background(), m, rnd, pts, RunConfig{Direct: true})
+	return r, err
 }
 
 // Hull3DWithOptions is Hull3D with explicit §4.3 constants.
+//
+// Deprecated: use Run3D with RunConfig{Options3D: opt, Direct: true}.
 func Hull3DWithOptions(m *Machine, rnd *Rand, pts []Point3, opt Hull3DOptions) (Hull3DResult, error) {
-	return unsorted.Hull3DOpts(m, rnd, pts, opt)
+	r, _, err := Run3D(context.Background(), m, rnd, pts, RunConfig{Options3D: opt, Direct: true})
+	return r, err
 }
 
 // Supervision layer (internal/resilient): the *Ctx entry points run the
@@ -225,33 +248,49 @@ const (
 // Hull2DCtx is Hull2D under the supervisor: it honors ctx cancellation and
 // deadlines between PRAM steps, retries budget surrenders with fresh
 // seeds, and degrades to the sequential baseline after the retry cap.
+//
+// Deprecated: use Run2D with RunConfig{Policy: pol}.
 func Hull2DCtx(ctx context.Context, m *Machine, rnd *Rand, pts []Point, pol Policy) (Hull2DResult, RunReport, error) {
-	return resilient.Hull2D(ctx, m, rnd, pts, pol)
+	r, rep, err := Run2D(ctx, m, rnd, pts, RunConfig{Policy: pol})
+	return *r.Unsorted, rep, err
 }
 
 // Hull2DCtxOptions is Hull2DCtx with explicit §4.1 constants.
+//
+// Deprecated: use Run2D with RunConfig{Options2D: opt, Policy: pol}.
 func Hull2DCtxOptions(ctx context.Context, m *Machine, rnd *Rand, pts []Point, opt Hull2DOptions, pol Policy) (Hull2DResult, RunReport, error) {
-	return resilient.Hull2DOpts(ctx, m, rnd, pts, opt, pol)
+	r, rep, err := Run2D(ctx, m, rnd, pts, RunConfig{Options2D: opt, Policy: pol})
+	return *r.Unsorted, rep, err
 }
 
 // Hull3DCtx is Hull3D under the supervisor (see Hull2DCtx).
+//
+// Deprecated: use Run3D with RunConfig{Policy: pol}.
 func Hull3DCtx(ctx context.Context, m *Machine, rnd *Rand, pts []Point3, pol Policy) (Hull3DResult, RunReport, error) {
-	return resilient.Hull3D(ctx, m, rnd, pts, pol)
+	return Run3D(ctx, m, rnd, pts, RunConfig{Policy: pol})
 }
 
 // Hull3DCtxOptions is Hull3DCtx with explicit §4.3 constants.
+//
+// Deprecated: use Run3D with RunConfig{Options3D: opt, Policy: pol}.
 func Hull3DCtxOptions(ctx context.Context, m *Machine, rnd *Rand, pts []Point3, opt Hull3DOptions, pol Policy) (Hull3DResult, RunReport, error) {
-	return resilient.Hull3DOpts(ctx, m, rnd, pts, opt, pol)
+	return Run3D(ctx, m, rnd, pts, RunConfig{Options3D: opt, Policy: pol})
 }
 
 // PresortedHullCtx is PresortedHull under the supervisor (see Hull2DCtx).
+//
+// Deprecated: use Run2D with RunConfig{Algorithm: AlgoPresorted, Policy: pol}.
 func PresortedHullCtx(ctx context.Context, m *Machine, rnd *Rand, pts []Point, pol Policy) (PresortedResult, RunReport, error) {
-	return resilient.PresortedHull(ctx, m, rnd, pts, pol)
+	r, rep, err := Run2D(ctx, m, rnd, pts, RunConfig{Algorithm: AlgoPresorted, Policy: pol})
+	return *r.Presorted, rep, err
 }
 
 // LogStarHullCtx is LogStarHull under the supervisor (see Hull2DCtx).
+//
+// Deprecated: use Run2D with RunConfig{Algorithm: AlgoLogStar, Policy: pol}.
 func LogStarHullCtx(ctx context.Context, m *Machine, rnd *Rand, pts []Point, pol Policy) (PresortedResult, RunReport, error) {
-	return resilient.LogStarHull(ctx, m, rnd, pts, pol)
+	r, rep, err := Run2D(ctx, m, rnd, pts, RunConfig{Algorithm: AlgoLogStar, Policy: pol})
+	return *r.Presorted, rep, err
 }
 
 // FullHullResult is the output of FullHull2DParallel.

@@ -10,6 +10,8 @@ import (
 	"io"
 	"sort"
 	"strings"
+
+	"inplacehull/internal/obs"
 )
 
 // Table is one result table of an experiment.
@@ -108,6 +110,10 @@ type Config struct {
 	Seed uint64
 	// Quick shrinks the sweeps for tests and smoke runs.
 	Quick bool
+	// Metrics, when non-nil, aggregates the per-phase collectors of
+	// observability-instrumented experiments (E16) for the cmd/hullbench
+	// -metrics Prometheus endpoint.
+	Metrics *obs.Metrics
 }
 
 // Experiment is one entry of the registry.

@@ -28,6 +28,7 @@ import (
 	"inplacehull/internal/compact"
 	"inplacehull/internal/fault"
 	"inplacehull/internal/geom"
+	"inplacehull/internal/obs"
 	"inplacehull/internal/pram"
 	"inplacehull/internal/rng"
 )
@@ -252,6 +253,13 @@ const sampleAttempts = 3
 // terminalAttempts bounds the §3.3 step 4 compact-then-resample loop.
 const terminalAttempts = 3
 
+// MaxRoundsPerBridge bounds the solveRound invocations (obs "lp-iter"
+// spans) of one BatchBridge call: β deterministic rounds plus at most
+// two per terminal attempt — Lemma 4.2's constant-iteration bound as it
+// manifests in this implementation. Experiment E16 checks observed span
+// counts against it.
+const MaxRoundsPerBridge = DefaultBeta + 2*terminalAttempts
+
 // BatchBridge2D runs the in-place bridge-finding procedure of §3.3 for all
 // problems simultaneously over n virtual processors. pt(v) is the point
 // virtual processor v stands by; probID(v) is the problem it belongs to
@@ -325,7 +333,9 @@ func BatchBridge2D(m *pram.Machine, rnd *rng.Stream, n int, pt func(int) geom.Po
 
 	solveRound := func(members [][]geom.Point) {
 		// Solve every unfinished problem's base; one O(1)-step round of
-		// Σ|base|³ processors in the model.
+		// Σ|base|³ processors in the model. One "lp-iter" span per round
+		// lets experiment E16 count rounds against Lemma 4.2's bound.
+		defer obs.Span(m, "lp-iter")()
 		var work int64
 		for j := range problems {
 			if finished[j] {

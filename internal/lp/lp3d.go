@@ -6,6 +6,7 @@ import (
 	"inplacehull/internal/compact"
 	"inplacehull/internal/fault"
 	"inplacehull/internal/geom"
+	"inplacehull/internal/obs"
 	"inplacehull/internal/pram"
 	"inplacehull/internal/rng"
 )
@@ -208,6 +209,7 @@ func BatchBridge3D(m *pram.Machine, rnd *rng.Stream, n int, pt func(int) geom.Po
 	}
 
 	solveRound := func(members [][]geom.Point3) {
+		defer obs.Span(m, "lp-iter")()
 		var work int64
 		for j := range problems {
 			if finished[j] {

@@ -1,0 +1,303 @@
+package obs
+
+import (
+	"sync"
+	"time"
+
+	"inplacehull/internal/pram"
+)
+
+// Phase is the aggregated account of one span name.
+type Phase struct {
+	Name string
+	// Ref is the paper reference from the Registry ("" if unregistered).
+	Ref string
+	// Spans is the number of closed spans with this name.
+	Spans int64
+	// Steps and Work are the PRAM cost attributed to this phase: every
+	// Step/Steps/Charge event lands on the innermost open span at the time
+	// it fires, so ΣWork over phases (including Untracked) equals the
+	// machine's Work counter exactly. Steps from Concurrent sub-machines
+	// sum, whereas the machine charges their max — so ΣSteps may exceed
+	// Machine.Time; Work has no such overlap.
+	Steps int64
+	Work  int64
+	// PeakProcs is the largest simultaneous processor count observed in a
+	// step (or implied by a charge) attributed to this phase.
+	PeakProcs int64
+	// Wall is the host wall-clock attributed to this phase (self time:
+	// nested spans accrue to themselves).
+	Wall time.Duration
+}
+
+// frame is one entry of the collector's region stack.
+type frame struct {
+	name string
+	sub  bool // a Concurrent sub-machine boundary, not a named span
+}
+
+// Collector is a pram.Sink that attributes PRAM cost to phases. Install it
+// with Machine.SetSink (or RunConfig.Observer at the root API), run, then
+// read Phases/Notes. All methods are safe for the machine's host-side
+// event stream; a zero Collector is ready to use.
+type Collector struct {
+	mu     sync.Mutex
+	stack  []frame
+	phases map[string]*Phase
+	order  []string
+	notes  map[string]map[string]int64
+	total  Phase // event-accumulated totals across all phases
+
+	lastMark time.Time
+	started  bool
+	now      func() time.Time // test seam; nil = time.Now
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+func (c *Collector) clock() time.Time {
+	if c.now != nil {
+		return c.now()
+	}
+	return time.Now()
+}
+
+// phase returns (creating if needed) the named phase record.
+func (c *Collector) phase(name string) *Phase {
+	if c.phases == nil {
+		c.phases = make(map[string]*Phase)
+	}
+	ph, ok := c.phases[name]
+	if !ok {
+		ph = &Phase{Name: name, Ref: Ref(name)}
+		c.phases[name] = ph
+		c.order = append(c.order, name)
+	}
+	return ph
+}
+
+// current returns the attribution target: the innermost open span's name,
+// looking through Concurrent sub-machine boundaries (work a sub-machine
+// performs outside any of its own spans belongs to the parent's open
+// span), or Untracked outside every span.
+func (c *Collector) current() string {
+	for i := len(c.stack) - 1; i >= 0; i-- {
+		if !c.stack[i].sub {
+			return c.stack[i].name
+		}
+	}
+	return Untracked
+}
+
+// advance attributes the wall-clock since the last region transition to
+// the currently open phase. Called before every stack mutation.
+func (c *Collector) advance() {
+	now := c.clock()
+	if c.started {
+		d := now.Sub(c.lastMark)
+		if d > 0 {
+			c.phase(c.current()).Wall += d
+			c.total.Wall += d
+		}
+	}
+	c.started = true
+	c.lastMark = now
+}
+
+// StepEvent implements pram.Sink.
+func (c *Collector) StepEvent(k, live int64) {
+	c.mu.Lock()
+	ph := c.phase(c.current())
+	ph.Steps += k
+	ph.Work += k * live
+	if live > ph.PeakProcs {
+		ph.PeakProcs = live
+	}
+	c.total.Steps += k
+	c.total.Work += k * live
+	c.mu.Unlock()
+}
+
+// ChargeEvent implements pram.Sink.
+func (c *Collector) ChargeEvent(steps, work int64) {
+	c.mu.Lock()
+	ph := c.phase(c.current())
+	ph.Steps += steps
+	ph.Work += work
+	if steps > 0 && work > 0 {
+		if implied := (work + steps - 1) / steps; implied > ph.PeakProcs {
+			ph.PeakProcs = implied
+		}
+	}
+	c.total.Steps += steps
+	c.total.Work += work
+	c.mu.Unlock()
+}
+
+// SpanOpenEvent implements pram.Sink.
+func (c *Collector) SpanOpenEvent(name string, at pram.Snapshot) {
+	c.mu.Lock()
+	c.advance()
+	c.stack = append(c.stack, frame{name: name})
+	c.mu.Unlock()
+}
+
+// SpanCloseEvent implements pram.Sink.
+func (c *Collector) SpanCloseEvent(name string, at pram.Snapshot) {
+	c.mu.Lock()
+	c.advance()
+	// Pop the matching span; defensively unwind past mismatches (a span
+	// leaked by a panicking program) so one lost close cannot skew every
+	// later attribution.
+	for i := len(c.stack) - 1; i >= 0; i-- {
+		if !c.stack[i].sub && c.stack[i].name == name {
+			c.stack = c.stack[:i]
+			break
+		}
+	}
+	c.phase(name).Spans++
+	c.mu.Unlock()
+}
+
+// SubOpenEvent implements pram.Sink: a Concurrent sub-machine boundary.
+func (c *Collector) SubOpenEvent(at pram.Snapshot) {
+	c.mu.Lock()
+	c.stack = append(c.stack, frame{sub: true})
+	c.mu.Unlock()
+}
+
+// SubCloseEvent implements pram.Sink.
+func (c *Collector) SubCloseEvent(sub pram.Snapshot) {
+	c.mu.Lock()
+	for i := len(c.stack) - 1; i >= 0; i-- {
+		if c.stack[i].sub {
+			c.stack = c.stack[:i]
+			break
+		}
+	}
+	c.mu.Unlock()
+}
+
+// NoteEvent implements pram.Sink: host-level annotations (retry/ladder
+// transitions) counted by (event, detail).
+func (c *Collector) NoteEvent(event, detail string) {
+	c.mu.Lock()
+	if c.notes == nil {
+		c.notes = make(map[string]map[string]int64)
+	}
+	if c.notes[event] == nil {
+		c.notes[event] = make(map[string]int64)
+	}
+	c.notes[event][detail]++
+	c.mu.Unlock()
+}
+
+// Phases returns the per-phase accounts in first-seen order, with the
+// Untracked bucket moved last. The Work columns sum exactly to TotalWork.
+func (c *Collector) Phases() []Phase {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Phase, 0, len(c.order))
+	var untracked *Phase
+	for _, name := range c.order {
+		ph := c.phases[name]
+		if name == Untracked {
+			untracked = ph
+			continue
+		}
+		out = append(out, *ph)
+	}
+	if untracked != nil {
+		out = append(out, *untracked)
+	}
+	return out
+}
+
+// Total returns the event-accumulated aggregate: Total().Work equals the
+// observed machine's Work counter growth while the collector was
+// installed, and equals the sum of the Phases() Work column — the E16
+// invariant.
+func (c *Collector) Total() Phase {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := c.total
+	t.Name = "(total)"
+	return t
+}
+
+// SpanCount returns how many spans of the given name have closed.
+func (c *Collector) SpanCount(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ph, ok := c.phases[name]; ok {
+		return ph.Spans
+	}
+	return 0
+}
+
+// Notes returns a copy of the (event, detail) annotation counts.
+func (c *Collector) Notes() map[string]map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]map[string]int64, len(c.notes))
+	for e, m := range c.notes {
+		inner := make(map[string]int64, len(m))
+		for d, n := range m {
+			inner[d] = n
+		}
+		out[e] = inner
+	}
+	return out
+}
+
+// Reset clears all accumulated state (the region stack included).
+func (c *Collector) Reset() {
+	c.mu.Lock()
+	c.stack, c.phases, c.order, c.notes = nil, nil, nil, nil
+	c.total = Phase{}
+	c.started = false
+	c.mu.Unlock()
+}
+
+// Multi fans events out to several observers (e.g. a Collector and a
+// Trace in one run).
+func Multi(sinks ...Observer) Observer { return multi(sinks) }
+
+type multi []Observer
+
+func (ms multi) StepEvent(k, live int64) {
+	for _, s := range ms {
+		s.StepEvent(k, live)
+	}
+}
+func (ms multi) ChargeEvent(steps, work int64) {
+	for _, s := range ms {
+		s.ChargeEvent(steps, work)
+	}
+}
+func (ms multi) SpanOpenEvent(name string, at pram.Snapshot) {
+	for _, s := range ms {
+		s.SpanOpenEvent(name, at)
+	}
+}
+func (ms multi) SpanCloseEvent(name string, at pram.Snapshot) {
+	for _, s := range ms {
+		s.SpanCloseEvent(name, at)
+	}
+}
+func (ms multi) SubOpenEvent(at pram.Snapshot) {
+	for _, s := range ms {
+		s.SubOpenEvent(at)
+	}
+}
+func (ms multi) SubCloseEvent(sub pram.Snapshot) {
+	for _, s := range ms {
+		s.SubCloseEvent(sub)
+	}
+}
+func (ms multi) NoteEvent(event, detail string) {
+	for _, s := range ms {
+		s.NoteEvent(event, detail)
+	}
+}

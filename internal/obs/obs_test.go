@@ -1,0 +1,270 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"inplacehull/internal/pram"
+)
+
+func TestCollectorAttributesToInnermostSpan(t *testing.T) {
+	m := pram.New(pram.WithWorkers(1))
+	c := NewCollector()
+	m.SetSink(c)
+
+	m.StepAll(5, func(p int) {}) // before any span → untracked
+
+	end := Span(m, "vote")
+	m.StepAll(10, func(p int) {})
+	inner := Span(m, "bridge-lp")
+	m.StepAll(3, func(p int) {})
+	m.Charge(2, 8)
+	inner()
+	m.StepAll(1, func(p int) {})
+	end()
+
+	m.Charge(0, 4) // after all spans → untracked
+
+	byName := map[string]Phase{}
+	for _, ph := range c.Phases() {
+		byName[ph.Name] = ph
+	}
+	if got := byName["vote"]; got.Work != 10+1 || got.Steps != 2 || got.Spans != 1 {
+		t.Fatalf("vote = %+v, want work 11, steps 2, spans 1", got)
+	}
+	if got := byName["bridge-lp"]; got.Work != 3+8 || got.Steps != 1+2 || got.Spans != 1 {
+		t.Fatalf("bridge-lp = %+v, want work 11, steps 3, spans 1", got)
+	}
+	if got := byName[Untracked]; got.Work != 5+4 {
+		t.Fatalf("untracked = %+v, want work 9", got)
+	}
+	if got := byName["bridge-lp"].Ref; got != "Lemma 4.1/4.2" {
+		t.Fatalf("bridge-lp ref = %q", got)
+	}
+	// The E16 invariant: phase works sum exactly to the machine's Work.
+	var sum int64
+	for _, ph := range c.Phases() {
+		sum += ph.Work
+	}
+	if sum != m.Work() || c.Total().Work != m.Work() {
+		t.Fatalf("Σphase work %d, Total %d, machine %d", sum, c.Total().Work, m.Work())
+	}
+	// Untracked renders last.
+	phases := c.Phases()
+	if phases[len(phases)-1].Name != Untracked {
+		t.Fatalf("last phase = %q, want %q", phases[len(phases)-1].Name, Untracked)
+	}
+}
+
+func TestCollectorFoldsConcurrentSubMachines(t *testing.T) {
+	m := pram.New(pram.WithWorkers(1))
+	c := NewCollector()
+	m.SetSink(c)
+
+	end := Span(m, "divide")
+	m.Concurrent(
+		func(sub *pram.Machine) {
+			// Work before the sub-machine opens its own span belongs to the
+			// parent's "divide".
+			sub.StepAll(4, func(p int) {})
+			done := Span(sub, "sweep")
+			sub.StepAll(6, func(p int) {})
+			done()
+		},
+		func(sub *pram.Machine) {
+			sub.Charge(1, 9)
+		},
+	)
+	end()
+
+	byName := map[string]Phase{}
+	for _, ph := range c.Phases() {
+		byName[ph.Name] = ph
+	}
+	if got := byName["divide"].Work; got != 4+9 {
+		t.Fatalf("divide work = %d, want 13", got)
+	}
+	if got := byName["sweep"].Work; got != 6 {
+		t.Fatalf("sweep work = %d, want 6", got)
+	}
+	if c.Total().Work != m.Work() {
+		t.Fatalf("total %d != machine %d", c.Total().Work, m.Work())
+	}
+	if _, ok := byName[Untracked]; ok && byName[Untracked].Work != 0 {
+		t.Fatalf("unexpected untracked work %d", byName[Untracked].Work)
+	}
+}
+
+func TestCollectorNotesAndReset(t *testing.T) {
+	m := pram.New(pram.WithWorkers(1))
+	c := NewCollector()
+	m.SetSink(c)
+	m.Note("retry", "attempt")
+	m.Note("retry", "attempt")
+	m.Note("ladder", "exact-to-float")
+	notes := c.Notes()
+	if notes["retry"]["attempt"] != 2 || notes["ladder"]["exact-to-float"] != 1 {
+		t.Fatalf("notes = %v", notes)
+	}
+	c.Reset()
+	if len(c.Notes()) != 0 || c.Total().Work != 0 || len(c.Phases()) != 0 {
+		t.Fatalf("reset did not clear state")
+	}
+}
+
+func TestCollectorWallClockAttribution(t *testing.T) {
+	c := NewCollector()
+	tick := time.Unix(0, 0)
+	c.now = func() time.Time {
+		tick = tick.Add(10 * time.Millisecond)
+		return tick
+	}
+	var snap pram.Snapshot
+	c.SpanOpenEvent("vote", snap)  // t=10ms: starts clock
+	c.SpanCloseEvent("vote", snap) // t=20ms: 10ms → vote
+	c.SpanOpenEvent("sweep", snap) // t=30ms: 10ms → untracked
+	c.SpanCloseEvent("sweep", snap)
+	byName := map[string]Phase{}
+	for _, ph := range c.Phases() {
+		byName[ph.Name] = ph
+	}
+	if byName["vote"].Wall != 10*time.Millisecond {
+		t.Fatalf("vote wall = %v", byName["vote"].Wall)
+	}
+	if byName[Untracked].Wall != 10*time.Millisecond {
+		t.Fatalf("untracked wall = %v", byName[Untracked].Wall)
+	}
+}
+
+func TestSpanNilSinkReturnsSharedNoop(t *testing.T) {
+	m := pram.New(pram.WithWorkers(1))
+	end := Span(m, "vote")
+	end() // must not panic, and must not record anywhere
+	n := testing.AllocsPerRun(100, func() {
+		Span(m, "vote")()
+	})
+	if n != 0 {
+		t.Fatalf("Span on nil sink allocates %v per call, want 0", n)
+	}
+}
+
+func TestTraceWritesValidChromeJSON(t *testing.T) {
+	m := pram.New(pram.WithWorkers(1))
+	tr := NewTrace()
+	m.SetSink(tr)
+	end := Span(m, "vote")
+	m.StepAll(4, func(p int) {})
+	m.Concurrent(func(sub *pram.Machine) { sub.StepAll(2, func(p int) {}) })
+	m.Note("retry", "attempt")
+	end()
+
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	// Every B has a matching E, and the note instant is present.
+	depth, instants := 0, 0
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "B":
+			depth++
+		case "E":
+			depth--
+		case "i":
+			instants++
+		}
+		if depth < 0 {
+			t.Fatalf("unbalanced E before B: %v", doc.TraceEvents)
+		}
+	}
+	if depth != 0 || instants != 1 {
+		t.Fatalf("depth %d instants %d, want 0/1", depth, instants)
+	}
+	// The vote span carries its paper reference.
+	found := false
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "vote" && ev.Ph == "B" {
+			found = true
+			if ev.Args["ref"] != "Cor 3.1" {
+				t.Fatalf("vote args = %v", ev.Args)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no vote begin event")
+	}
+}
+
+func TestMetricsExposition(t *testing.T) {
+	m := pram.New(pram.WithWorkers(1))
+	c := NewCollector()
+	m.SetSink(c)
+	end := Span(m, "vote")
+	m.StepAll(10, func(p int) {})
+	end()
+	m.Note("retry", "attempt")
+
+	x := NewMetrics()
+	x.Observe("hull2d", c)
+	x.Observe("hull2d", c) // aggregation across runs
+
+	var buf bytes.Buffer
+	if err := x.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`inplacehull_runs_total{algo="hull2d"} 2`,
+		`inplacehull_phase_work_total{algo="hull2d",phase="vote"} 20`,
+		`inplacehull_phase_spans_total{algo="hull2d",phase="vote"} 2`,
+		`inplacehull_events_total{event="retry",detail="attempt"} 2`,
+		"# TYPE inplacehull_phase_work_total counter",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMultiFansOut(t *testing.T) {
+	m := pram.New(pram.WithWorkers(1))
+	c1, c2 := NewCollector(), NewCollector()
+	m.SetSink(Multi(c1, c2))
+	end := Span(m, "vote")
+	m.StepAll(3, func(p int) {})
+	end()
+	if c1.Total().Work != 3 || c2.Total().Work != 3 {
+		t.Fatalf("fan-out works = %d, %d", c1.Total().Work, c2.Total().Work)
+	}
+	if c1.SpanCount("vote") != 1 || c2.SpanCount("vote") != 1 {
+		t.Fatalf("fan-out span counts = %d, %d", c1.SpanCount("vote"), c2.SpanCount("vote"))
+	}
+}
+
+func TestWriteTable(t *testing.T) {
+	m := pram.New(pram.WithWorkers(1))
+	c := NewCollector()
+	m.SetSink(c)
+	end := Span(m, "vote")
+	m.StepAll(3, func(p int) {})
+	end()
+	var buf bytes.Buffer
+	WriteTable(&buf, c)
+	out := buf.String()
+	if !strings.Contains(out, "vote") || !strings.Contains(out, "Cor 3.1") || !strings.Contains(out, "(total)") {
+		t.Fatalf("table:\n%s", out)
+	}
+}

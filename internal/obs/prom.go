@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"text/tabwriter"
+)
+
+// Metrics aggregates finished Collectors into Prometheus text-exposition
+// format (hand-rolled; the repo has no client library and needs none for
+// counters). One Metrics instance outlives many runs: cmd/hullbench feeds
+// every benchmark run into it and serves it at -metrics ADDR.
+type Metrics struct {
+	mu     sync.Mutex
+	runs   map[string]int64            // algo → completed runs
+	phases map[string]map[string]Phase // algo → phase name → summed account
+	notes  map[string]map[string]int64 // event → detail → count
+}
+
+// NewMetrics returns an empty aggregator.
+func NewMetrics() *Metrics { return &Metrics{} }
+
+// Observe folds one finished run's collector into the aggregate under the
+// given algorithm label ("presorted", "logstar", "hull2d", "hull3d", …).
+func (x *Metrics) Observe(algo string, c *Collector) {
+	if x == nil || c == nil {
+		return
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if x.runs == nil {
+		x.runs = make(map[string]int64)
+		x.phases = make(map[string]map[string]Phase)
+		x.notes = make(map[string]map[string]int64)
+	}
+	x.runs[algo]++
+	byPhase := x.phases[algo]
+	if byPhase == nil {
+		byPhase = make(map[string]Phase)
+		x.phases[algo] = byPhase
+	}
+	for _, ph := range c.Phases() {
+		acc := byPhase[ph.Name]
+		acc.Name = ph.Name
+		acc.Ref = ph.Ref
+		acc.Spans += ph.Spans
+		acc.Steps += ph.Steps
+		acc.Work += ph.Work
+		acc.Wall += ph.Wall
+		if ph.PeakProcs > acc.PeakProcs {
+			acc.PeakProcs = ph.PeakProcs
+		}
+		byPhase[ph.Name] = acc
+	}
+	for event, m := range c.Notes() {
+		if x.notes[event] == nil {
+			x.notes[event] = make(map[string]int64)
+		}
+		for detail, n := range m {
+			x.notes[event][detail] += n
+		}
+	}
+}
+
+// escapeLabel escapes a Prometheus label value.
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// WritePrometheus writes the aggregate in text exposition format, with
+// series sorted for deterministic output.
+func (x *Metrics) WritePrometheus(w io.Writer) error {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+
+	var b strings.Builder
+	algos := make([]string, 0, len(x.runs))
+	for a := range x.runs {
+		algos = append(algos, a)
+	}
+	sort.Strings(algos)
+
+	b.WriteString("# HELP inplacehull_runs_total Completed observed runs per algorithm.\n")
+	b.WriteString("# TYPE inplacehull_runs_total counter\n")
+	for _, a := range algos {
+		fmt.Fprintf(&b, "inplacehull_runs_total{algo=%q} %d\n", escapeLabel(a), x.runs[a])
+	}
+
+	type series struct{ help, typ, suffix string }
+	cols := []series{
+		{"PRAM steps attributed to each paper phase.", "counter", "phase_steps_total"},
+		{"PRAM work attributed to each paper phase; sums to machine work exactly.", "counter", "phase_work_total"},
+		{"Closed spans per paper phase.", "counter", "phase_spans_total"},
+		{"Host wall-clock seconds attributed to each paper phase.", "counter", "phase_wall_seconds_total"},
+		{"Largest simultaneous processor count seen in any one phase step.", "gauge", "phase_peak_processors"},
+	}
+	for _, col := range cols {
+		fmt.Fprintf(&b, "# HELP inplacehull_%s %s\n", col.suffix, col.help)
+		fmt.Fprintf(&b, "# TYPE inplacehull_%s %s\n", col.suffix, col.typ)
+		for _, a := range algos {
+			names := make([]string, 0, len(x.phases[a]))
+			for n := range x.phases[a] {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			for _, n := range names {
+				ph := x.phases[a][n]
+				label := fmt.Sprintf("{algo=%q,phase=%q}", escapeLabel(a), escapeLabel(n))
+				switch col.suffix {
+				case "phase_steps_total":
+					fmt.Fprintf(&b, "inplacehull_%s%s %d\n", col.suffix, label, ph.Steps)
+				case "phase_work_total":
+					fmt.Fprintf(&b, "inplacehull_%s%s %d\n", col.suffix, label, ph.Work)
+				case "phase_spans_total":
+					fmt.Fprintf(&b, "inplacehull_%s%s %d\n", col.suffix, label, ph.Spans)
+				case "phase_wall_seconds_total":
+					fmt.Fprintf(&b, "inplacehull_%s%s %g\n", col.suffix, label, ph.Wall.Seconds())
+				case "phase_peak_processors":
+					fmt.Fprintf(&b, "inplacehull_%s%s %d\n", col.suffix, label, ph.PeakProcs)
+				}
+			}
+		}
+	}
+
+	b.WriteString("# HELP inplacehull_events_total Supervisor annotations (retry, ladder, tier outcomes).\n")
+	b.WriteString("# TYPE inplacehull_events_total counter\n")
+	events := make([]string, 0, len(x.notes))
+	for e := range x.notes {
+		events = append(events, e)
+	}
+	sort.Strings(events)
+	for _, e := range events {
+		details := make([]string, 0, len(x.notes[e]))
+		for d := range x.notes[e] {
+			details = append(details, d)
+		}
+		sort.Strings(details)
+		for _, d := range details {
+			fmt.Fprintf(&b, "inplacehull_events_total{event=%q,detail=%q} %d\n",
+				escapeLabel(e), escapeLabel(d), x.notes[e][d])
+		}
+	}
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// ServeHTTP serves the exposition text, making *Metrics an http.Handler
+// for cmd/hullbench -metrics ADDR.
+func (x *Metrics) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = x.WritePrometheus(w)
+}
+
+// WriteTable renders the aggregate per-phase account as an aligned text
+// table, one block per algorithm — the human-readable twin of the
+// Prometheus exposition, printed by cmd/hullbench after a -metrics run.
+func (x *Metrics) WriteTable(w io.Writer) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	algos := make([]string, 0, len(x.runs))
+	for a := range x.runs {
+		algos = append(algos, a)
+	}
+	sort.Strings(algos)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	for _, a := range algos {
+		fmt.Fprintf(tw, "\n%s (%d runs)\n", a, x.runs[a])
+		fmt.Fprintln(tw, "  phase\tref\tspans\tsteps\twork\tpeak\twall")
+		names := make([]string, 0, len(x.phases[a]))
+		for n := range x.phases[a] {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			ph := x.phases[a][n]
+			fmt.Fprintf(tw, "  %s\t%s\t%d\t%d\t%d\t%d\t%s\n",
+				ph.Name, ph.Ref, ph.Spans, ph.Steps, ph.Work, ph.PeakProcs, ph.Wall.Round(1000))
+		}
+	}
+	tw.Flush()
+}

@@ -1,0 +1,22 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// WriteTable renders the per-phase account as an aligned text table (the
+// hullbench and E16 report format). The final row is the event total,
+// whose Work column equals the machine's Work counter exactly.
+func WriteTable(w io.Writer, c *Collector) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "phase\tref\tspans\tsteps\twork\tpeak\twall")
+	for _, ph := range c.Phases() {
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%d\t%s\n",
+			ph.Name, ph.Ref, ph.Spans, ph.Steps, ph.Work, ph.PeakProcs, ph.Wall.Round(1000))
+	}
+	t := c.Total()
+	fmt.Fprintf(tw, "%s\t\t\t%d\t%d\t\t%s\n", t.Name, t.Steps, t.Work, t.Wall.Round(1000))
+	tw.Flush()
+}

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+
+	"inplacehull/internal/pram"
+)
+
+// traceEvent is one record of the Chrome trace-event format (the JSON
+// array flavour; see chrome://tracing or ui.perfetto.dev). ph is "B"/"E"
+// for duration begin/end and "i" for instants; ts is microseconds.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// Trace is a pram.Sink that records a Chrome trace-event timeline: one
+// duration slice per span (with the machine's PRAM counters attached to
+// both boundaries), one slice per Concurrent sub-machine region, and one
+// instant per NoteEvent. Serialize it with WriteTo; cmd/hulldemo -trace
+// writes one per run.
+type Trace struct {
+	mu     sync.Mutex
+	start  time.Time
+	events []traceEvent
+	now    func() time.Time // test seam; nil = time.Now
+}
+
+// NewTrace returns a trace whose timestamps are relative to now.
+func NewTrace() *Trace { return &Trace{start: time.Now()} }
+
+func (t *Trace) ts() float64 {
+	now := time.Now()
+	if t.now != nil {
+		now = t.now()
+	}
+	if t.start.IsZero() {
+		t.start = now
+	}
+	return float64(now.Sub(t.start)) / float64(time.Microsecond)
+}
+
+func (t *Trace) add(ev traceEvent) {
+	ev.Pid = 1
+	ev.Tid = 1
+	t.events = append(t.events, ev)
+}
+
+func snapArgs(at pram.Snapshot) map[string]any {
+	return map[string]any{
+		"pram_time":  at.Time,
+		"pram_work":  at.Work,
+		"peak_procs": at.PeakProcessors,
+		"peak_space": at.PeakSpace,
+	}
+}
+
+// StepEvent implements pram.Sink. Individual steps are not rendered (a run
+// has thousands); their cost is visible via the counters attached to the
+// enclosing span boundaries.
+func (t *Trace) StepEvent(k, live int64) {}
+
+// ChargeEvent implements pram.Sink (not rendered, as StepEvent).
+func (t *Trace) ChargeEvent(steps, work int64) {}
+
+// SpanOpenEvent implements pram.Sink.
+func (t *Trace) SpanOpenEvent(name string, at pram.Snapshot) {
+	t.mu.Lock()
+	args := snapArgs(at)
+	if ref := Ref(name); ref != "" {
+		args["ref"] = ref
+	}
+	t.add(traceEvent{Name: name, Cat: "phase", Ph: "B", Ts: t.ts(), Args: args})
+	t.mu.Unlock()
+}
+
+// SpanCloseEvent implements pram.Sink.
+func (t *Trace) SpanCloseEvent(name string, at pram.Snapshot) {
+	t.mu.Lock()
+	t.add(traceEvent{Name: name, Cat: "phase", Ph: "E", Ts: t.ts(), Args: snapArgs(at)})
+	t.mu.Unlock()
+}
+
+// SubOpenEvent implements pram.Sink: a Concurrent sub-machine region.
+func (t *Trace) SubOpenEvent(at pram.Snapshot) {
+	t.mu.Lock()
+	t.add(traceEvent{Name: "concurrent", Cat: "sub", Ph: "B", Ts: t.ts(), Args: snapArgs(at)})
+	t.mu.Unlock()
+}
+
+// SubCloseEvent implements pram.Sink.
+func (t *Trace) SubCloseEvent(sub pram.Snapshot) {
+	t.mu.Lock()
+	args := snapArgs(sub)
+	args["sub_work"] = sub.Work
+	t.add(traceEvent{Name: "concurrent", Cat: "sub", Ph: "E", Ts: t.ts(), Args: args})
+	t.mu.Unlock()
+}
+
+// NoteEvent implements pram.Sink: one instant per annotation.
+func (t *Trace) NoteEvent(event, detail string) {
+	t.mu.Lock()
+	t.add(traceEvent{
+		Name: event, Cat: "note", Ph: "i", Ts: t.ts(), S: "t",
+		Args: map[string]any{"detail": detail},
+	})
+	t.mu.Unlock()
+}
+
+// Len returns the number of recorded events.
+func (t *Trace) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// WriteTo serializes the timeline as Chrome trace-event JSON
+// ({"traceEvents": [...]}; load it in chrome://tracing or Perfetto).
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	t.mu.Lock()
+	events := make([]traceEvent, len(t.events))
+	copy(events, t.events)
+	t.mu.Unlock()
+	cw := &countWriter{w: w}
+	enc := json.NewEncoder(cw)
+	enc.SetIndent("", " ")
+	err := enc.Encode(map[string]any{
+		"traceEvents":     events,
+		"displayTimeUnit": "ms",
+	})
+	return cw.n, err
+}
+
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}

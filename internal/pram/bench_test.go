@@ -24,3 +24,24 @@ func BenchmarkClaimCellContention(b *testing.B) {
 		m.StepAll(1<<14, func(p int) { c.Claim(int64(p)) })
 	}
 }
+
+// BenchmarkStepDisabledVsBaseline is the disabled-path overhead contract
+// of the observability layer (E16): Step with no sink installed (current
+// code, one nil-check branch per step) versus StepBaseline (the
+// pre-observability Step, frozen verbatim in sink.go). The acceptance
+// bound is ≤1.05x; measured ratios are recorded in EXPERIMENTS.md.
+func BenchmarkStepDisabledVsBaseline(b *testing.B) {
+	f := func(p int) bool { return p&1 == 0 }
+	b.Run("nosink", func(b *testing.B) {
+		m := New(WithWorkers(1))
+		for i := 0; i < b.N; i++ {
+			m.Step(256, f)
+		}
+	})
+	b.Run("baseline", func(b *testing.B) {
+		m := New(WithWorkers(1))
+		for i := 0; i < b.N; i++ {
+			m.StepBaseline(256, f)
+		}
+	})
+}

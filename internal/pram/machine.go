@@ -44,7 +44,16 @@ type Machine struct {
 
 	profileMu sync.Mutex
 	profile   []int64 // live processors per step, when profiling is on
-	profiling bool
+	// pendingWork holds work charged before any step exists (Charge with
+	// steps == 0 on an empty profile); it folds into the first real step's
+	// bucket so len(profile) always equals Time().
+	pendingWork int64
+	profiling   bool
+
+	// sink, when non-nil, observes step/charge/span events (see sink.go).
+	// Every emission site nil-checks it so the disabled path costs one
+	// predictable branch.
+	sink Sink
 }
 
 // Option configures a Machine.
@@ -139,6 +148,7 @@ func (m *Machine) ResetCounters() {
 	m.peakSpace.Store(0)
 	m.profileMu.Lock()
 	m.profile = nil
+	m.pendingWork = 0
 	m.profileMu.Unlock()
 }
 
@@ -187,15 +197,25 @@ func (m *Machine) Step(n int, f func(p int) bool) {
 	m.work.Add(live)
 	m.bumpPeak(live)
 	m.record(live, 1)
+	if m.sink != nil {
+		m.sink.StepEvent(1, live)
+	}
 }
 
-// record appends per-step live counts to the profile when enabled.
+// record appends per-step live counts to the profile when enabled. Work
+// charged before the first step (pendingWork) folds into the first bucket.
 func (m *Machine) record(live, steps int64) {
-	if !m.profiling {
+	if !m.profiling || steps <= 0 {
 		return
 	}
 	m.profileMu.Lock()
-	for i := int64(0); i < steps; i++ {
+	first := live
+	if len(m.profile) == 0 && m.pendingWork > 0 {
+		first += m.pendingWork
+		m.pendingWork = 0
+	}
+	m.profile = append(m.profile, first)
+	for i := int64(1); i < steps; i++ {
 		m.profile = append(m.profile, live)
 	}
 	m.profileMu.Unlock()
@@ -232,6 +252,9 @@ func (m *Machine) Steps(k int64, n int, f func(p int) bool) {
 	m.work.Add(live * k)
 	m.bumpPeak(live)
 	m.record(live, k)
+	if m.sink != nil {
+		m.sink.StepEvent(k, live)
+	}
 }
 
 // Charge adds steps time and work to the counters without executing
@@ -239,6 +262,15 @@ func (m *Machine) Steps(k int64, n int, f func(p int) bool) {
 // machine (e.g. by a documented sequential substitute) and its PRAM cost is
 // charged explicitly; every use site documents the charge.
 func (m *Machine) Charge(steps, work int64) {
+	m.charge(steps, work)
+	if m.sink != nil {
+		m.sink.ChargeEvent(steps, work)
+	}
+}
+
+// charge is Charge without the sink event — the Concurrent merge path uses
+// it so sub-machine events (already emitted) are not double-counted.
+func (m *Machine) charge(steps, work int64) {
 	m.poll()
 	m.steps.Add(steps)
 	m.work.Add(work)
@@ -252,13 +284,17 @@ func (m *Machine) Charge(steps, work int64) {
 		m.record(per, steps-1)
 		m.record(work-per*(steps-1), 1)
 	} else if work > 0 {
-		// Work with no step: fold into the previous step's count.
+		// Work with no step: fold into the previous step's profile bucket.
+		// Before any step exists there is no bucket to fold into — a
+		// phantom entry here would desynchronize len(profile) from Time()
+		// (the §5 schedule analysis relies on their equality), so the work
+		// is held pending and attached to the first real step instead.
 		if m.profiling {
 			m.profileMu.Lock()
 			if len(m.profile) > 0 {
 				m.profile[len(m.profile)-1] += work
 			} else {
-				m.profile = append(m.profile, work)
+				m.pendingWork += work
 			}
 			m.profileMu.Unlock()
 		}
@@ -286,8 +322,15 @@ func (m *Machine) Concurrent(fns ...func(sub *Machine)) {
 	for _, fn := range fns {
 		m.poll()
 		sub := New(WithWorkers(m.workers))
-		sub.ctx = m.ctx // cancellation reaches concurrently composed subprograms
+		sub.ctx = m.ctx  // cancellation reaches concurrently composed subprograms
+		sub.sink = m.sink // so do span/step observations (folded by the collector)
+		if m.sink != nil {
+			m.sink.SubOpenEvent(m.Snap())
+		}
 		fn(sub)
+		if m.sink != nil {
+			m.sink.SubCloseEvent(sub.Snap())
+		}
 		if t := sub.Time(); t > maxTime {
 			maxTime = t
 		}
@@ -295,7 +338,9 @@ func (m *Machine) Concurrent(fns ...func(sub *Machine)) {
 		sumSpace += sub.PeakSpace()
 		maxProcs += sub.PeakProcessors()
 	}
-	m.Charge(maxTime, sumWork)
+	// The merge is charged through the sink-silent path: the sub-machines'
+	// own events already carry exactly this cost.
+	m.charge(maxTime, sumWork)
 	if sumSpace > 0 {
 		release := m.AllocScratch(sumSpace)
 		release()

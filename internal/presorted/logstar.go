@@ -6,6 +6,7 @@ import (
 	"inplacehull/internal/chain"
 	"inplacehull/internal/geom"
 	"inplacehull/internal/hullerr"
+	"inplacehull/internal/obs"
 	"inplacehull/internal/pram"
 	"inplacehull/internal/rng"
 )
@@ -71,7 +72,9 @@ func logStar(m *pram.Machine, rnd *rng.Stream, pts []geom.Point, depth int) (Res
 			groupRes[gi], groupErr[gi] = logStar(sub, rnd.Split(uint64(gi)+0x10), pts[lo:hi], depth+1)
 		}
 	}
+	endGroups := obs.Span(m, "groups")
 	m.Concurrent(fns...)
+	endGroups()
 	for gi := range groupErr {
 		if groupErr[gi] != nil {
 			return Result{}, groupErr[gi]
@@ -85,6 +88,7 @@ func logStar(m *pram.Machine, rnd *rng.Stream, pts []geom.Point, depth int) (Res
 	}
 
 	// Step 3: the point-hull-invariant constant-time merge.
+	defer obs.Span(m, "merge")()
 	return mergeHulls(m, rnd.Split(0x3E), pts, g, hulls, groupRes)
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"inplacehull/internal/alloc"
 	"inplacehull/internal/geom"
+	"inplacehull/internal/obs"
 	"inplacehull/internal/pram"
 	"inplacehull/internal/rng"
 )
@@ -33,12 +34,17 @@ type OptimalReport struct {
 // processor budget: Theorem 2's O(log* n) time on n/log* n processors.
 func Optimal(m *pram.Machine, rnd *rng.Stream, pts []geom.Point) (OptimalReport, error) {
 	prof := pram.New(pram.WithProfile(), pram.WithWorkers(1))
-	res, err := LogStar(prof, rnd, pts)
+	var res Result
+	var err error
+	// Adopt mirrors the profiled run's cost onto the caller's machine with
+	// Concurrent's composition semantics, so an installed observer sees the
+	// log* run's spans without double-counting its work.
+	m.Adopt(prof, func(sub *pram.Machine) {
+		res, err = LogStar(sub, rnd, pts)
+	})
 	if err != nil {
 		return OptimalReport{}, err
 	}
-	// Mirror the run's cost onto the caller's machine.
-	m.Charge(prof.Time(), prof.Work())
 
 	n := len(pts)
 	p := n / logStarOf(n)
@@ -46,12 +52,15 @@ func Optimal(m *pram.Machine, rnd *rng.Stream, pts []geom.Point) (OptimalReport,
 		p = 1
 	}
 	profile := prof.Profile()
+	endAlloc := obs.Span(m, "alloc")
+	st := alloc.SimulatedTime(profile, p, alloc.DefaultTc)
+	endAlloc()
 	return OptimalReport{
 		Result:        res,
 		Processors:    p,
 		VirtualTime:   prof.Time(),
 		Work:          prof.Work(),
-		ScheduledTime: alloc.SimulatedTime(profile, p, alloc.DefaultTc),
+		ScheduledTime: st,
 	}, nil
 }
 

@@ -31,6 +31,7 @@ import (
 	"inplacehull/internal/geom"
 	"inplacehull/internal/hullerr"
 	"inplacehull/internal/lp"
+	"inplacehull/internal/obs"
 	"inplacehull/internal/pram"
 	"inplacehull/internal/rng"
 	"inplacehull/internal/sweep"
@@ -218,9 +219,12 @@ func Segmented(m *pram.Machine, rnd *rng.Stream, pts []geom.Point, segs []Segmen
 		}
 		return -1
 	}
+	endLP := obs.Span(m, "tree-lp")
 	results := lp.BatchBridge2D(m, rnd.Split(1), nVirt, pt, probID, problems)
+	endLP()
 
 	// Failure sweeping (§2.3).
+	endSweep := obs.Span(m, "sweep")
 	rep := sweep.Sweep(m, rnd.Split(2), n, q,
 		func(j int) bool { return !results[j].OK },
 		func(sub *pram.Machine, j int) {
@@ -230,8 +234,10 @@ func Segmented(m *pram.Machine, rnd *rng.Stream, pts []geom.Point, segs []Segmen
 			results[j].OK = true
 			sub.Charge(1, int64(math.Ceil(math.Pow(float64(n), 0.75))))
 		})
+	endSweep()
 	res.SweptNodes = rep.Failures
 
+	endCanon := obs.Span(m, "canonicalize")
 	// Canonicalize ties: under collinear degeneracies the bridge LP has
 	// many optimal segments on one support line, and which one comes back
 	// depends on the sample. Coverage filtering and chain assembly need
@@ -270,7 +276,9 @@ func Segmented(m *pram.Machine, rnd *rng.Stream, pts []geom.Point, segs []Segmen
 			results[j].Sol.W = pts[rmost[j].Get()]
 		}
 	})
+	endCanon()
 
+	endCover := obs.Span(m, "coverage")
 	// Coverage filtering: node j's bridge is a global (segment-)hull edge
 	// iff no proper ancestor in its segment holds a *different* bridge
 	// whose open x-span overlaps it; equal bridges keep only the
@@ -298,7 +306,9 @@ func Segmented(m *pram.Machine, rnd *rng.Stream, pts []geom.Point, segs []Segmen
 			covered[j].Set()
 		}
 	})
+	endCover()
 
+	endLocate := obs.Span(m, "locate")
 	// Per-leaf location: each leaf finds, among its segment-tree ancestors
 	// holding an uncovered bridge spanning its x, the hull edge above it.
 	// One step of n·maxLevels processors with a min-combining write.
@@ -322,6 +332,7 @@ func Segmented(m *pram.Machine, rnd *rng.Stream, pts []geom.Point, segs []Segmen
 			choice[p].Write(int64(j))
 		}
 	})
+	endLocate()
 
 	// Assemble output (host-side; one step of q processors in the model).
 	m.Charge(1, int64(q))

@@ -128,6 +128,17 @@ func Retryable(err error) bool {
 	}
 }
 
+// kindOf reduces an error to its typed kind name — the low-cardinality
+// label the observability layer aggregates retry/ladder outcomes under
+// (error text would explode a metric's label space).
+func kindOf(err error) string {
+	var e *hullerr.Error
+	if errors.As(err, &e) {
+		return e.Kind.String()
+	}
+	return "untyped"
+}
+
 // ctxErr converts a done context into the typed error the supervisor
 // returns at attempt boundaries.
 func ctxErr(ctx context.Context, op string) error {
@@ -195,6 +206,7 @@ func supervise[T any](ctx context.Context, m *pram.Machine, rnd *rng.Stream, pol
 		rep.TotalSteps += delta.Time
 		rep.TotalWork += delta.Work
 		if err == nil {
+			m.Note("tier", TierRandomized.String())
 			return out, rep, nil
 		}
 		err = typed(op, err)
@@ -202,8 +214,11 @@ func supervise[T any](ctx context.Context, m *pram.Machine, rnd *rng.Stream, pol
 		if !Retryable(err) {
 			return zero, rep, err
 		}
-		if a+1 < pol.MaxAttempts && pol.OnRetry != nil {
-			pol.OnRetry(a+1, err)
+		if a+1 < pol.MaxAttempts {
+			m.Note("retry", kindOf(err))
+			if pol.OnRetry != nil {
+				pol.OnRetry(a+1, err)
+			}
 		}
 	}
 	if pol.NoLadder {
@@ -214,6 +229,7 @@ func supervise[T any](ctx context.Context, m *pram.Machine, rnd *rng.Stream, pol
 	if err := ctxErr(ctx, op); err != nil {
 		return zero, rep, err
 	}
+	m.Note("ladder", "enter")
 	before := m.Snap()
 	out, tier, err := guardedLadder(op, ladder)
 	delta := m.Delta(before)
@@ -223,6 +239,7 @@ func supervise[T any](ctx context.Context, m *pram.Machine, rnd *rng.Stream, pol
 	if err != nil {
 		return zero, rep, typed(op, err)
 	}
+	m.Note("tier", tier.String())
 	return out, rep, nil
 }
 

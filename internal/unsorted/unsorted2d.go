@@ -34,6 +34,7 @@ import (
 	"inplacehull/internal/geom"
 	"inplacehull/internal/hullerr"
 	"inplacehull/internal/lp"
+	"inplacehull/internal/obs"
 	"inplacehull/internal/par"
 	"inplacehull/internal/pram"
 	"inplacehull/internal/presorted"
@@ -211,7 +212,9 @@ func Hull2DOpts(m *pram.Machine, rnd *rng.Stream, pts []geom.Point, opt Options)
 
 		// Step 1a: random vote per problem (Corollary 3.1): all problems
 		// vote simultaneously in one claimed work space.
+		endVote := obs.Span(m, "vote")
 		splitters, err := batchVote(m, rnd.Split(uint64(level)*3+1), n, len(problems), voteRounds, probID, func(i int) int { return problems[i].live })
+		endVote()
 		if err != nil {
 			return res, err
 		}
@@ -225,11 +228,14 @@ func Hull2DOpts(m *pram.Machine, rnd *rng.Stream, pts []geom.Point, opt Options)
 			}
 			lps[i] = lp.Problem2D{Splitter: pts[splitters[i]], K: k, MLive: pr.live}
 		}
+		endLP := obs.Span(m, "bridge-lp")
 		results := lp.BatchBridge2D(m, rnd.Split(uint64(level)*3+2), n, func(v int) geom.Point { return pts[v] }, probID, lps)
+		endLP()
 
 		// Step 2: failure sweeping for problems whose bridge timed out
 		// (§4.1 step 2: each failure gets its n^(3/4)-processor budget;
 		// the exact bridge is computed over the problem's live points).
+		endSweep := obs.Span(m, "sweep")
 		rep := sweep.Sweep(m, rnd.Split(uint64(level)*3+3), n, len(problems),
 			func(i int) bool { return !results[i].OK },
 			func(sub *pram.Machine, i int) {
@@ -246,8 +252,10 @@ func Hull2DOpts(m *pram.Machine, rnd *rng.Stream, pts []geom.Point, opt Options)
 				results[i].OK = true
 				sub.Charge(1, int64(math.Ceil(math.Pow(float64(n), 0.75))))
 			})
+		endSweep()
 		res.Stats.BridgeFailures += rep.Failures
 
+		endRenum := obs.Span(m, "renumber")
 		// Step 4 (the paper's numbering): renumber and kill. Dead points
 		// record their edge; bridge endpoints stay alive as anchors of
 		// their child problems (a childless anchor becomes a singleton and
@@ -326,16 +334,21 @@ func Hull2DOpts(m *pram.Machine, rnd *rng.Stream, pts []geom.Point, opt Options)
 			}
 			return true
 		})
+		endRenum()
 
 		// Phase boundary (§4.1 step 3): compact the numbering, compute
 		// l = edges found + problems remaining, maybe fall back.
 		if (level+1)%opt.PhaseIters == 0 && len(problems) > 0 {
 			res.Stats.Phases++
+			endPhase := obs.Span(m, "phase-compact")
 			l := edgesFound + len(problems)
 			if l >= opt.FallbackThreshold || fault.On(rnd).ForceFallbackAt(level) {
+				endPhase()
 				res.Stats.FellBack = true
 				res.Stats.FallbackLevel = level
+				endFB := obs.Span(m, "fallback-sort")
 				fbEdges, err := fallback2D(m, rnd.Split(0xFB), pts, probNum, edgeU, edgeW, hasEdge)
+				endFB()
 				if err != nil {
 					return res, err
 				}
@@ -359,6 +372,7 @@ func Hull2DOpts(m *pram.Machine, rnd *rng.Stream, pts []geom.Point, opt Options)
 			for i := range problems {
 				problems[i].num = int64(i + 1)
 			}
+			endPhase()
 		}
 	}
 

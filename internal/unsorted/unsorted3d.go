@@ -8,6 +8,7 @@ import (
 	"inplacehull/internal/hull3d"
 	"inplacehull/internal/hullerr"
 	"inplacehull/internal/lp"
+	"inplacehull/internal/obs"
 	"inplacehull/internal/pram"
 	"inplacehull/internal/rng"
 	"inplacehull/internal/sweep"
@@ -148,15 +149,20 @@ func Hull3DOpts(m *pram.Machine, rnd *rng.Stream, pts []geom.Point3, opt Options
 		if level >= opt.MaxLevels || l >= opt.FallbackThreshold || fault.On(rnd).ForceFallbackAt(level) {
 			res.Stats.FellBack = true
 			res.Stats.FallbackLevel = level
-			if err := fallback3D(m, rnd.Split(0x3FB), pts, probNum, problems, capOf, hasCap); err != nil {
+			endFB := obs.Span(m, "fallback-seq")
+			err := fallback3D(m, rnd.Split(0x3FB), pts, probNum, problems, capOf, hasCap)
+			endFB()
+			if err != nil {
 				return res, err
 			}
 			break
 		}
 
 		// Step 1: random vote splitter per problem.
+		endVote := obs.Span(m, "vote")
 		splitters, err := batchVote(m, rnd.Split(uint64(level)*5+1), n, len(problems), opt.VoteRounds, probID,
 			func(i int) int { return problems[i].live })
+		endVote()
 		if err != nil {
 			return res, err
 		}
@@ -170,10 +176,13 @@ func Hull3DOpts(m *pram.Machine, rnd *rng.Stream, pts []geom.Point3, opt Options
 			}
 			lps[i] = lp.Problem3D{Splitter: pts[splitters[i]], K: k, MLive: pr.live}
 		}
+		endLP := obs.Span(m, "facet-lp")
 		results := lp.BatchBridge3D(m, rnd.Split(uint64(level)*5+2), n,
 			func(v int) geom.Point3 { return pts[v] }, probID, lps)
+		endLP()
 
 		// Step 2: failure sweeping.
+		endSweep := obs.Span(m, "sweep")
 		rep := sweep.Sweep(m, rnd.Split(uint64(level)*5+3), n, len(problems),
 			func(i int) bool { return !results[i].OK },
 			func(sub *pram.Machine, i int) {
@@ -184,6 +193,7 @@ func Hull3DOpts(m *pram.Machine, rnd *rng.Stream, pts []geom.Point3, opt Options
 				}
 				sub.Charge(1, int64(math.Ceil(math.Pow(float64(n), 0.75))))
 			})
+		endSweep()
 		res.Stats.BridgeFailures += rep.Failures
 
 		// Step 3: division. For every problem concurrently: shear by the
@@ -240,7 +250,9 @@ func Hull3DOpts(m *pram.Machine, rnd *rng.Stream, pts []geom.Point3, opt Options
 				divs[ii].depth = dx
 			})
 		}
+		endDiv := obs.Span(m, "divide")
 		m.Concurrent(fns...)
+		endDiv()
 		maxDepth := 0
 		for i := range divs {
 			if divs[i].err != nil {
@@ -253,6 +265,7 @@ func Hull3DOpts(m *pram.Machine, rnd *rng.Stream, pts []geom.Point3, opt Options
 		res.Stats.TotalDepth += maxDepth
 
 		// Step 5: kill and renumber (one step over the array).
+		endRenum := obs.Span(m, "renumber")
 		m.Step(n, func(p int) bool {
 			i := probID(p)
 			if i < 0 {
@@ -324,6 +337,7 @@ func Hull3DOpts(m *pram.Machine, rnd *rng.Stream, pts []geom.Point3, opt Options
 			}
 			return true
 		})
+		endRenum()
 	}
 
 	return assemble3D(pts, capOf, hasCap, res)

@@ -1,0 +1,239 @@
+package inplacehull
+
+import (
+	"context"
+	"io"
+
+	"inplacehull/internal/hullerr"
+	"inplacehull/internal/obs"
+	"inplacehull/internal/pram"
+	"inplacehull/internal/presorted"
+	"inplacehull/internal/resilient"
+	"inplacehull/internal/unsorted"
+)
+
+// Observability layer (internal/obs), exposed through RunConfig.Observer.
+type (
+	// Observer consumes the machine's execution events (steps, charges,
+	// phase spans, supervisor notes). Collector, Trace, Metrics-fed
+	// collectors and MultiObserver compositions all satisfy it. With no
+	// observer installed the machine pays one nil-check branch per event.
+	Observer = obs.Observer
+	// Collector attributes every unit of PRAM work to the paper-named
+	// phase (span) that incurred it; the per-phase Work column always sums
+	// exactly to Machine.Work (experiment E16's invariant).
+	Collector = obs.Collector
+	// Phase is one row of a Collector's per-phase account.
+	Phase = obs.Phase
+	// Trace records a Chrome trace-event timeline (chrome://tracing,
+	// Perfetto); see cmd/hulldemo -trace and docs "Reading a trace".
+	Trace = obs.Trace
+	// Metrics aggregates finished Collectors into Prometheus
+	// text-exposition format; see cmd/hullbench -metrics.
+	Metrics = obs.Metrics
+)
+
+// NewCollector returns an empty phase-attribution collector.
+func NewCollector() *Collector { return obs.NewCollector() }
+
+// NewTrace returns an empty Chrome trace-event recorder.
+func NewTrace() *Trace { return obs.NewTrace() }
+
+// NewMetrics returns an empty Prometheus aggregator.
+func NewMetrics() *Metrics { return obs.NewMetrics() }
+
+// MultiObserver fans machine events out to several observers (e.g. a
+// Collector for the table and a Trace for the timeline in one run).
+func MultiObserver(observers ...Observer) Observer { return obs.Multi(observers...) }
+
+// WritePhaseTable renders a Collector's per-phase account as an aligned
+// text table; the final row's work column equals Machine.Work exactly.
+func WritePhaseTable(w io.Writer, c *Collector) { obs.WriteTable(w, c) }
+
+// Algo selects the hull algorithm a Run executes.
+type Algo int
+
+const (
+	// AlgoHull2D (Run2D default): the §4.1 output-sensitive algorithm for
+	// unsorted points — O(log n) steps, O(n log h) work (Theorem 5).
+	AlgoHull2D Algo = iota
+	// AlgoPresorted: the §2.2 constant-time algorithm; input must be
+	// sorted by strictly increasing x.
+	AlgoPresorted
+	// AlgoLogStar: the §2.5 O(log* n)-step, O(n)-processor algorithm;
+	// sorted input.
+	AlgoLogStar
+	// AlgoOptimal: the §2.6 processor-optimal schedule of the log* run;
+	// sorted input. Runs direct only (there is no supervised variant —
+	// the schedule is an accounting construction, not a retryable run).
+	AlgoOptimal
+)
+
+// String names the algorithm the way benchmarks and metrics label it.
+func (a Algo) String() string {
+	switch a {
+	case AlgoHull2D:
+		return "hull2d"
+	case AlgoPresorted:
+		return "presorted"
+	case AlgoLogStar:
+		return "logstar"
+	case AlgoOptimal:
+		return "optimal"
+	default:
+		return "algo(?)"
+	}
+}
+
+// RunConfig is the single configuration surface of the Run entry points,
+// replacing the former matrix of per-algorithm × options × context
+// function variants. The zero value runs the default algorithm supervised
+// with default policy and no observer.
+type RunConfig struct {
+	// Algorithm selects what to run. Run2D accepts all Algo values
+	// (default AlgoHull2D); Run3D has a single algorithm and ignores it.
+	Algorithm Algo
+	// Options2D tunes the §4.1 constants (AlgoHull2D only).
+	Options2D Hull2DOptions
+	// Options3D tunes the §4.3 constants (Run3D only).
+	Options3D Hull3DOptions
+	// Policy tunes the resilient supervisor (ignored when Direct).
+	Policy Policy
+	// Direct bypasses the supervisor: one unsupervised attempt, no
+	// reseeded retries, no degradation ladder. The context still cancels
+	// the machine between PRAM steps.
+	Direct bool
+	// Observer, when non-nil, is installed on the machine for the
+	// duration of the run (restoring the previous sink afterwards) and
+	// receives every step, charge, phase span and supervisor note.
+	Observer Observer
+}
+
+// Run2DResult is the unified output of Run2D: the hull fields every
+// algorithm shares, plus the algorithm-specific record that produced them
+// (exactly one of Presorted/Unsorted/Optimal is non-nil, matching the
+// configured Algorithm; Optimal runs also set Presorted's fields through
+// the report's embedded result).
+type Run2DResult struct {
+	// Edges are the upper-hull edges in increasing x.
+	Edges []Edge
+	// Chain is the upper-hull vertex sequence in increasing x.
+	Chain []Point
+	// EdgeOf maps each input point to the index in Edges of the hull edge
+	// above (or through) it; −1 where the algorithm's contract says so.
+	EdgeOf []int
+	// Presorted is the full §2 record (AlgoPresorted, AlgoLogStar).
+	Presorted *PresortedResult
+	// Unsorted is the full §4.1 record (AlgoHull2D).
+	Unsorted *Hull2DResult
+	// Optimal is the §2.6 scheduling report (AlgoOptimal).
+	Optimal *OptimalReport
+}
+
+// direct runs fn with ctx attached to the machine and the supervisor's
+// panic boundary, without retries or ladder — the Direct path of Run.
+func direct[T any](ctx context.Context, m *Machine, op string, fn func() (T, error)) (out T, err error) {
+	m.SetContext(ctx)
+	defer m.SetContext(nil)
+	defer func() {
+		if r := recover(); r != nil {
+			if c, ok := pram.AsCancellation(r); ok {
+				err = hullerr.FromContext(op, c.Cause)
+				return
+			}
+			panic(r)
+		}
+	}()
+	return fn()
+}
+
+// Run2D is the unified 2-d entry point: it runs the algorithm selected by
+// cfg on m, supervised by default (cancellation propagation, reseeded
+// retries, sequential degradation ladder), observed when cfg.Observer is
+// set. It subsumes the deprecated PresortedHull/LogStarHull/OptimalHull/
+// Hull2D*/‍*Ctx* matrix:
+//
+//	res, rep, err := inplacehull.Run2D(ctx, m, rnd, pts, inplacehull.RunConfig{
+//	    Algorithm: inplacehull.AlgoHull2D,
+//	    Observer:  collector,
+//	})
+func Run2D(ctx context.Context, m *Machine, rnd *Rand, pts []Point, cfg RunConfig) (Run2DResult, RunReport, error) {
+	if cfg.Observer != nil {
+		prev := m.Sink()
+		m.SetSink(cfg.Observer)
+		defer m.SetSink(prev)
+	}
+	before := m.Snap()
+	switch cfg.Algorithm {
+	case AlgoPresorted:
+		if cfg.Direct {
+			r, err := direct(ctx, m, "Run2D/presorted", func() (PresortedResult, error) {
+				return presorted.ConstantTime(m, rnd, pts)
+			})
+			return presortedRun(r), directReport(m, before), err
+		}
+		r, rep, err := resilient.PresortedHull(ctx, m, rnd, pts, cfg.Policy)
+		return presortedRun(r), rep, err
+	case AlgoLogStar:
+		if cfg.Direct {
+			r, err := direct(ctx, m, "Run2D/logstar", func() (PresortedResult, error) {
+				return presorted.LogStar(m, rnd, pts)
+			})
+			return presortedRun(r), directReport(m, before), err
+		}
+		r, rep, err := resilient.LogStarHull(ctx, m, rnd, pts, cfg.Policy)
+		return presortedRun(r), rep, err
+	case AlgoOptimal:
+		r, err := direct(ctx, m, "Run2D/optimal", func() (OptimalReport, error) {
+			return presorted.Optimal(m, rnd, pts)
+		})
+		return Run2DResult{
+			Edges: r.Result.Edges, Chain: r.Result.Chain, EdgeOf: r.Result.EdgeOf,
+			Optimal: &r,
+		}, directReport(m, before), err
+	default: // AlgoHull2D
+		if cfg.Direct {
+			r, err := direct(ctx, m, "Run2D/hull2d", func() (Hull2DResult, error) {
+				return unsorted.Hull2DOpts(m, rnd, pts, cfg.Options2D)
+			})
+			return unsortedRun(r), directReport(m, before), err
+		}
+		r, rep, err := resilient.Hull2DOpts(ctx, m, rnd, pts, cfg.Options2D, cfg.Policy)
+		return unsortedRun(r), rep, err
+	}
+}
+
+// Run3D is the unified 3-d entry point (the §4.3 algorithm; see Run2D for
+// the supervision and observation semantics). It subsumes the deprecated
+// Hull3D/Hull3DWithOptions/Hull3DCtx/Hull3DCtxOptions variants. The
+// result's cap-facet contract is documented on Hull3DResult.
+func Run3D(ctx context.Context, m *Machine, rnd *Rand, pts []Point3, cfg RunConfig) (Hull3DResult, RunReport, error) {
+	if cfg.Observer != nil {
+		prev := m.Sink()
+		m.SetSink(cfg.Observer)
+		defer m.SetSink(prev)
+	}
+	before := m.Snap()
+	if cfg.Direct {
+		r, err := direct(ctx, m, "Run3D", func() (Hull3DResult, error) {
+			return unsorted.Hull3DOpts(m, rnd, pts, cfg.Options3D)
+		})
+		return r, directReport(m, before), err
+	}
+	return resilient.Hull3DOpts(ctx, m, rnd, pts, cfg.Options3D, cfg.Policy)
+}
+
+// directReport synthesizes the supervisor report of a Direct run: one
+// attempt at the randomized tier, costs from the machine delta.
+func directReport(m *Machine, before pram.Snapshot) RunReport {
+	d := m.Delta(before)
+	return RunReport{Attempts: 1, Tier: TierRandomized, TotalSteps: d.Time, TotalWork: d.Work}
+}
+
+func presortedRun(r PresortedResult) Run2DResult {
+	return Run2DResult{Edges: r.Edges, Chain: r.Chain, EdgeOf: r.EdgeOf, Presorted: &r}
+}
+
+func unsortedRun(r Hull2DResult) Run2DResult {
+	return Run2DResult{Edges: r.Edges, Chain: r.Chain, EdgeOf: r.EdgeOf, Unsorted: &r}
+}
