@@ -1,10 +1,11 @@
 // Command hullbench runs the experiments of DESIGN.md §6 and prints their
 // tables — the reproduction's equivalent of regenerating the paper's
-// evaluation figures. The registry spans E1–E16: the theorem-by-theorem
+// evaluation figures. The registry spans E1–E17: the theorem-by-theorem
 // measurements, the E14 chaos soak (with the E14c supervised-recovery
-// re-run), the E15 resilience-overhead sweep, and the E16 observability
+// re-run), the E15 resilience-overhead sweep, the E16 observability
 // certification (exact phase attribution, Lemma 4.2 round bounds,
-// disabled-path overhead).
+// disabled-path overhead), and the E17 engine benchmarks (persistent
+// worker-pool dispatch vs the frozen spawn-per-step baseline).
 //
 // Usage:
 //
@@ -14,6 +15,8 @@
 //	hullbench -seed 7         # change the master seed
 //	hullbench -list           # list experiments and claims
 //	hullbench -exp E16 -metrics :9090   # per-phase table + Prometheus endpoint
+//	hullbench -exp E17 -pramjson BENCH_pram.json   # regenerate the engine report
+//	hullbench -quick -exp E17 -prambase BENCH_pram.json   # CI regression gate
 package main
 
 import (
@@ -28,12 +31,14 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment id to run (e.g. E3); empty = all")
-		quick   = flag.Bool("quick", false, "shrink the sweeps")
-		seed    = flag.Uint64("seed", 1, "master random seed")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		metrics = flag.String("metrics", "", "after the runs, print the per-phase table and serve Prometheus metrics at this address (e.g. :9090) until interrupted")
+		exp      = flag.String("exp", "", "experiment id to run (e.g. E3); empty = all")
+		quick    = flag.Bool("quick", false, "shrink the sweeps")
+		seed     = flag.Uint64("seed", 1, "master random seed")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		metrics  = flag.String("metrics", "", "after the runs, print the per-phase table and serve Prometheus metrics at this address (e.g. :9090) until interrupted")
+		pramjson = flag.String("pramjson", "", "write E17's machine-readable engine report (BENCH_pram.json schema) to this path")
+		prambase = flag.String("prambase", "", "gate E17 against this committed BENCH_pram.json; exit 1 on >10% regression")
 	)
 	flag.Parse()
 
@@ -44,7 +49,12 @@ func main() {
 		return
 	}
 
-	cfg := bench.Config{Seed: *seed, Quick: *quick}
+	var gateFails []string
+	cfg := bench.Config{
+		Seed: *seed, Quick: *quick,
+		PramJSON: *pramjson, PramBaseline: *prambase,
+		Gate: func(msg string) { gateFails = append(gateFails, msg) },
+	}
 	if *metrics != "" {
 		cfg.Metrics = obs.NewMetrics()
 	}
@@ -69,6 +79,14 @@ func main() {
 		for _, e := range bench.All() {
 			run(e)
 		}
+	}
+
+	if len(gateFails) > 0 {
+		fmt.Fprintf(os.Stderr, "\nbenchmark gate: %d regression(s) vs %s:\n", len(gateFails), *prambase)
+		for _, f := range gateFails {
+			fmt.Fprintf(os.Stderr, "  - %s\n", f)
+		}
+		os.Exit(1)
 	}
 
 	if cfg.Metrics != nil {

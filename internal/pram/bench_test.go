@@ -1,6 +1,9 @@
 package pram
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+)
 
 func BenchmarkStepOverheadSequential(b *testing.B) {
 	m := New(WithWorkers(1))
@@ -22,6 +25,39 @@ func BenchmarkClaimCellContention(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		c.Reset()
 		m.StepAll(1<<14, func(p int) { c.Claim(int64(p)) })
+	}
+}
+
+// BenchmarkDispatch compares the per-step cost of the three dispatch
+// strategies — sequential (workers=1), the frozen pre-engine spawn path
+// (a fresh goroutine batch + WaitGroup per step), and the persistent
+// worker-pool engine — across step sizes. The spawn-vs-engine gap is the
+// dispatch overhead the engine exists to eliminate; experiment E17
+// records it in BENCH_pram.json and CI gates on the overhead ratio.
+func BenchmarkDispatch(b *testing.B) {
+	f := func(p int) bool { return p&1 == 0 }
+	for _, n := range []int{1 << 12, 1 << 16, 1 << 20} {
+		b.Run(fmt.Sprintf("seq/n=%d", n), func(b *testing.B) {
+			m := New(WithWorkers(1))
+			for i := 0; i < b.N; i++ {
+				m.Step(n, f)
+			}
+		})
+		b.Run(fmt.Sprintf("spawn/n=%d", n), func(b *testing.B) {
+			m := New(WithWorkers(4), WithSpawnDispatch())
+			for i := 0; i < b.N; i++ {
+				m.Step(n, f)
+			}
+		})
+		b.Run(fmt.Sprintf("engine/n=%d", n), func(b *testing.B) {
+			m := New(WithWorkers(4), WithParallelThreshold(1))
+			defer m.Close()
+			m.Step(n, f) // start the pool outside the timed region
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.Step(n, f)
+			}
+		})
 	}
 }
 

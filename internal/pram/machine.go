@@ -32,6 +32,28 @@ import (
 // Machine is a simulated CRCW PRAM with instrumentation.
 type Machine struct {
 	workers int
+	// threshold, when > 0, pins the engine's parallel threshold instead of
+	// calibrating it at pool start (WithParallelThreshold).
+	threshold int
+	// spawnDispatch freezes the pre-engine per-step goroutine-spawn
+	// dispatch (WithSpawnDispatch) — the E17 comparison baseline.
+	spawnDispatch bool
+	// fanout, when > 0, overrides the engine's GOMAXPROCS snapshot (its
+	// per-round fanout clamp). Test-only knob: the stress suite raises it
+	// to the worker count so the full wake/join barrier is exercised even
+	// on a single-core host.
+	fanout int
+
+	// eng is the persistent worker pool (engine.go), started lazily on the
+	// first step large enough to dispatch. engOwned marks this machine as
+	// the pool's owner (Close tears it down); sub-machines of Concurrent
+	// and Adopt borrow the parent's pool through poolParent instead of
+	// starting their own.
+	engMu      sync.Mutex
+	eng        *engine
+	engOwned   bool
+	poolParent *Machine
+
 	// ctx, when non-nil, is polled at the start of every Step/Steps/Charge
 	// and of every Concurrent composition; see SetContext.
 	ctx context.Context
@@ -73,6 +95,27 @@ func WithWorkers(w int) Option {
 // Matias–Vishkin simulation analysis of internal/alloc (§5).
 func WithProfile() Option {
 	return func(m *Machine) { m.profiling = true }
+}
+
+// WithParallelThreshold pins the step size at which the machine dispatches
+// to its worker pool, bypassing the calibration that normally runs at pool
+// start. Counted semantics do not depend on the threshold; the option
+// exists so tests and benchmarks can force (or forbid) the pooled path
+// deterministically.
+func WithParallelThreshold(n int) Option {
+	return func(m *Machine) {
+		if n > 0 {
+			m.threshold = n
+		}
+	}
+}
+
+// WithSpawnDispatch freezes the pre-engine dispatch strategy — a fresh
+// goroutine batch and WaitGroup per step — verbatim. It exists solely as
+// the comparison baseline for the E17 engine benchmarks and must not be
+// used by algorithms.
+func WithSpawnDispatch() Option {
+	return func(m *Machine) { m.spawnDispatch = true }
 }
 
 // New returns a fresh machine with zeroed counters.
@@ -178,8 +221,10 @@ func (m *Machine) Delta(since Snapshot) Snapshot {
 	}
 }
 
-// seqThreshold is the virtual-processor count below which a step runs on the
-// calling goroutine; spawning workers for tiny steps would only add noise.
+// seqThreshold is the fixed virtual-processor count below which the frozen
+// spawn dispatch (runChunksSpawn, the pre-engine strategy) runs a step on
+// the calling goroutine. The engine path replaces this constant with a
+// threshold calibrated at pool start (engine.calibrate).
 const seqThreshold = 4096
 
 // Step executes one synchronous PRAM step over virtual processors
@@ -322,8 +367,11 @@ func (m *Machine) Concurrent(fns ...func(sub *Machine)) {
 	for _, fn := range fns {
 		m.poll()
 		sub := New(WithWorkers(m.workers))
-		sub.ctx = m.ctx  // cancellation reaches concurrently composed subprograms
-		sub.sink = m.sink // so do span/step observations (folded by the collector)
+		sub.threshold = m.threshold
+		sub.spawnDispatch = m.spawnDispatch
+		sub.poolParent = m // sub-machines borrow the parent's worker pool
+		sub.ctx = m.ctx    // cancellation reaches concurrently composed subprograms
+		sub.sink = m.sink  // so do span/step observations (folded by the collector)
 		if m.sink != nil {
 			m.sink.SubOpenEvent(m.Snap())
 		}
@@ -363,17 +411,109 @@ func (m *Machine) AllocScratch(n int64) (release func()) {
 	return func() { once.Do(func() { m.scratch.Add(-n) }) }
 }
 
-// runChunks executes f for p in [0, n) across the worker pool and returns
-// the number of live processors.
+// runChunks executes f for p in [0, n) and returns the number of live
+// processors: sequentially for small steps or single-worker machines,
+// through the persistent worker-pool engine otherwise. A panic raised by f
+// propagates from here on the host goroutine with the pool back in its
+// parked state (see engine.dispatch), matching the sequential path's
+// unwind point: Time already counts the step, Work does not.
 func (m *Machine) runChunks(n int, f func(p int) bool) int64 {
-	if n < seqThreshold || m.workers <= 1 {
-		var live int64
-		for p := 0; p < n; p++ {
-			if f(p) {
-				live++
-			}
+	if m.workers <= 1 {
+		return runSeq(n, f)
+	}
+	if m.spawnDispatch {
+		return m.runChunksSpawn(n, f)
+	}
+	if m.threshold == 0 && n < minDispatchProbe {
+		// Too small for dispatch under any calibration — skip the pool
+		// entirely so tiny-step machines never start one.
+		return runSeq(n, f)
+	}
+	e := m.engine()
+	if n < e.threshold {
+		return runSeq(n, f)
+	}
+	if !e.busy.CompareAndSwap(false, true) {
+		// Re-entrant step (f itself drives the machine): run inline rather
+		// than deadlocking on the barrier.
+		return runSeq(n, f)
+	}
+	defer e.busy.Store(false)
+	return e.dispatch(n, f)
+}
+
+// runSeq is the sequential execution of one step.
+func runSeq(n int, f func(p int) bool) int64 {
+	return runRange(0, n, f)
+}
+
+// runRange executes f for p in [lo, hi) and returns the live count. It is
+// the one loop body shared by the sequential path and the engine's chunk
+// claims. The noinline directive is load-bearing: inlined copies of this
+// loop pick up the register pressure of their surrounding function (the
+// engine's claim loop keeps cursor/panic state live), which measurably
+// slows the per-item path; one outlined body gives every dispatch
+// strategy the identical hot loop, and its call cost is per-chunk, not
+// per-item.
+//
+//go:noinline
+func runRange(lo, hi int, f func(p int) bool) int64 {
+	var live int64
+	for p := lo; p < hi; p++ {
+		if f(p) {
+			live++
 		}
-		return live
+	}
+	return live
+}
+
+// engine returns the machine's worker pool, starting it (or borrowing the
+// pool parent's, when the worker counts match) on first use.
+func (m *Machine) engine() *engine {
+	m.engMu.Lock()
+	defer m.engMu.Unlock()
+	if m.eng == nil {
+		if p := m.poolParent; p != nil && p.workers == m.workers {
+			m.eng = p.engine()
+		} else {
+			if m.fanout > 0 {
+				m.eng = newEngineFanout(m.workers, m.threshold, m.fanout)
+			} else {
+				m.eng = newEngine(m.workers, m.threshold)
+			}
+			m.engOwned = true
+			runtime.SetFinalizer(m, (*Machine).Close)
+		}
+	}
+	return m.eng
+}
+
+// Close retires the machine's persistent worker pool, if it owns one.
+// Idempotent, and the machine stays usable — a later large step lazily
+// starts a fresh pool. Machines that never ran a step big enough to
+// dispatch own no pool and Close is a no-op; abandoned machines are also
+// reaped by a finalizer, so Close is an optimization (prompt teardown,
+// deterministic goroutine accounting in tests), not an obligation.
+func (m *Machine) Close() {
+	m.engMu.Lock()
+	eng, owned := m.eng, m.engOwned
+	m.eng = nil
+	m.engOwned = false
+	m.engMu.Unlock()
+	if owned && eng != nil {
+		runtime.SetFinalizer(m, nil)
+		eng.close()
+	}
+}
+
+// runChunksSpawn is the pre-engine dispatch, frozen verbatim: a fresh
+// goroutine batch and WaitGroup per step, one static chunk per worker. It
+// backs StepBaseline and WithSpawnDispatch machines — the comparison
+// baseline the E17 benchmarks and BENCH_pram.json measure the engine
+// against — and must not change.
+func (m *Machine) runChunksSpawn(n int, f func(p int) bool) int64 {
+	if n < seqThreshold || m.workers <= 1 {
+		return runSeq(n, f)
 	}
 	workers := m.workers
 	if workers > n {

@@ -78,6 +78,11 @@ func (m *Machine) Note(event, detail string) {
 // WithProfile machine and must still account it on the caller's.
 func (m *Machine) Adopt(sub *Machine, fn func(*Machine)) {
 	sub.sink = m.sink
+	if sub.eng == nil && sub.poolParent == nil {
+		// Borrow the adopter's worker pool (engine() checks the worker
+		// counts match) instead of starting a second one.
+		sub.poolParent = m
+	}
 	if m.sink != nil {
 		m.sink.SubOpenEvent(m.Snap())
 	}
@@ -88,18 +93,18 @@ func (m *Machine) Adopt(sub *Machine, fn func(*Machine)) {
 	m.charge(sub.Time(), sub.Work())
 }
 
-// StepBaseline is the pre-observability Step implementation, frozen
-// verbatim: poll, count, run, no sink branch. It exists solely as the
-// comparison baseline for the disabled-path overhead contract (experiment
-// E16 and BenchmarkStepDisabledVsBaseline) and must not be used by
-// algorithms.
+// StepBaseline is the pre-observability, pre-engine Step implementation,
+// frozen verbatim: poll, count, spawn-dispatch run, no sink branch. It
+// exists solely as the comparison baseline for the disabled-path overhead
+// contract (experiment E16 and BenchmarkStepDisabledVsBaseline) and the
+// E17 engine benchmarks, and must not be used by algorithms.
 func (m *Machine) StepBaseline(n int, f func(p int) bool) {
 	if n <= 0 {
 		return
 	}
 	m.poll()
 	m.steps.Add(1)
-	live := m.runChunks(n, f)
+	live := m.runChunksSpawn(n, f)
 	m.work.Add(live)
 	m.bumpPeak(live)
 	m.record(live, 1)

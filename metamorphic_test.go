@@ -1,0 +1,181 @@
+package inplacehull
+
+import (
+	"context"
+	"reflect"
+	"sort"
+	"testing"
+
+	"inplacehull/internal/rng"
+	"inplacehull/internal/unsorted"
+	"inplacehull/internal/workload"
+)
+
+// Metamorphic properties of the public Run2D/Run3D API: the hull is
+// invariant (or equivariant, for transforms that move the plane) under
+// point shuffling, rotation, uniform scaling, and duplication of hull
+// vertices. Every transformed run is additionally cross-checked against
+// the sequential brute-force oracle, so a property violation distinguishes
+// "the algorithm broke" from "the property was stated wrong". All
+// transforms use exactly representable float operations (90° rotation,
+// power-of-two scaling, permutation, duplication) so no rounding can blur
+// the comparisons.
+
+// run2dChain runs the §4.1 algorithm and returns its result after oracle
+// verification.
+func run2dChain(t *testing.T, seed uint64, pts []Point) Run2DResult {
+	t.Helper()
+	r, _, err := Run2D(context.Background(), NewMachine(), NewRand(seed), pts, RunConfig{Direct: true})
+	if err != nil {
+		t.Fatalf("Run2D: %v", err)
+	}
+	if err := VerifyHull2D(pts, *r.Unsorted); err != nil {
+		t.Fatalf("oracle rejects Run2D output: %v", err)
+	}
+	return r
+}
+
+func TestMetamorphicRun2DShuffle(t *testing.T) {
+	for _, gen := range []struct {
+		name string
+		pts  []Point
+	}{
+		{"disk", workload.Disk(3, 2500)},
+		{"circle", workload.Circle(4, 800)},
+		{"gauss", workload.Gaussian(5, 2500)},
+	} {
+		base := run2dChain(t, 11, gen.pts)
+		for _, shufSeed := range []uint64{1, 2, 3} {
+			shuffled := append([]Point(nil), gen.pts...)
+			rng.Shuffle(rng.New(shufSeed), shuffled)
+			got := run2dChain(t, 11, shuffled)
+			if !reflect.DeepEqual(got.Chain, base.Chain) || !reflect.DeepEqual(got.Edges, base.Edges) {
+				t.Fatalf("%s: upper hull changed under input shuffle (seed %d)", gen.name, shufSeed)
+			}
+		}
+	}
+}
+
+func TestMetamorphicRun2DUniformScaling(t *testing.T) {
+	pts := workload.Disk(6, 2500)
+	base := run2dChain(t, 13, pts)
+	for _, s := range []float64{2, 0.5, 4} { // powers of two: exact in floats
+		scaled := make([]Point, len(pts))
+		for i, p := range pts {
+			scaled[i] = Point{X: s * p.X, Y: s * p.Y}
+		}
+		got := run2dChain(t, 13, scaled)
+		want := make([]Point, len(base.Chain))
+		for i, p := range base.Chain {
+			want[i] = Point{X: s * p.X, Y: s * p.Y}
+		}
+		if !reflect.DeepEqual(got.Chain, want) {
+			t.Fatalf("scale %v: upper hull is not the scaled base hull", s)
+		}
+	}
+}
+
+func TestMetamorphicRun2DDuplicateHullVertices(t *testing.T) {
+	pts := workload.Disk(8, 2000)
+	base := run2dChain(t, 17, pts)
+	// Append a copy of every hull vertex (twice, for good measure): the
+	// point set is unchanged, so the chain must be too.
+	dup := append([]Point(nil), pts...)
+	dup = append(dup, base.Chain...)
+	dup = append(dup, base.Chain...)
+	got := run2dChain(t, 17, dup)
+	if !reflect.DeepEqual(got.Chain, base.Chain) {
+		t.Fatalf("duplicating hull vertices changed the hull:\nbase %v\ngot  %v", base.Chain, got.Chain)
+	}
+}
+
+// rot90 rotates a point a quarter turn counter-clockwise — exact in
+// floating point.
+func rot90(p Point) Point { return Point{X: -p.Y, Y: p.X} }
+
+// polygonVertexSet returns the polygon's vertices sorted lexicographically
+// (rotation moves the CCW starting vertex, so the cyclic sequences are
+// compared as sets; convexity makes the set a faithful fingerprint).
+func polygonVertexSet(poly []Point) []Point {
+	out := append([]Point(nil), poly...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].X != out[j].X {
+			return out[i].X < out[j].X
+		}
+		return out[i].Y < out[j].Y
+	})
+	return out
+}
+
+func TestMetamorphicFullHullRotation(t *testing.T) {
+	pts := workload.Disk(9, 2000)
+	full := func(ps []Point) FullHullResult {
+		t.Helper()
+		r, err := FullHull2DParallel(NewMachine(), NewRand(19), ps)
+		if err != nil {
+			t.Fatalf("FullHull2DParallel: %v", err)
+		}
+		// Brute-force oracle: same vertex set as the sequential full hull.
+		if want, got := polygonVertexSet(FullHull(ps)), polygonVertexSet(r.Polygon); !reflect.DeepEqual(want, got) {
+			t.Fatalf("parallel full hull disagrees with sequential oracle:\noracle %v\ngot    %v", want, got)
+		}
+		return r
+	}
+	base := full(pts)
+	rotated := pts
+	want := base.Polygon
+	for turn := 1; turn <= 3; turn++ { // 90°, 180°, 270°
+		next := make([]Point, len(rotated))
+		for i, p := range rotated {
+			next[i] = rot90(p)
+		}
+		rotated = next
+		w2 := make([]Point, len(want))
+		for i, p := range want {
+			w2[i] = rot90(p)
+		}
+		want = w2
+		got := full(rotated)
+		if !reflect.DeepEqual(polygonVertexSet(got.Polygon), polygonVertexSet(want)) {
+			t.Fatalf("rotation by %d×90° is not equivariant", turn)
+		}
+	}
+}
+
+// rot90z rotates a 3-d point a quarter turn about the z axis, preserving
+// "upper" (the z direction the §4.3 cap structure is stated for).
+func rot90z(p Point3) Point3 { return Point3{X: -p.Y, Y: p.X, Z: p.Z} }
+
+func TestMetamorphicRun3DInvariants(t *testing.T) {
+	pts := workload.Ball(12, 600)
+	check := func(name string, ps []Point3) {
+		t.Helper()
+		r, _, err := Run3D(context.Background(), NewMachine(), NewRand(23), ps, RunConfig{Direct: true})
+		if err != nil {
+			t.Fatalf("%s: Run3D: %v", name, err)
+		}
+		if err := unsorted.CheckCaps3D(ps, r); err != nil {
+			t.Fatalf("%s: cap-facet contract violated: %v", name, err)
+		}
+	}
+	check("base", pts)
+
+	shuffled := append([]Point3(nil), pts...)
+	rng.Shuffle(rng.New(2), shuffled)
+	check("shuffle", shuffled)
+
+	scaled := make([]Point3, len(pts))
+	for i, p := range pts {
+		scaled[i] = Point3{X: 2 * p.X, Y: 2 * p.Y, Z: 2 * p.Z}
+	}
+	check("scale2", scaled)
+
+	rotated := make([]Point3, len(pts))
+	for i, p := range pts {
+		rotated[i] = rot90z(p)
+	}
+	check("rot90z", rotated)
+
+	dup := append(append([]Point3(nil), pts...), pts[:100]...)
+	check("duplicate", dup)
+}
