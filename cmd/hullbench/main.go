@@ -1,11 +1,13 @@
 // Command hullbench runs the experiments of DESIGN.md §6 and prints their
 // tables — the reproduction's equivalent of regenerating the paper's
-// evaluation figures. The registry spans E1–E17: the theorem-by-theorem
+// evaluation figures. The registry spans E1–E18: the theorem-by-theorem
 // measurements, the E14 chaos soak (with the E14c supervised-recovery
 // re-run), the E15 resilience-overhead sweep, the E16 observability
 // certification (exact phase attribution, Lemma 4.2 round bounds,
-// disabled-path overhead), and the E17 engine benchmarks (persistent
-// worker-pool dispatch vs the frozen spawn-per-step baseline).
+// disabled-path overhead), the E17 engine benchmarks (persistent
+// worker-pool dispatch vs the frozen spawn-per-step baseline), and the
+// E18 serving-layer load test (batched fleet vs one-machine-per-request,
+// cache-hit pricing).
 //
 // Usage:
 //
@@ -17,6 +19,8 @@
 //	hullbench -exp E16 -metrics :9090   # per-phase table + Prometheus endpoint
 //	hullbench -exp E17 -pramjson BENCH_pram.json   # regenerate the engine report
 //	hullbench -quick -exp E17 -prambase BENCH_pram.json   # CI regression gate
+//	hullbench -serve -servejson BENCH_serve.json   # serving-layer load test (E18)
+//	hullbench -quick -serve -servebase BENCH_serve.json   # serving CI gate
 package main
 
 import (
@@ -31,14 +35,17 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "", "experiment id to run (e.g. E3); empty = all")
-		quick    = flag.Bool("quick", false, "shrink the sweeps")
-		seed     = flag.Uint64("seed", 1, "master random seed")
-		list     = flag.Bool("list", false, "list experiments and exit")
-		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		metrics  = flag.String("metrics", "", "after the runs, print the per-phase table and serve Prometheus metrics at this address (e.g. :9090) until interrupted")
-		pramjson = flag.String("pramjson", "", "write E17's machine-readable engine report (BENCH_pram.json schema) to this path")
-		prambase = flag.String("prambase", "", "gate E17 against this committed BENCH_pram.json; exit 1 on >10% regression")
+		exp       = flag.String("exp", "", "experiment id to run (e.g. E3); empty = all")
+		quick     = flag.Bool("quick", false, "shrink the sweeps")
+		seed      = flag.Uint64("seed", 1, "master random seed")
+		list      = flag.Bool("list", false, "list experiments and exit")
+		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		metrics   = flag.String("metrics", "", "after the runs, print the per-phase table and serve Prometheus metrics at this address (e.g. :9090) until interrupted")
+		pramjson  = flag.String("pramjson", "", "write E17's machine-readable engine report (BENCH_pram.json schema) to this path")
+		prambase  = flag.String("prambase", "", "gate E17 against this committed BENCH_pram.json; exit 1 on >10% regression")
+		serveLoad = flag.Bool("serve", false, "run the serving-layer load test (shorthand for -exp E18)")
+		servejson = flag.String("servejson", "", "write E18's machine-readable serving report (BENCH_serve.json schema) to this path")
+		servebase = flag.String("servebase", "", "gate E18 against this committed BENCH_serve.json (and the absolute acceptance contract); exit 1 on failure")
 	)
 	flag.Parse()
 
@@ -49,10 +56,15 @@ func main() {
 		return
 	}
 
+	if *serveLoad && *exp == "" {
+		*exp = "E18"
+	}
+
 	var gateFails []string
 	cfg := bench.Config{
 		Seed: *seed, Quick: *quick,
 		PramJSON: *pramjson, PramBaseline: *prambase,
+		ServeJSON: *servejson, ServeBaseline: *servebase,
 		Gate: func(msg string) { gateFails = append(gateFails, msg) },
 	}
 	if *metrics != "" {
@@ -82,7 +94,7 @@ func main() {
 	}
 
 	if len(gateFails) > 0 {
-		fmt.Fprintf(os.Stderr, "\nbenchmark gate: %d regression(s) vs %s:\n", len(gateFails), *prambase)
+		fmt.Fprintf(os.Stderr, "\nbenchmark gate: %d failure(s):\n", len(gateFails))
 		for _, f := range gateFails {
 			fmt.Fprintf(os.Stderr, "  - %s\n", f)
 		}

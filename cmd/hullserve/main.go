@@ -1,0 +1,138 @@
+// Command hullserve exposes the internal/serve hull-query service over
+// HTTP: batched multi-tenant queries against a bounded fleet of pooled
+// PRAM machines, with admission control, a content-addressed result
+// cache, and Prometheus counters.
+//
+// Usage:
+//
+//	hullserve -addr :8080
+//	hullserve -addr :8080 -fleet 4 -batch 32 -cache 1024
+//	hullserve -addr :8080 -datasets disk:65536,circle:16384,ball:8192
+//
+// Endpoints:
+//
+//	POST /v1/hull2d    {"points": [[x,y],...]} or {"dataset": "disk-65536"}
+//	POST /v1/hull3d    {"points": [[x,y,z],...]} or {"dataset": "ball-8192"}
+//	GET  /v1/datasets  registered dataset names
+//	GET  /healthz      liveness
+//	GET  /metrics      Prometheus (inplacehull_serve_* counters)
+//
+// The -datasets flag preloads named point sets from the deterministic
+// workload generators; each spec is kind:n with kind one of disk,
+// circle, grid, sorted (2-d) or ball, sphere (3-d), registered as
+// "kind-n". Dataset queries hit the O(1) cache-key path: the points are
+// hashed and validated once at startup.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"inplacehull/internal/obs"
+	"inplacehull/internal/serve"
+	"inplacehull/internal/workload"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		fleet    = flag.Int("fleet", 0, "fleet size (pooled machines); 0 = min(GOMAXPROCS, 4)")
+		workers  = flag.Int("workers", 0, "worker-pool width per machine; 0 = GOMAXPROCS")
+		queue    = flag.Int("queue", 256, "admission queue bound; full queue sheds with 429")
+		batch    = flag.Int("batch", 32, "max queries coalesced per machine dispatch; 1 disables batching")
+		window   = flag.Duration("window", 200*time.Microsecond, "how long a lone small query holds its batch open for stragglers")
+		cache    = flag.Int("cache", 1024, "result-cache entries; 0 disables caching")
+		datasets = flag.String("datasets", "disk:4096,circle:4096,ball:4096", "comma-separated kind:n dataset specs to preload (empty for none)")
+	)
+	flag.Parse()
+
+	ds, err := buildDatasets(*datasets)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hullserve: %v\n", err)
+		os.Exit(2)
+	}
+
+	srv := serve.NewServer(serve.Config{
+		FleetSize:   *fleet,
+		Workers:     *workers,
+		MaxQueue:    *queue,
+		MaxBatch:    *batch,
+		BatchWindow: *window,
+		CacheSize:   *cache,
+		Metrics:     obs.NewMetrics(),
+		Datasets:    ds,
+	})
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+
+	names := srv.Datasets()
+	fmt.Printf("hullserve: listening on %s (datasets: %s)\n", *addr, strings.Join(names, ", "))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "hullserve: %v\n", err)
+		srv.Close()
+		os.Exit(1)
+	case s := <-sig:
+		fmt.Printf("hullserve: %v — draining\n", s)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "hullserve: shutdown: %v\n", err)
+	}
+	srv.Close()
+}
+
+// buildDatasets parses "kind:n,kind:n" specs into preloaded datasets
+// named "kind-n", generated with the deterministic workload generators
+// (seed 1, so a restarted server serves identical point sets).
+func buildDatasets(spec string) (map[string]serve.Dataset, error) {
+	out := map[string]serve.Dataset{}
+	if strings.TrimSpace(spec) == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		kind, ns, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, fmt.Errorf("dataset spec %q: want kind:n", part)
+		}
+		n, err := strconv.Atoi(ns)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("dataset spec %q: bad point count", part)
+		}
+		const seed = 1
+		var d serve.Dataset
+		switch kind {
+		case "disk":
+			d.Points2 = workload.Disk(seed, n)
+		case "circle":
+			d.Points2 = workload.Circle(seed, n)
+		case "grid":
+			d.Points2 = workload.Grid(seed, n)
+		case "sorted":
+			d.Points2 = workload.Sorted(workload.Disk(seed, n))
+		case "ball":
+			d.Points3 = workload.Ball(seed, n)
+		case "sphere":
+			d.Points3 = workload.Sphere(seed, n)
+		default:
+			return nil, fmt.Errorf("dataset spec %q: unknown kind (disk|circle|grid|sorted|ball|sphere)", part)
+		}
+		out[kind+"-"+ns] = d
+	}
+	return out, nil
+}

@@ -108,6 +108,9 @@ const (
 	ErrKindCanceled = hullerr.Canceled
 	// ErrKindDeadline: the context deadline of a *Ctx entry point expired.
 	ErrKindDeadline = hullerr.DeadlineExceeded
+	// ErrKindOverloaded: the serving layer (internal/serve, cmd/hullserve)
+	// shed the request — admission queue full or server closed. Retryable.
+	ErrKindOverloaded = hullerr.Overloaded
 )
 
 // Sentinel errors for errors.Is matching (kind-based).
@@ -126,6 +129,9 @@ var (
 	// ErrDeadline matches context-deadline errors from the *Ctx entry
 	// points.
 	ErrDeadline = hullerr.ErrDeadline
+	// ErrOverload matches admission-control shedding from the serving
+	// layer; callers should back off and retry.
+	ErrOverload = hullerr.ErrOverload
 )
 
 // IsTyped reports whether err is (or wraps) a typed *Error — the guarantee

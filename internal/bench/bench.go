@@ -122,9 +122,16 @@ type Config struct {
 	// beyond the 10% contract are appended to the table notes and
 	// delivered through Gate.
 	PramBaseline string
+	// ServeJSON, when non-empty, makes E18 write its machine-readable
+	// serving report (the BENCH_serve.json schema) to this path.
+	ServeJSON string
+	// ServeBaseline, when non-empty, makes E18 additionally compare
+	// against a committed BENCH_serve.json (E18's absolute acceptance
+	// contract is checked whenever Gate is set, baseline or not).
+	ServeBaseline string
 	// Gate receives regression-gate failure messages from experiments
-	// that support baseline comparison (E17). cmd/hullbench uses it to
-	// exit non-zero; a nil Gate means failures are notes only.
+	// that support baseline comparison (E17, E18). cmd/hullbench uses it
+	// to exit non-zero; a nil Gate means failures are notes only.
 	Gate func(msg string)
 }
 

@@ -37,6 +37,12 @@ const (
 	Canceled
 	// DeadlineExceeded: the caller's context deadline expired mid-run.
 	DeadlineExceeded
+	// Overloaded: the serving layer shed the request at admission — its
+	// bounded queue was full (or the server was shutting down) and
+	// queueing further would only convert overload into timeouts. The
+	// request was rejected before any PRAM work was charged; retrying
+	// after backoff is reasonable, retrying immediately is not.
+	Overloaded
 )
 
 // String names the kind for error messages.
@@ -52,6 +58,8 @@ func (k Kind) String() string {
 		return "canceled"
 	case DeadlineExceeded:
 		return "deadline exceeded"
+	case Overloaded:
+		return "overloaded"
 	default:
 		return "internal error"
 	}
@@ -94,6 +102,8 @@ var (
 	ErrCanceled = &Error{Kind: Canceled, Msg: "run canceled"}
 	// ErrDeadline: the run's context deadline expired.
 	ErrDeadline = &Error{Kind: DeadlineExceeded, Msg: "run deadline exceeded"}
+	// ErrOverload: the serving layer's admission control shed the request.
+	ErrOverload = &Error{Kind: Overloaded, Msg: "server overloaded"}
 )
 
 // New builds a typed error.

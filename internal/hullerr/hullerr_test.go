@@ -17,6 +17,7 @@ func TestSentinelsMatchByKind(t *testing.T) {
 		{New(InvalidInput, "Hull2D", "point %d bad", 3), ErrNonFinite},
 		{New(UnsortedInput, "presorted", "x[%d] out of order", 1), ErrUnsorted},
 		{New(BudgetExhausted, "unsorted2d.vote", "8 rounds skewed"), ErrBudget},
+		{New(Overloaded, "serve.Query2D", "queue full (256 pending)"), ErrOverload},
 	}
 	for _, c := range cases {
 		if !errors.Is(c.err, c.sentinel) {

@@ -1,0 +1,198 @@
+package hullhash
+
+import (
+	"math"
+	"testing"
+
+	"inplacehull/internal/geom"
+	"inplacehull/internal/rng"
+)
+
+// TestDeterminism: the same input hashed twice — and hashed through a
+// fresh Hasher — yields the identical sum.
+func TestDeterminism(t *testing.T) {
+	s := rng.New(7)
+	pts := make([]geom.Point, 1000)
+	for i := range pts {
+		pts[i] = geom.Point{X: s.NormFloat64(), Y: s.NormFloat64()}
+	}
+	a := Of2D(pts, 1, 2, 3)
+	b := Of2D(pts, 1, 2, 3)
+	if a != b {
+		t.Fatalf("same input, different sums: %v vs %v", a, b)
+	}
+	h := New()
+	h.Points2(pts)
+	h.Uint64(1)
+	h.Uint64(2)
+	h.Uint64(3)
+	if h.Sum() != a {
+		t.Fatalf("incremental and one-shot sums differ: %v vs %v", h.Sum(), a)
+	}
+}
+
+// TestGolden pins a few sums so an accidental change to the hash function
+// (which would silently invalidate nothing but is an unintended format
+// break) is a reviewed diff.
+func TestGolden(t *testing.T) {
+	if got := Of2D(nil); got != (Sum{Hi: 0xe50dadd186459722, Lo: 0x07cffa07b497b448}) {
+		t.Fatalf("Of2D(nil) drifted: {0x%x, 0x%x}", got.Hi, got.Lo)
+	}
+	one := Of2D([]geom.Point{{X: 1, Y: 2}})
+	if one == Of2D(nil) {
+		t.Fatal("one-point slice hashed like empty")
+	}
+}
+
+// TestSensitivity: every single-coordinate perturbation, point swap,
+// truncation, config change and dimension change moves the sum. These are
+// the collision shapes a hull cache would actually be exposed to.
+func TestSensitivity(t *testing.T) {
+	s := rng.New(11)
+	pts := make([]geom.Point, 64)
+	for i := range pts {
+		pts[i] = geom.Point{X: s.Float64(), Y: s.Float64()}
+	}
+	base := Of2D(pts, 9)
+
+	for i := range pts {
+		mod := append([]geom.Point(nil), pts...)
+		mod[i].X = math.Nextafter(mod[i].X, 2)
+		if Of2D(mod, 9) == base {
+			t.Fatalf("perturbing point %d.X did not change the sum", i)
+		}
+		mod[i] = pts[i]
+		mod[i].Y = -mod[i].Y
+		if Of2D(mod, 9) == base {
+			t.Fatalf("negating point %d.Y did not change the sum", i)
+		}
+	}
+	swapped := append([]geom.Point(nil), pts...)
+	swapped[3], swapped[40] = swapped[40], swapped[3]
+	if Of2D(swapped, 9) == base {
+		t.Fatal("point order does not affect the sum")
+	}
+	if Of2D(pts[:63], 9) == base {
+		t.Fatal("truncation does not affect the sum")
+	}
+	if Of2D(pts, 10) == base {
+		t.Fatal("config word does not affect the sum")
+	}
+	// ±0 are distinct bit patterns, distinct sums (a missed cache hit,
+	// never a wrong answer).
+	if Of2D([]geom.Point{{X: 0}}) == Of2D([]geom.Point{{X: math.Copysign(0, -1)}}) {
+		t.Fatal("+0 and -0 collided")
+	}
+}
+
+// TestDimensionTag: a 3-d slice never hashes like a 2-d slice carrying the
+// same coordinate stream.
+func TestDimensionTag(t *testing.T) {
+	p2 := []geom.Point{{X: 1, Y: 2}, {X: 3, Y: 4}, {X: 5, Y: 6}}
+	p3 := []geom.Point3{{X: 1, Y: 2, Z: 3}, {X: 4, Y: 5, Z: 6}}
+	h2 := New()
+	h2.Points2(p2)
+	h3 := New()
+	h3.Points3(p3)
+	if h2.Sum() == h3.Sum() {
+		t.Fatal("2-d and 3-d slices with the same coordinate stream collided")
+	}
+}
+
+// TestNoPairwiseCollisions: a birthday-style sweep over many structured
+// near-miss inputs (the adversarial neighborhood of a cache: tiny slices,
+// shared prefixes, repeated values) must produce all-distinct sums.
+func TestNoPairwiseCollisions(t *testing.T) {
+	seen := make(map[Sum]string)
+	put := func(label string, sum Sum) {
+		if prev, ok := seen[sum]; ok {
+			t.Fatalf("collision: %q and %q both hash to {0x%x, 0x%x}", prev, label, sum.Hi, sum.Lo)
+		}
+		seen[sum] = label
+	}
+	s := rng.New(23)
+	var pts []geom.Point
+	for n := 0; n < 200; n++ {
+		put("len"+string(rune('0'+n%10))+"#"+itoa(n), Of2D(pts))
+		pts = append(pts, geom.Point{X: s.Float64(), Y: s.Float64()})
+	}
+	// Same slice, sweeping one config word.
+	for c := uint64(0); c < 200; c++ {
+		put("cfg#"+itoa(int(c)), Of2D(pts[:8], c))
+	}
+	// Constant slices of increasing length (stress the length prefix).
+	same := make([]geom.Point, 200)
+	for i := range same {
+		same[i] = geom.Point{X: 1, Y: 1}
+	}
+	for n := 0; n < 200; n++ {
+		put("const#"+itoa(n), Of2D(same[:n], 0xFFFF))
+	}
+	if len(seen) != 600 {
+		t.Fatalf("expected 600 distinct sums, got %d", len(seen))
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+// FuzzHashDeterminism: arbitrary byte-derived point slices hash
+// deterministically, and any single appended point or flipped coordinate
+// changes the sum.
+func FuzzHashDeterminism(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint64(1))
+	f.Add([]byte{}, uint64(0))
+	f.Add([]byte{0xFF, 0, 0xFF, 0, 0xFF, 0, 0xFF, 0, 1}, uint64(42))
+	f.Fuzz(func(t *testing.T, raw []byte, cfg uint64) {
+		pts := pointsFromBytes(raw)
+		a, b := Of2D(pts, cfg), Of2D(pts, cfg)
+		if a != b {
+			t.Fatalf("nondeterministic sum: %v vs %v", a, b)
+		}
+		grown := append(append([]geom.Point(nil), pts...), geom.Point{X: 1, Y: -1})
+		if Of2D(grown, cfg) == a {
+			t.Fatal("appending a point left the sum unchanged")
+		}
+		if len(pts) > 0 {
+			mod := append([]geom.Point(nil), pts...)
+			mod[0].X = math.Float64frombits(math.Float64bits(mod[0].X) ^ 1)
+			if Of2D(mod, cfg) == a {
+				t.Fatal("flipping one coordinate bit left the sum unchanged")
+			}
+		}
+		if Of2D(pts, cfg^0x8000) == a {
+			t.Fatal("flipping a config bit left the sum unchanged")
+		}
+	})
+}
+
+// pointsFromBytes decodes raw bytes into points (8 bytes per coordinate,
+// trailing partial words dropped) without requiring finite values — the
+// hash is defined on bit patterns, NaNs included.
+func pointsFromBytes(raw []byte) []geom.Point {
+	var pts []geom.Point
+	for len(raw) >= 16 {
+		x := math.Float64frombits(le64(raw))
+		y := math.Float64frombits(le64(raw[8:]))
+		pts = append(pts, geom.Point{X: x, Y: y})
+		raw = raw[16:]
+	}
+	return pts
+}
+
+func le64(b []byte) uint64 {
+	var v uint64
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
+}

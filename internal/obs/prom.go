@@ -19,6 +19,7 @@ type Metrics struct {
 	runs   map[string]int64            // algo → completed runs
 	phases map[string]map[string]Phase // algo → phase name → summed account
 	notes  map[string]map[string]int64 // event → detail → count
+	serve  map[string]int64            // serving-layer counters (internal/serve)
 }
 
 // NewMetrics returns an empty aggregator.
@@ -64,6 +65,49 @@ func (x *Metrics) Observe(algo string, c *Collector) {
 			x.notes[event][detail] += n
 		}
 	}
+}
+
+// serveHelp documents the serving-layer counters internal/serve feeds in;
+// unknown names fall back to a generic line so the exporter never drops a
+// counter it has no prose for.
+var serveHelp = map[string]string{
+	"queries_total":         "Hull queries received by the serving layer (before admission).",
+	"admitted_total":        "Queries admitted past the bounded queue.",
+	"shed_total":            "Queries shed at admission with a typed overload error.",
+	"deadline_shed_total":   "Queries shed unexecuted because their deadline had already passed.",
+	"completed_total":       "Queries answered with a hull result.",
+	"errors_total":          "Queries answered with a typed non-overload error.",
+	"cache_hits_total":      "Result-cache hits (served without touching a machine).",
+	"cache_misses_total":    "Result-cache misses.",
+	"cache_evictions_total": "Result-cache LRU evictions.",
+	"batches_total":         "Machine dispatches executed by the micro-batcher.",
+	"batched_queries_total": "Queries executed inside those dispatches (total/batches = mean batch size).",
+}
+
+// ServeCounterAdd accumulates a serving-layer counter by name; it is the
+// hook internal/serve increments on its hot paths. Counters export as
+// inplacehull_serve_<name>.
+func (x *Metrics) ServeCounterAdd(name string, v int64) {
+	if x == nil {
+		return
+	}
+	x.mu.Lock()
+	if x.serve == nil {
+		x.serve = make(map[string]int64)
+	}
+	x.serve[name] += v
+	x.mu.Unlock()
+}
+
+// ServeCounter reads one serving-layer counter (0 if never incremented) —
+// the assertion surface of the serve smoke tests.
+func (x *Metrics) ServeCounter(name string) int64 {
+	if x == nil {
+		return 0
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.serve[name]
 }
 
 // escapeLabel escapes a Prometheus label value.
@@ -144,6 +188,21 @@ func (x *Metrics) WritePrometheus(w io.Writer) error {
 			fmt.Fprintf(&b, "inplacehull_events_total{event=%q,detail=%q} %d\n",
 				escapeLabel(e), escapeLabel(d), x.notes[e][d])
 		}
+	}
+
+	serveNames := make([]string, 0, len(x.serve))
+	for n := range x.serve {
+		serveNames = append(serveNames, n)
+	}
+	sort.Strings(serveNames)
+	for _, n := range serveNames {
+		help, ok := serveHelp[n]
+		if !ok {
+			help = "Serving-layer counter " + n + "."
+		}
+		fmt.Fprintf(&b, "# HELP inplacehull_serve_%s %s\n", n, help)
+		fmt.Fprintf(&b, "# TYPE inplacehull_serve_%s counter\n", n)
+		fmt.Fprintf(&b, "inplacehull_serve_%s %d\n", n, x.serve[n])
 	}
 
 	_, err := io.WriteString(w, b.String())

@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestServeCountersExport: serving-layer counters accumulate and render as
+// inplacehull_serve_* series with HELP/TYPE headers, sorted by name.
+func TestServeCountersExport(t *testing.T) {
+	x := NewMetrics()
+	x.ServeCounterAdd("cache_hits_total", 3)
+	x.ServeCounterAdd("cache_hits_total", 2)
+	x.ServeCounterAdd("shed_total", 1)
+	x.ServeCounterAdd("custom_thing", 7) // unknown name still exports
+
+	if got := x.ServeCounter("cache_hits_total"); got != 5 {
+		t.Fatalf("cache_hits_total = %d, want 5", got)
+	}
+	if got := x.ServeCounter("never_touched"); got != 0 {
+		t.Fatalf("untouched counter = %d, want 0", got)
+	}
+
+	var b strings.Builder
+	if err := x.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE inplacehull_serve_cache_hits_total counter",
+		"inplacehull_serve_cache_hits_total 5",
+		"inplacehull_serve_shed_total 1",
+		"inplacehull_serve_custom_thing 7",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Index(out, "serve_cache_hits_total") > strings.Index(out, "serve_shed_total") {
+		t.Fatal("serve counters not sorted by name")
+	}
+
+	// Nil receiver is a silent no-op (mirrors Observe's contract).
+	var nilM *Metrics
+	nilM.ServeCounterAdd("x", 1)
+	if nilM.ServeCounter("x") != 0 {
+		t.Fatal("nil Metrics should read 0")
+	}
+}

@@ -1,0 +1,115 @@
+package pram
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestCloseIdempotent: Close on an owned pool is repeatable — twice from
+// the same goroutine, again after the machine restarted a fresh pool —
+// and the machine stays usable with exact counters throughout. This is
+// the regression test for the fleet return path, which may Close a
+// machine that a shutdown path already Closed.
+func TestCloseIdempotent(t *testing.T) {
+	m := poolMachine(4, 1)
+	const n = 4 * minChunk
+	m.StepAll(n, func(p int) {})
+	m.Close()
+	m.Close() // double Close must be a no-op, not a panic
+
+	// The machine stays usable: the next big step starts a fresh pool.
+	m.StepAll(n, func(p int) {})
+	if m.Time() != 2 || m.Work() != int64(2*n) {
+		t.Fatalf("after Close+reuse: time=%d work=%d, want 2, %d", m.Time(), m.Work(), 2*n)
+	}
+	m.Close()
+	m.Close()
+}
+
+// TestCloseConcurrent: many goroutines Closing the same machine at once —
+// the exact shape of a fleet teardown racing per-request returns — must
+// neither panic nor leave workers parked forever.
+func TestCloseConcurrent(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		m := poolMachine(4, 1)
+		m.StepAll(4*minChunk, func(p int) {})
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				m.Close()
+			}()
+		}
+		wg.Wait()
+	}
+}
+
+// TestCloseRacingDispatch: Close from one goroutine while another is
+// driving steps through the pool. Before engine.close acquired the
+// dispatch slot, this could close a wake channel mid-round and panic the
+// dispatcher with a send on a closed channel; now the Close waits for the
+// round to join, and later steps fall back to sequential execution or a
+// fresh pool. Counters must stay exact either way.
+func TestCloseRacingDispatch(t *testing.T) {
+	const steps = 200
+	const n = 4 * minChunk
+	m := poolMachine(4, 1)
+	defer m.Close()
+
+	doneStepping := make(chan struct{})
+	done := make(chan struct{})
+	var closes atomic.Int64
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-doneStepping:
+				return
+			default:
+				m.Close()
+				closes.Add(1)
+				runtime.Gosched()
+			}
+		}
+	}()
+
+	for i := 0; i < steps; i++ {
+		m.StepAll(n, func(p int) {})
+	}
+	close(doneStepping)
+	<-done
+
+	if m.Time() != steps || m.Work() != int64(steps)*int64(n) {
+		t.Fatalf("time=%d work=%d, want %d, %d (closes=%d)",
+			m.Time(), m.Work(), steps, int64(steps)*int64(n), closes.Load())
+	}
+}
+
+// TestCloseReleasesWorkers: after a concurrent Close storm the pool's
+// goroutines are gone (no leaked parked workers).
+func TestCloseReleasesWorkers(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	m := poolMachine(8, 1)
+	m.StepAll(8*minChunk, func(p int) {})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.Close()
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < 200; i++ {
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		runtime.Gosched()
+	}
+	if g := runtime.NumGoroutine(); g > baseline+1 {
+		t.Fatalf("workers leaked after concurrent Close: %d goroutines, baseline %d", g, baseline)
+	}
+}

@@ -102,7 +102,11 @@ type engine struct {
 	wake []chan struct{} // release phase: one parked worker per channel
 	done chan struct{}   // join phase: signaled by the last arriver
 
-	closeOnce sync.Once
+	// closed marks a retired pool. It is set by close while holding the
+	// busy slot, so it can never race a round's wake sends; dispatchers
+	// holding a stale reference to a closed engine fail the busy CAS and
+	// fall back to the sequential path.
+	closed atomic.Bool
 }
 
 // newEngine starts workers-1 parked goroutines and calibrates the
@@ -280,13 +284,28 @@ func (e *engine) calibrate() int {
 	return thr
 }
 
-// close retires the workers. Idempotent; must not be called while a round
-// is in flight (Machine.Close runs on the host goroutine, which is the
-// only dispatcher, so this holds by construction).
+// close retires the workers. Idempotent and safe against a concurrent
+// in-flight round: it first acquires the dispatch slot (the same busy flag
+// runChunks claims before a round), so the wake channels are only ever
+// closed while every worker is parked — a fleet-return path double-Close,
+// or a Close racing a step on another goroutine, waits for the round to
+// join instead of panicking with a send on a closed channel. The slot is
+// deliberately never released: any dispatcher still holding a reference to
+// this engine fails its busy CAS and runs its step sequentially, which is
+// always a correct execution.
 func (e *engine) close() {
-	e.closeOnce.Do(func() {
+	for {
+		if e.closed.Load() {
+			return
+		}
+		if e.busy.CompareAndSwap(false, true) {
+			break
+		}
+		runtime.Gosched()
+	}
+	if !e.closed.Swap(true) {
 		for _, w := range e.wake {
 			close(w)
 		}
-	})
+	}
 }

@@ -1,0 +1,128 @@
+package pram
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// Fleet is a bounded pool of Machines shared by concurrent callers — the
+// substrate of the serving layer (internal/serve). A simulated PRAM is a
+// single-program device: its host-side driver must be one goroutine at a
+// time, so a service multiplexing many requests checks a machine out,
+// runs one program, and returns it. Checked-in machines keep their worker
+// pools warm, which is the point: the per-request alternative re-pays pool
+// start (goroutine spawn + threshold calibration) on every query.
+//
+// Checkout/Return pairs are the only synchronization; the fleet never
+// inspects a machine mid-program.
+type Fleet struct {
+	idle    chan *Machine
+	size    int
+	closed  atomic.Bool
+	closeCh chan struct{} // closed by Close so blocked Checkouts wake
+}
+
+// ErrFleetClosed is returned by Checkout after Close.
+var ErrFleetClosed = errors.New("pram: fleet closed")
+
+// NewFleet builds size machines with the given options and parks them all
+// as idle. Size is clamped to at least 1.
+func NewFleet(size int, opts ...Option) *Fleet {
+	if size < 1 {
+		size = 1
+	}
+	f := &Fleet{idle: make(chan *Machine, size), size: size, closeCh: make(chan struct{})}
+	for i := 0; i < size; i++ {
+		f.idle <- New(opts...)
+	}
+	return f
+}
+
+// Size returns the number of machines the fleet owns.
+func (f *Fleet) Size() int { return f.size }
+
+// Checkout hands the caller an idle machine, blocking until one is
+// returned or ctx is done. The caller owns the machine exclusively until
+// Return.
+func (f *Fleet) Checkout(ctx context.Context) (*Machine, error) {
+	if f.closed.Load() {
+		return nil, ErrFleetClosed
+	}
+	select {
+	case m := <-f.idle:
+		return m, nil
+	default:
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case m := <-f.idle:
+		return m, nil
+	case <-f.closeCh:
+		// Drain race: a machine may have been parked between the closed
+		// check above and Close; prefer handing it out over an error.
+		select {
+		case m := <-f.idle:
+			return m, nil
+		default:
+			return nil, ErrFleetClosed
+		}
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// TryCheckout is Checkout without blocking: ok is false when every machine
+// is busy (or the fleet is closed).
+func (f *Fleet) TryCheckout() (*Machine, bool) {
+	if f.closed.Load() {
+		return nil, false
+	}
+	select {
+	case m := <-f.idle:
+		return m, true
+	default:
+		return nil, false
+	}
+}
+
+// Return parks a checked-out machine as idle again. Returning to a closed
+// fleet retires the machine instead (Machine.Close is idempotent and
+// concurrency-safe, so a return racing the fleet's own Close is fine).
+func (f *Fleet) Return(m *Machine) {
+	if m == nil {
+		return
+	}
+	if f.closed.Load() {
+		m.Close()
+		return
+	}
+	select {
+	case f.idle <- m:
+	default:
+		// More returns than checkouts — a caller bug, but absorb it by
+		// retiring the surplus machine rather than blocking forever.
+		m.Close()
+	}
+}
+
+// Close retires the fleet: idle machines are closed immediately, and
+// machines still checked out are closed as they are returned. Close does
+// not wait for outstanding checkouts; callers that need a drained fleet
+// sequence their own shutdown first (internal/serve does). Idempotent.
+func (f *Fleet) Close() {
+	if f.closed.Swap(true) {
+		return
+	}
+	close(f.closeCh)
+	for {
+		select {
+		case m := <-f.idle:
+			m.Close()
+		default:
+			return
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package pram
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestFleetCheckoutReturn: machines cycle through checkout/return and every
+// checkout sees a usable machine with warm counters.
+func TestFleetCheckoutReturn(t *testing.T) {
+	f := NewFleet(2, WithWorkers(2), WithParallelThreshold(1))
+	defer f.Close()
+	for i := 0; i < 10; i++ {
+		m, err := f.Checkout(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := m.Snap()
+		m.StepAll(minChunk*2, func(p int) {})
+		if d := m.Delta(before); d.Time != 1 {
+			t.Fatalf("checkout %d: delta time %d, want 1", i, d.Time)
+		}
+		f.Return(m)
+	}
+}
+
+// TestFleetCheckoutBlocksUntilReturn: an exhausted fleet parks the caller
+// until a peer returns a machine, and honors context cancellation.
+func TestFleetCheckoutBlocksUntilReturn(t *testing.T) {
+	f := NewFleet(1)
+	defer f.Close()
+	m, err := f.Checkout(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := f.Checkout(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("checkout on exhausted fleet: err=%v, want DeadlineExceeded", err)
+	}
+	if _, ok := f.TryCheckout(); ok {
+		t.Fatal("TryCheckout succeeded on exhausted fleet")
+	}
+
+	got := make(chan *Machine)
+	go func() {
+		m2, err := f.Checkout(context.Background())
+		if err != nil {
+			t.Error(err)
+		}
+		got <- m2
+	}()
+	f.Return(m)
+	select {
+	case m2 := <-got:
+		if m2 != m {
+			t.Fatal("blocked checkout received a different machine")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked checkout never woke after Return")
+	}
+}
+
+// TestFleetCloseWithOutstanding: Close while machines are checked out must
+// not panic, must reject further checkouts, and the straggler return path
+// (which double-Closes through the fleet) must be safe — this is the
+// regression pairing for Machine.Close's idempotency fix.
+func TestFleetCloseWithOutstanding(t *testing.T) {
+	f := NewFleet(2, WithWorkers(2), WithParallelThreshold(1))
+	m, err := f.Checkout(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.StepAll(minChunk*2, func(p int) {}) // start the pool so Close has work to do
+	f.Close()
+	f.Close() // idempotent
+	if _, err := f.Checkout(context.Background()); err != ErrFleetClosed {
+		t.Fatalf("checkout after Close: err=%v, want ErrFleetClosed", err)
+	}
+	f.Return(m) // straggler return retires the machine
+	m.Close()   // and an extra direct Close is still safe
+}
+
+// TestFleetConcurrentChurn: many goroutines checking out, running a step,
+// and returning, with a Close racing the tail — exercised under -race in
+// CI.
+func TestFleetConcurrentChurn(t *testing.T) {
+	f := NewFleet(4, WithWorkers(2), WithParallelThreshold(1))
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				m, err := f.Checkout(context.Background())
+				if err != nil {
+					return // closed under us: fine
+				}
+				m.StepAll(minChunk, func(p int) {})
+				f.Return(m)
+			}
+		}()
+	}
+	wg.Wait()
+	f.Close()
+}

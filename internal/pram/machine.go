@@ -434,8 +434,10 @@ func (m *Machine) runChunks(n int, f func(p int) bool) int64 {
 		return runSeq(n, f)
 	}
 	if !e.busy.CompareAndSwap(false, true) {
-		// Re-entrant step (f itself drives the machine): run inline rather
-		// than deadlocking on the barrier.
+		// Re-entrant step (f itself drives the machine) or a pool retired
+		// by a concurrent Close, which holds the busy slot forever: run
+		// inline rather than deadlocking on the barrier or waking retired
+		// workers.
 		return runSeq(n, f)
 	}
 	defer e.busy.Store(false)
@@ -489,11 +491,15 @@ func (m *Machine) engine() *engine {
 }
 
 // Close retires the machine's persistent worker pool, if it owns one.
-// Idempotent, and the machine stays usable — a later large step lazily
-// starts a fresh pool. Machines that never ran a step big enough to
-// dispatch own no pool and Close is a no-op; abandoned machines are also
-// reaped by a finalizer, so Close is an optimization (prompt teardown,
-// deterministic goroutine accounting in tests), not an obligation.
+// Idempotent and safe to call concurrently from multiple goroutines — a
+// double Close from a fleet return path is a no-op, and a Close that races
+// a step in flight on another goroutine waits for that step's round to
+// join before retiring the pool (see engine.close). The machine stays
+// usable — a later large step lazily starts a fresh pool. Machines that
+// never ran a step big enough to dispatch own no pool and Close is a
+// no-op; abandoned machines are also reaped by a finalizer, so Close is an
+// optimization (prompt teardown, deterministic goroutine accounting in
+// tests), not an obligation.
 func (m *Machine) Close() {
 	m.engMu.Lock()
 	eng, owned := m.eng, m.engOwned

@@ -1,0 +1,130 @@
+package serve
+
+import (
+	"context"
+	"time"
+
+	"inplacehull/internal/hullerr"
+)
+
+// executor is the per-machine serving loop: pick up one request, coalesce
+// a batch around it, run the batch on a single fleet checkout, repeat.
+// Executors outnumber nothing — there is exactly one per fleet machine —
+// so a checkout never blocks and the queue is the only waiting room.
+func (s *Server) executor() {
+	defer s.wg.Done()
+	for {
+		select {
+		case r := <-s.queue:
+			s.runBatch(s.fill(r))
+		case <-s.stop:
+			// Drain: everything still queued was admitted before Close
+			// flipped the flag; answer it (typed) rather than strand it.
+			for {
+				select {
+				case r := <-s.queue:
+					r.respond(Result{}, hullerr.New(hullerr.Overloaded, r.op, "server closed"))
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// bypass reports whether r is large enough to dispatch solo: batching
+// exists to amortize dispatch overhead across small queries, and a large
+// query amortizes it by itself.
+func (s *Server) bypass(r *request) bool {
+	return len(r.pts2)+len(r.pts3) >= s.cfg.BypassBatchN
+}
+
+// fill coalesces a batch around first: greedily take what is already
+// queued; only a *lone* small query holds the window open for company.
+// The adaptivity matters: once the greedy drain has coalesced anything,
+// dispatching immediately is strictly better — the queue depth that fed
+// this batch will feed the next one too, while waiting out the window
+// with the whole queue's clients blocked on us would buy nothing (the
+// closed-loop pathology: under saturating load every arrival is already
+// here, and the stragglers the window waits for cannot arrive until we
+// answer). Large queries never wait out the window either; they amortize
+// a dispatch by themselves.
+func (s *Server) fill(first *request) []*request {
+	batch := []*request{first}
+	if s.cfg.MaxBatch <= 1 || s.bypass(first) {
+		return batch
+	}
+	for len(batch) < s.cfg.MaxBatch {
+		select {
+		case r := <-s.queue:
+			batch = append(batch, r)
+			continue
+		default:
+		}
+		break
+	}
+	if len(batch) > 1 || s.cfg.BatchWindow <= 0 {
+		return batch
+	}
+	t := time.NewTimer(s.cfg.BatchWindow)
+	defer t.Stop()
+	for len(batch) < s.cfg.MaxBatch {
+		select {
+		case r := <-s.queue:
+			batch = append(batch, r)
+			// Company arrived; keep draining greedily but stop waiting.
+			for len(batch) < s.cfg.MaxBatch {
+				select {
+				case r := <-s.queue:
+					batch = append(batch, r)
+					continue
+				default:
+				}
+				break
+			}
+			return batch
+		case <-t.C:
+			return batch
+		case <-s.stop:
+			// Shutdown: run what we hold; the executor loop drains the rest.
+			return batch
+		}
+	}
+	return batch
+}
+
+// runBatch executes a batch on one machine checkout. Requests whose
+// deadline expired while queued are answered typed without machine time.
+func (s *Server) runBatch(batch []*request) {
+	m, err := s.fleet.Checkout(context.Background())
+	if err != nil {
+		// Only possible if the fleet was closed under a live executor —
+		// which Close's ordering (wg.Wait before fleet.Close) forbids.
+		// Answer typed anyway rather than strand the batch.
+		for _, r := range batch {
+			r.respond(Result{}, hullerr.New(hullerr.Overloaded, r.op, "machine fleet closed"))
+		}
+		return
+	}
+	defer s.fleet.Return(m)
+	s.count(&s.batches, "batches_total")
+	for _, r := range batch {
+		s.count(&s.batchedQueries, "batched_queries_total")
+		if err := r.ctx.Err(); err != nil {
+			s.count(&s.deadlineShed, "deadline_shed_total")
+			r.respond(Result{}, hullerr.FromContext(r.op, err))
+			continue
+		}
+		res, err := s.execute(m, r)
+		if err != nil {
+			s.count(&s.errors, "errors_total")
+			r.respond(Result{}, err)
+			continue
+		}
+		if s.cache != nil && !r.q.NoCache {
+			s.cache.put(r.key, res)
+		}
+		s.count(&s.completed, "completed_total")
+		r.respond(res, nil)
+	}
+}

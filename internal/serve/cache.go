@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"inplacehull/internal/hullhash"
+)
+
+// lruCache is the size-bounded result cache: a map over an intrusive
+// recency list, keyed by the 128-bit content hash of a query. Values are
+// stored by value (Result's slices are shared, never copied); the serving
+// contract makes them immutable once published.
+type lruCache struct {
+	mu      sync.Mutex
+	max     int
+	order   *list.List // front = most recent
+	entries map[hullhash.Sum]*list.Element
+	onEvict func()
+}
+
+type lruEntry struct {
+	key hullhash.Sum
+	res Result
+}
+
+func newLRU(max int, onEvict func()) *lruCache {
+	return &lruCache{
+		max:     max,
+		order:   list.New(),
+		entries: make(map[hullhash.Sum]*list.Element, max),
+		onEvict: onEvict,
+	}
+}
+
+// get returns the cached result for key, refreshing its recency.
+func (c *lruCache) get(key hullhash.Sum) (Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return Result{}, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).res, true
+}
+
+// put inserts (or refreshes) key, evicting from the cold end past max.
+func (c *lruCache) put(key hullhash.Sum, res Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*lruEntry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&lruEntry{key: key, res: res})
+	for c.order.Len() > c.max {
+		cold := c.order.Back()
+		c.order.Remove(cold)
+		delete(c.entries, cold.Value.(*lruEntry).key)
+		if c.onEvict != nil {
+			c.onEvict()
+		}
+	}
+}
+
+// len reports the current entry count (test surface).
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,209 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sort"
+	"time"
+
+	"inplacehull/internal/geom"
+	"inplacehull/internal/hullerr"
+)
+
+// httpQuery is the JSON request body of POST /v1/hull2d and /v1/hull3d.
+type httpQuery struct {
+	// Points: [[x,y],…] for 2-d, [[x,y,z],…] for 3-d. Mutually exclusive
+	// with Dataset.
+	Points [][]float64 `json:"points,omitempty"`
+	// Dataset names a preloaded point set (GET /v1/datasets lists them).
+	Dataset string `json:"dataset,omitempty"`
+	// Algorithm: "hull2d" (default), "presorted", "logstar" (2-d only).
+	Algorithm string `json:"algorithm,omitempty"`
+	Seed      uint64 `json:"seed,omitempty"`
+	// DeadlineMS bounds the query's service time; 0 means the request's
+	// own context only.
+	DeadlineMS int  `json:"deadline_ms,omitempty"`
+	NoCache    bool `json:"no_cache,omitempty"`
+}
+
+// httpResult is the JSON response body.
+type httpResult struct {
+	N        int         `json:"n"`
+	HullSize int         `json:"hull_size"`
+	Chain    [][]float64 `json:"chain,omitempty"`
+	Facets   int         `json:"facets,omitempty"`
+	Cached   bool        `json:"cached"`
+	Tier     string      `json:"tier"`
+	Attempts int         `json:"attempts"`
+	Elapsed  float64     `json:"elapsed_us"`
+}
+
+type httpError struct {
+	Error string `json:"error"`
+	Kind  string `json:"kind"`
+}
+
+// statusOf maps the typed error taxonomy onto HTTP statuses. Untyped
+// errors cannot reach here (the supervisor's contract), but map to 500
+// defensively.
+func statusOf(err error) int {
+	var e *hullerr.Error
+	if !errors.As(err, &e) {
+		return http.StatusInternalServerError
+	}
+	switch e.Kind {
+	case hullerr.InvalidInput, hullerr.UnsortedInput:
+		return http.StatusBadRequest
+	case hullerr.Overloaded:
+		return http.StatusTooManyRequests
+	case hullerr.DeadlineExceeded:
+		return http.StatusGatewayTimeout
+	case hullerr.Canceled:
+		return 499 // client closed request (nginx convention)
+	default: // BudgetExhausted, Internal
+		return http.StatusInternalServerError
+	}
+}
+
+func kindName(err error) string {
+	var e *hullerr.Error
+	if errors.As(err, &e) {
+		return e.Kind.String()
+	}
+	return "untyped"
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	status := statusOf(err)
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, httpError{Error: err.Error(), Kind: kindName(err)})
+}
+
+// Handler returns the HTTP front end:
+//
+//	POST /v1/hull2d   {"points":[[x,y],…]|"dataset":name, "algorithm":…, "seed":…, "deadline_ms":…}
+//	POST /v1/hull3d   {"points":[[x,y,z],…]|"dataset":name, …}
+//	GET  /v1/datasets registered dataset names
+//	GET  /healthz     liveness
+//	GET  /metrics     Prometheus exposition (when Config.Metrics is set)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/hull2d", func(w http.ResponseWriter, req *http.Request) { s.serveHull(w, req, 2) })
+	mux.HandleFunc("/v1/hull3d", func(w http.ResponseWriter, req *http.Request) { s.serveHull(w, req, 3) })
+	mux.HandleFunc("/v1/datasets", func(w http.ResponseWriter, req *http.Request) {
+		names := s.Datasets()
+		sort.Strings(names)
+		writeJSON(w, http.StatusOK, map[string][]string{"datasets": names})
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	if s.cfg.Metrics != nil {
+		mux.Handle("/metrics", s.cfg.Metrics)
+	}
+	return mux
+}
+
+func (s *Server) serveHull(w http.ResponseWriter, req *http.Request, dim int) {
+	if req.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var hq httpQuery
+	if err := json.NewDecoder(req.Body).Decode(&hq); err != nil {
+		writeJSON(w, http.StatusBadRequest, httpError{Error: "bad JSON: " + err.Error(), Kind: "invalid input"})
+		return
+	}
+	q := Query{Dataset: hq.Dataset, Seed: hq.Seed, NoCache: hq.NoCache}
+	switch hq.Algorithm {
+	case "", "hull2d":
+		q.Algo = AlgoHull2D
+	case "presorted":
+		q.Algo = AlgoPresorted
+	case "logstar":
+		q.Algo = AlgoLogStar
+	default:
+		writeJSON(w, http.StatusBadRequest, httpError{Error: "unknown algorithm " + hq.Algorithm, Kind: "invalid input"})
+		return
+	}
+	for i, c := range hq.Points {
+		if len(c) != dim {
+			writeJSON(w, http.StatusBadRequest, httpError{
+				Error: "point " + itoa(i) + " has " + itoa(len(c)) + " coordinates, want " + itoa(dim),
+				Kind:  "invalid input"})
+			return
+		}
+		if dim == 3 {
+			q.Points3 = append(q.Points3, geom.Point3{X: c[0], Y: c[1], Z: c[2]})
+		} else {
+			q.Points2 = append(q.Points2, geom.Point{X: c[0], Y: c[1]})
+		}
+	}
+
+	ctx := req.Context()
+	if hq.DeadlineMS > 0 {
+		var cancel func()
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(hq.DeadlineMS)*time.Millisecond)
+		defer cancel()
+	}
+	var res Result
+	var err error
+	if dim == 3 {
+		res, err = s.Query3D(ctx, q)
+	} else {
+		res, err = s.Query2D(ctx, q)
+	}
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	out := httpResult{
+		N:        res.N,
+		Cached:   res.Cached,
+		Tier:     res.Report.Tier.String(),
+		Attempts: res.Report.Attempts,
+		Elapsed:  float64(res.Elapsed.Microseconds()),
+	}
+	if dim == 3 {
+		out.HullSize = res.Facets
+		out.Facets = res.Facets
+	} else {
+		out.HullSize = len(res.Chain)
+		out.Chain = make([][]float64, len(res.Chain))
+		for i, p := range res.Chain {
+			out.Chain[i] = []float64{p.X, p.Y}
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	if neg {
+		return "-" + string(b)
+	}
+	return string(b)
+}

@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"inplacehull/internal/hullerr"
+)
+
+// LoadResult is the account of one closed-loop load run.
+type LoadResult struct {
+	// Total is the number of calls issued; OK the number that returned a
+	// result; Overloads/DeadlineErrs/OtherErrs partition the failures by
+	// typed kind.
+	Total, OK, Overloads, DeadlineErrs, OtherErrs int
+	// Elapsed is the wall time of the whole run.
+	Elapsed time.Duration
+	// Throughput is OK results per second of Elapsed — the goodput a
+	// closed loop sustains at this concurrency.
+	Throughput float64
+	// P50/P95/P99/Mean summarize the latency of OK calls only (shed calls
+	// return near-instantly and would flatter the percentiles).
+	P50, P95, P99, Mean time.Duration
+}
+
+// RunClosedLoop drives fn from conc workers in a closed loop (each worker
+// issues its next call the moment the previous returns — the standard
+// saturating load shape) until total calls complete, and summarizes
+// goodput and latency. fn receives the global 0-based call index; its
+// error, if typed, is classified by kind.
+func RunClosedLoop(conc, total int, fn func(i int) error) LoadResult {
+	if conc < 1 {
+		conc = 1
+	}
+	if conc > total {
+		conc = total
+	}
+	lats := make([]int64, total) // ns; -1 marks a failed call
+	var kinds [3]atomic.Int64    // overload, deadline, other
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= total {
+					return
+				}
+				t0 := time.Now()
+				err := fn(i)
+				if err == nil {
+					lats[i] = time.Since(t0).Nanoseconds()
+					continue
+				}
+				lats[i] = -1
+				var e *hullerr.Error
+				switch {
+				case errors.As(err, &e) && e.Kind == hullerr.Overloaded:
+					kinds[0].Add(1)
+				case errors.As(err, &e) && (e.Kind == hullerr.DeadlineExceeded || e.Kind == hullerr.Canceled):
+					kinds[1].Add(1)
+				default:
+					kinds[2].Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	res := LoadResult{
+		Total:        total,
+		Overloads:    int(kinds[0].Load()),
+		DeadlineErrs: int(kinds[1].Load()),
+		OtherErrs:    int(kinds[2].Load()),
+		Elapsed:      time.Since(start),
+	}
+	ok := lats[:0:0]
+	for _, l := range lats {
+		if l >= 0 {
+			ok = append(ok, l)
+		}
+	}
+	res.OK = len(ok)
+	if res.Elapsed > 0 {
+		res.Throughput = float64(res.OK) / res.Elapsed.Seconds()
+	}
+	if len(ok) > 0 {
+		sort.Slice(ok, func(a, b int) bool { return ok[a] < ok[b] })
+		var sum int64
+		for _, l := range ok {
+			sum += l
+		}
+		pct := func(p float64) time.Duration {
+			i := int(p * float64(len(ok)-1))
+			return time.Duration(ok[i])
+		}
+		res.P50, res.P95, res.P99 = pct(0.50), pct(0.95), pct(0.99)
+		res.Mean = time.Duration(sum / int64(len(ok)))
+	}
+	return res
+}

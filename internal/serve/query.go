@@ -1,0 +1,269 @@
+package serve
+
+import (
+	"context"
+	"time"
+
+	"inplacehull/internal/geom"
+	"inplacehull/internal/hullerr"
+	"inplacehull/internal/hullhash"
+	"inplacehull/internal/pram"
+	"inplacehull/internal/resilient"
+)
+
+// Algo selects the 2-d hull algorithm a query runs. Only the supervised
+// algorithms are servable; the §2.6 processor-optimal schedule is
+// direct-only and stays a library concern.
+type Algo int
+
+const (
+	// AlgoHull2D (default): the §4.1 output-sensitive algorithm for
+	// unsorted points.
+	AlgoHull2D Algo = iota
+	// AlgoPresorted: the §2.2 constant-time algorithm; points must be
+	// sorted by strictly increasing x or the query fails typed.
+	AlgoPresorted
+	// AlgoLogStar: the §2.5 O(log* n)-step algorithm; sorted input.
+	AlgoLogStar
+)
+
+// String names the algorithm (the wire-format value the HTTP front end
+// accepts).
+func (a Algo) String() string {
+	switch a {
+	case AlgoHull2D:
+		return "hull2d"
+	case AlgoPresorted:
+		return "presorted"
+	case AlgoLogStar:
+		return "logstar"
+	default:
+		return "algo(?)"
+	}
+}
+
+// Query describes one hull request. Exactly one of Points2/Points3/
+// Dataset must be set (Query2D accepts Points2 or a 2-d Dataset, Query3D
+// Points3 or a 3-d Dataset). The server may retain and share the point
+// slice and the result's slices through its cache: callers must not
+// mutate either after submitting.
+type Query struct {
+	Points2 []geom.Point
+	Points3 []geom.Point3
+	// Dataset names a preloaded point set (Config.Datasets).
+	Dataset string
+	// Algo selects the 2-d algorithm; ignored by Query3D.
+	Algo Algo
+	// Seed seeds the query's random stream — part of the cache key, so
+	// callers that want cache hits must use a stable seed.
+	Seed uint64
+	// NoCache bypasses the result cache for this query (both lookup and
+	// fill) — the load generator's cold-path mode.
+	NoCache bool
+}
+
+// Result is a hull answer. Slices may be shared with the cache and other
+// callers; treat them as immutable.
+type Result struct {
+	// N is the input size.
+	N int
+	// Chain, Edges, EdgeOf: the 2-d upper-hull answer (Query2D).
+	Chain  []geom.Point
+	Edges  []geom.Edge
+	EdgeOf []int
+	// Facets, FacetOf: the 3-d cap answer (Query3D). Facets is the facet
+	// count; FacetOf maps each point to its cap.
+	Facets  int
+	FacetOf []int
+	// Report is the supervisor's account (attempts, tier).
+	Report resilient.Report
+	// Cached reports whether the answer came from the result cache.
+	Cached bool
+	// Elapsed is the service time: queue wait plus machine time for a
+	// computed answer, lookup time for a cached one.
+	Elapsed time.Duration
+}
+
+// request is one admitted query in flight between a caller and an
+// executor.
+type request struct {
+	ctx  context.Context
+	op   string
+	q    Query
+	dim  int // 2 or 3
+	pts2 []geom.Point
+	pts3 []geom.Point3
+	key  hullhash.Sum
+	resp chan response
+	enq  time.Time
+}
+
+type response struct {
+	res Result
+	err error
+}
+
+// respond delivers the outcome; the channel is buffered so an executor
+// never blocks on a caller that gave up and left.
+func (r *request) respond(res Result, err error) {
+	r.resp <- response{res: res, err: err}
+}
+
+// Query2D answers a 2-d hull query: cache, then admission, then a batched
+// machine dispatch through the resilient supervisor. The error, when
+// non-nil, is always a typed *hullerr.Error.
+func (s *Server) Query2D(ctx context.Context, q Query) (Result, error) {
+	const op = "serve.Query2D"
+	s.count(&s.queries, "queries_total")
+	r := &request{ctx: ctx, op: op, q: q, dim: 2, resp: make(chan response, 1)}
+	if q.Points3 != nil {
+		return Result{}, hullerr.New(hullerr.InvalidInput, op, "3-d points on the 2-d endpoint")
+	}
+	var dsHash hullhash.Sum
+	haveDS := false
+	switch {
+	case q.Dataset != "" && q.Points2 != nil:
+		return Result{}, hullerr.New(hullerr.InvalidInput, op, "both inline points and dataset %q", q.Dataset)
+	case q.Dataset != "":
+		d, ok := s.datasets[q.Dataset]
+		if !ok || d.Points2 == nil {
+			return Result{}, hullerr.New(hullerr.InvalidInput, op, "unknown 2-d dataset %q", q.Dataset)
+		}
+		if d.err != nil {
+			return Result{}, d.err
+		}
+		r.pts2, dsHash, haveDS = d.Points2, d.hash, true
+	default:
+		if err := hullerr.CheckFinite2D(op, q.Points2); err != nil {
+			return Result{}, err
+		}
+		r.pts2 = q.Points2
+	}
+	r.key = s.key(r, dsHash, haveDS)
+	return s.do(r)
+}
+
+// Query3D is Query2D for 3-d queries.
+func (s *Server) Query3D(ctx context.Context, q Query) (Result, error) {
+	const op = "serve.Query3D"
+	s.count(&s.queries, "queries_total")
+	r := &request{ctx: ctx, op: op, q: q, dim: 3, resp: make(chan response, 1)}
+	if q.Points2 != nil {
+		return Result{}, hullerr.New(hullerr.InvalidInput, op, "2-d points on the 3-d endpoint")
+	}
+	var dsHash hullhash.Sum
+	haveDS := false
+	switch {
+	case q.Dataset != "" && q.Points3 != nil:
+		return Result{}, hullerr.New(hullerr.InvalidInput, op, "both inline points and dataset %q", q.Dataset)
+	case q.Dataset != "":
+		d, ok := s.datasets[q.Dataset]
+		if !ok || d.Points3 == nil {
+			return Result{}, hullerr.New(hullerr.InvalidInput, op, "unknown 3-d dataset %q", q.Dataset)
+		}
+		if d.err != nil {
+			return Result{}, d.err
+		}
+		r.pts3, dsHash, haveDS = d.Points3, d.hash, true
+	default:
+		if err := hullerr.CheckFinite3D(op, q.Points3); err != nil {
+			return Result{}, err
+		}
+		r.pts3 = q.Points3
+	}
+	r.key = s.key(r, dsHash, haveDS)
+	return s.do(r)
+}
+
+// key builds the cache key: the points' content hash folded with every
+// query field that shapes the answer. The points always reduce to their
+// standalone content Sum first — precomputed for datasets, computed here
+// for inline slices — so a dataset query and an inline query carrying the
+// same points share a cache entry.
+func (s *Server) key(r *request, dsHash hullhash.Sum, haveDS bool) hullhash.Sum {
+	pts := dsHash
+	if !haveDS {
+		ph := hullhash.New()
+		if r.dim == 3 {
+			ph.Points3(r.pts3)
+		} else {
+			ph.Points2(r.pts2)
+		}
+		pts = ph.Sum()
+	}
+	h := hullhash.New()
+	h.Uint64(pts.Hi)
+	h.Uint64(pts.Lo)
+	h.Int(r.dim)
+	h.Int(int(r.q.Algo))
+	h.Uint64(r.q.Seed)
+	return h.Sum()
+}
+
+// do runs the shared caller path: cache lookup, deadline-aware admission,
+// then block on the executor's response (or the caller's context).
+func (s *Server) do(r *request) (Result, error) {
+	start := time.Now()
+	if s.cache != nil && !r.q.NoCache {
+		if res, ok := s.cache.get(r.key); ok {
+			s.count(&s.cacheHits, "cache_hits_total")
+			res.Cached = true
+			res.Elapsed = time.Since(start)
+			return res, nil
+		}
+		s.count(&s.cacheMisses, "cache_misses_total")
+	}
+	if err := r.ctx.Err(); err != nil {
+		s.count(&s.deadlineShed, "deadline_shed_total")
+		return Result{}, hullerr.FromContext(r.op, err)
+	}
+	r.enq = start
+	if err := s.submit(r); err != nil {
+		return Result{}, err
+	}
+	select {
+	case resp := <-r.resp:
+		if resp.err != nil {
+			return Result{}, resp.err
+		}
+		resp.res.Elapsed = time.Since(start)
+		return resp.res, nil
+	case <-r.ctx.Done():
+		// The executor will notice the dead context (or answer into the
+		// buffered channel, unobserved); either way the caller is done.
+		return Result{}, hullerr.FromContext(r.op, r.ctx.Err())
+	}
+}
+
+// execute runs one admitted request on a checked-out machine through the
+// resilient supervisor.
+func (s *Server) execute(m *pram.Machine, r *request) (Result, error) {
+	rnd := s.cfg.NewStream(r.q.Seed)
+	if r.dim == 3 {
+		out, rep, err := resilient.Hull3D(r.ctx, m, rnd, r.pts3, s.cfg.Policy)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{N: len(r.pts3), Facets: len(out.Facets), FacetOf: out.FacetOf, Report: rep}, nil
+	}
+	switch r.q.Algo {
+	case AlgoPresorted:
+		out, rep, err := resilient.PresortedHull(r.ctx, m, rnd, r.pts2, s.cfg.Policy)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{N: len(r.pts2), Chain: out.Chain, Edges: out.Edges, EdgeOf: out.EdgeOf, Report: rep}, nil
+	case AlgoLogStar:
+		out, rep, err := resilient.LogStarHull(r.ctx, m, rnd, r.pts2, s.cfg.Policy)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{N: len(r.pts2), Chain: out.Chain, Edges: out.Edges, EdgeOf: out.EdgeOf, Report: rep}, nil
+	default:
+		out, rep, err := resilient.Hull2D(r.ctx, m, rnd, r.pts2, s.cfg.Policy)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{N: len(r.pts2), Chain: out.Chain, Edges: out.Edges, EdgeOf: out.EdgeOf, Report: rep}, nil
+	}
+}

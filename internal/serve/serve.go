@@ -1,0 +1,299 @@
+// Package serve is the multi-tenant hull-query service: it multiplexes
+// many concurrent callers onto a bounded fleet of simulated PRAMs. The
+// substrate layers built before it — typed failure semantics
+// (internal/hullerr), the reseed-retry/degradation supervisor
+// (internal/resilient), phase-attributed metrics (internal/obs) and the
+// persistent worker-pool engine (internal/pram) — are each per-run
+// mechanisms; this package is what turns them into a service.
+//
+// The request path is batcher → admission → fleet → cache:
+//
+//   - Admission control. A bounded queue (Config.MaxQueue) is the only
+//     buffer between callers and machines. When it is full the request is
+//     shed immediately with the typed hullerr.ErrOverload instead of
+//     queueing without bound — under sustained overload an unbounded
+//     queue only converts overload into timeouts. Shedding is
+//     deadline-aware twice: a request whose context is already done is
+//     rejected before it queues, and a queued request whose deadline
+//     expired while it waited is answered with the typed deadline error
+//     without spending any machine time on it.
+//
+//   - Micro-batching. Executors (one per fleet machine) drain the queue
+//     in batches: after picking up a request, an executor greedily
+//     collects up to Config.MaxBatch more, waiting at most
+//     Config.BatchWindow for stragglers, and runs the whole batch on one
+//     machine checkout. For the small queries that dominate
+//     high-query-rate traffic this keeps each machine's persistent worker
+//     pool warm and busy instead of paying checkout/wake churn per query
+//     — the serving-layer echo of the paper's work-optimality theme
+//     (Theorem 5, Lemma 7): keep the processors you have saturated.
+//     Large queries (≥ Config.BypassBatchN points) are never held back by
+//     the window; they dispatch solo, immediately.
+//
+//   - Fleet. Machines come from a pram.Fleet; a batch holds exactly one
+//     checkout. Queries execute through the same internal/resilient
+//     supervisor the public Run2D/Run3D API uses — cancellation
+//     propagation, reseeded retries, sequential degradation ladder — so
+//     the service inherits the "correct hull or typed error" contract.
+//
+//   - Result cache. A size-bounded LRU keyed by a 128-bit content hash
+//     (internal/hullhash) of the points plus the query configuration.
+//     Named preloaded datasets (Config.Datasets) hash once at
+//     registration, so repeated queries against a shared immutable point
+//     set — the read-only serving setting De–Nandy–Roy's limited-workspace
+//     model motivates — cost O(1) per hit. Hit/miss/eviction counters
+//     flow into the internal/obs Prometheus exporter.
+//
+// Every query terminates in exactly one of: a result, a typed overload
+// error, or a typed context error. The soak test (soak_test.go) floods
+// the server past its admission limit under deterministic fault injection
+// and leak-checks that contract under the race detector.
+package serve
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"inplacehull/internal/geom"
+	"inplacehull/internal/hullerr"
+	"inplacehull/internal/hullhash"
+	"inplacehull/internal/obs"
+	"inplacehull/internal/pram"
+	"inplacehull/internal/resilient"
+	"inplacehull/internal/rng"
+)
+
+// Config tunes the server. The zero value serves with defaults: a small
+// fleet, batching on, cache off.
+type Config struct {
+	// FleetSize is the number of pooled machines (and executors). Default
+	// min(GOMAXPROCS, 4).
+	FleetSize int
+	// Workers is the worker-pool width of each fleet machine. Default
+	// GOMAXPROCS.
+	Workers int
+	// ParallelThreshold, when > 0, pins each machine's dispatch threshold
+	// (pram.WithParallelThreshold) — tests use it for determinism.
+	ParallelThreshold int
+	// MaxQueue bounds the admission queue; a full queue sheds with the
+	// typed overload error. Default 256.
+	MaxQueue int
+	// MaxBatch caps queries per machine dispatch. 1 disables coalescing
+	// (every query is its own checkout). Default 32.
+	MaxBatch int
+	// BatchWindow is how long an executor holds a non-full batch open for
+	// stragglers. 0 means batches only coalesce what is already queued.
+	// Default 200µs.
+	BatchWindow time.Duration
+	// BypassBatchN: queries with at least this many points dispatch solo
+	// without waiting out the window. Default 8192.
+	BypassBatchN int
+	// CacheSize bounds the result LRU in entries; 0 disables caching.
+	CacheSize int
+	// Policy tunes the resilient supervisor every query runs under.
+	Policy resilient.Policy
+	// Metrics, when non-nil, receives the serving counters
+	// (inplacehull_serve_*) for the Prometheus exporter.
+	Metrics *obs.Metrics
+	// Datasets are named preloaded point sets servable by name. Their
+	// content hashes are precomputed at NewServer, so a dataset query's
+	// cache key costs O(1) regardless of dataset size.
+	Datasets map[string]Dataset
+	// NewStream builds the random stream for a query seed. Default
+	// rng.New; the fault-injection soak overrides it to attach a
+	// deterministic injector payload (fault.Attach).
+	NewStream func(seed uint64) *rng.Stream
+}
+
+func (c *Config) fill() {
+	if c.FleetSize <= 0 {
+		c.FleetSize = runtime.GOMAXPROCS(0)
+		if c.FleetSize > 4 {
+			c.FleetSize = 4
+		}
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 256
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 32
+	}
+	if c.BatchWindow == 0 {
+		c.BatchWindow = 200 * time.Microsecond
+	}
+	if c.BatchWindow < 0 {
+		c.BatchWindow = 0
+	}
+	if c.BypassBatchN <= 0 {
+		c.BypassBatchN = 8192
+	}
+	if c.NewStream == nil {
+		c.NewStream = rng.New
+	}
+}
+
+// Dataset is a named preloaded point set (2-d or 3-d, exactly one).
+type Dataset struct {
+	Points2 []geom.Point
+	Points3 []geom.Point3
+}
+
+// dataset is the resolved registration: points plus their one-time hash
+// and one-time validation — dataset queries skip the O(n) per-query
+// finiteness check, which is what makes their cache-hit path O(1).
+type dataset struct {
+	Dataset
+	hash hullhash.Sum
+	err  error // non-nil: registration-time validation failed
+}
+
+// Stats is a point-in-time snapshot of the serving counters.
+type Stats struct {
+	Queries, Admitted, Shed, DeadlineShed  int64
+	Completed, Errors                      int64
+	CacheHits, CacheMisses, CacheEvictions int64
+	Batches, BatchedQueries                int64
+}
+
+// Server is the hull-query service. Create with NewServer, stop with
+// Close; Query2D/Query3D are safe for arbitrary concurrent use.
+type Server struct {
+	cfg      Config
+	fleet    *pram.Fleet
+	cache    *lruCache
+	datasets map[string]*dataset
+
+	queue chan *request
+	stop  chan struct{}
+	wg    sync.WaitGroup
+
+	mu     sync.RWMutex // closed-flag handshake between submit and Close
+	closed bool
+
+	queries, admitted, shed, deadlineShed  atomic.Int64
+	completed, errors                      atomic.Int64
+	cacheHits, cacheMisses, cacheEvictions atomic.Int64
+	batches, batchedQueries                atomic.Int64
+}
+
+// NewServer builds and starts a server: fleet machines are created idle
+// and one executor goroutine per machine begins draining the queue.
+func NewServer(cfg Config) *Server {
+	cfg.fill()
+	opts := []pram.Option{pram.WithWorkers(cfg.Workers)}
+	if cfg.ParallelThreshold > 0 {
+		opts = append(opts, pram.WithParallelThreshold(cfg.ParallelThreshold))
+	}
+	s := &Server{
+		cfg:      cfg,
+		fleet:    pram.NewFleet(cfg.FleetSize, opts...),
+		datasets: make(map[string]*dataset, len(cfg.Datasets)),
+		queue:    make(chan *request, cfg.MaxQueue),
+		stop:     make(chan struct{}),
+	}
+	if cfg.CacheSize > 0 {
+		s.cache = newLRU(cfg.CacheSize, func() {
+			s.count(&s.cacheEvictions, "cache_evictions_total")
+		})
+	}
+	for name, d := range cfg.Datasets {
+		h := hullhash.New()
+		var err error
+		if d.Points3 != nil {
+			h.Points3(d.Points3)
+			err = hullerr.CheckFinite3D("serve.NewServer", d.Points3)
+		} else {
+			h.Points2(d.Points2)
+			err = hullerr.CheckFinite2D("serve.NewServer", d.Points2)
+		}
+		s.datasets[name] = &dataset{Dataset: d, hash: h.Sum(), err: err}
+	}
+	for i := 0; i < cfg.FleetSize; i++ {
+		s.wg.Add(1)
+		go s.executor()
+	}
+	return s
+}
+
+// count bumps one serving counter and mirrors it into the metrics
+// exporter when one is configured.
+func (s *Server) count(c *atomic.Int64, name string) {
+	c.Add(1)
+	s.cfg.Metrics.ServeCounterAdd(name, 1)
+}
+
+// Stats snapshots the counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Queries: s.queries.Load(), Admitted: s.admitted.Load(),
+		Shed: s.shed.Load(), DeadlineShed: s.deadlineShed.Load(),
+		Completed: s.completed.Load(), Errors: s.errors.Load(),
+		CacheHits: s.cacheHits.Load(), CacheMisses: s.cacheMisses.Load(),
+		CacheEvictions: s.cacheEvictions.Load(),
+		Batches:        s.batches.Load(), BatchedQueries: s.batchedQueries.Load(),
+	}
+}
+
+// Datasets lists the registered dataset names (unordered).
+func (s *Server) Datasets() []string {
+	names := make([]string, 0, len(s.datasets))
+	for n := range s.datasets {
+		names = append(names, n)
+	}
+	return names
+}
+
+// submit enqueues an admitted request, or sheds it. It holds the read
+// half of the close handshake so a request can never slip into the queue
+// after Close's executors have drained it.
+func (s *Server) submit(r *request) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return hullerr.New(hullerr.Overloaded, r.op, "server closed")
+	}
+	select {
+	case s.queue <- r:
+		s.count(&s.admitted, "admitted_total")
+		return nil
+	default:
+		s.count(&s.shed, "shed_total")
+		return hullerr.New(hullerr.Overloaded, r.op, "admission queue full (%d pending)", s.cfg.MaxQueue)
+	}
+}
+
+// Close stops the server: no new queries are admitted (they shed with the
+// typed overload error), executors finish the batches they hold and
+// answer everything still queued with the overload error, and the machine
+// fleet is retired. Cache hits are still served after Close — a lookup is
+// read-only and needs no machine; only queries that would compute shed.
+// Idempotent; safe to call concurrently with queries.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.stop)
+	s.wg.Wait()
+	// Executors drained the queue on their way out; by now nothing can
+	// enqueue (closed flipped under the write lock), so this sweep is a
+	// belt-and-braces no-op unless an executor exited between a peer's
+	// drain and a straggler... which the handshake forbids. Keep it cheap.
+	for {
+		select {
+		case r := <-s.queue:
+			r.respond(Result{}, hullerr.New(hullerr.Overloaded, r.op, "server closed"))
+		default:
+			s.fleet.Close()
+			return
+		}
+	}
+}
