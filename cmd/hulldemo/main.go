@@ -11,6 +11,8 @@
 //	hulldemo -algo hull2d -n 100000 -timeout 2s          # supervised, with deadline
 //	hulldemo -algo hull3d -retries 5                     # supervised, 5 extra attempts
 //	hulldemo -algo hull2d -trace out.json                # Chrome trace-event timeline
+//	hulldemo -algo hull2d -flip-prob 0.1                 # noisy predicates, voted recovery
+//	hulldemo -algo hull2d -flip-prob 0.3 -approx-eps .01 # approximate degradation tier armed
 //	printf '0 0\n1 2\n2 1\n' | hulldemo -algo hull2d -stdin
 package main
 
@@ -23,6 +25,8 @@ import (
 	"time"
 
 	"inplacehull"
+	"inplacehull/internal/fault"
+	"inplacehull/internal/rng"
 	"inplacehull/internal/viz"
 	"inplacehull/internal/workload"
 )
@@ -35,11 +39,28 @@ import (
 type supCfg struct {
 	timeout   time.Duration
 	retries   int
+	flipProb  float64
+	approxEps float64
 	tracePath string
 	trace     *inplacehull.Trace
 }
 
-func (s supCfg) enabled() bool { return s.timeout > 0 || s.retries > 0 }
+func (s supCfg) enabled() bool {
+	return s.timeout > 0 || s.retries > 0 || s.flipProb > 0 || s.approxEps > 0
+}
+
+// stream builds the run's random stream; with -flip-prob set it carries a
+// predicate-flip fault plan, which the supervisor both injects from and
+// reads back as the noise model for its voted noisy-resilient tier.
+func (s supCfg) stream(seed uint64) *inplacehull.Rand {
+	if s.flipProb <= 0 {
+		return inplacehull.NewRand(seed)
+	}
+	var plan fault.Plan
+	plan.Seed = seed
+	plan.Rates[fault.PredicateFlip] = s.flipProb
+	return fault.Attach(rng.New(seed), fault.NewInjector(plan))
+}
 
 // config assembles the RunConfig shared by the 2-d and 3-d paths.
 func (s *supCfg) config() inplacehull.RunConfig {
@@ -87,12 +108,19 @@ func (s supCfg) policy() inplacehull.Policy {
 	if s.retries > 0 {
 		pol.MaxAttempts = s.retries + 1
 	}
+	pol.ApproxEps = s.approxEps
 	return pol
 }
 
 func printReport(rep inplacehull.RunReport) {
 	fmt.Printf("attempts       %d\n", rep.Attempts)
 	fmt.Printf("result tier    %s\n", rep.Tier)
+	if rep.Tier == inplacehull.TierNoisy && rep.Votes > 0 {
+		fmt.Printf("vote schedule  %d per predicate\n", rep.Votes)
+	}
+	if rep.Tier == inplacehull.TierApproximate {
+		fmt.Printf("certified eps  %g\n", rep.ApproxEps)
+	}
 }
 
 func main() {
@@ -108,9 +136,11 @@ func main() {
 		timeout = flag.Duration("timeout", 0, "supervised run deadline (0 = none; implies the resilient layer)")
 		retries = flag.Int("retries", 0, "extra randomized attempts before degrading to the sequential baseline (implies the resilient layer)")
 		tracef  = flag.String("trace", "", "write a Chrome trace-event JSON timeline of the run to this file")
+		flipP   = flag.Float64("flip-prob", 0, "inject predicate flips at this probability; the supervisor recovers via the voted noisy tier (implies the resilient layer)")
+		apxEps  = flag.Float64("approx-eps", 0, "arm the certified approximate degradation tier at this tolerance, relative to the bbox diagonal (implies the resilient layer)")
 	)
 	flag.Parse()
-	sup := supCfg{timeout: *timeout, retries: *retries, tracePath: *tracef}
+	sup := supCfg{timeout: *timeout, retries: *retries, flipProb: *flipP, approxEps: *apxEps, tracePath: *tracef}
 
 	switch *algo {
 	case "hull3d", "incremental3d", "giftwrap3d":
@@ -175,7 +205,7 @@ func run2D(algo string, seed uint64, pts []inplacehull.Point, show int, sup *sup
 		ctx, cancel := sup.ctx()
 		defer cancel()
 		m := inplacehull.NewMachine()
-		res, rep, err := inplacehull.Run2D(ctx, m, inplacehull.NewRand(seed), input, cfg)
+		res, rep, err := inplacehull.Run2D(ctx, m, sup.stream(seed), input, cfg)
 		if err != nil {
 			fatalf("%v", err)
 		}
@@ -227,7 +257,7 @@ func run3D(algo string, seed uint64, pts []inplacehull.Point3, show int, sup *su
 		m := inplacehull.NewMachine()
 		ctx, cancel := sup.ctx()
 		defer cancel()
-		res, rep, err := inplacehull.Run3D(ctx, m, inplacehull.NewRand(seed), pts, sup.config())
+		res, rep, err := inplacehull.Run3D(ctx, m, sup.stream(seed), pts, sup.config())
 		if err != nil {
 			fatalf("%v", err)
 		}

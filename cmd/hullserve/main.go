@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"inplacehull/internal/obs"
+	"inplacehull/internal/resilient"
 	"inplacehull/internal/serve"
 	"inplacehull/internal/workload"
 )
@@ -51,6 +52,7 @@ func main() {
 		window   = flag.Duration("window", 200*time.Microsecond, "how long a lone small query holds its batch open for stragglers")
 		cache    = flag.Int("cache", 1024, "result-cache entries; 0 disables caching")
 		datasets = flag.String("datasets", "disk:4096,circle:4096,ball:4096", "comma-separated kind:n dataset specs to preload (empty for none)")
+		approx   = flag.Float64("approx-eps", 0, "server-default approximate-tier tolerance (relative to bbox diagonal); 0 keeps the tier off unless a query opts in via approx_eps")
 	)
 	flag.Parse()
 
@@ -69,6 +71,7 @@ func main() {
 		CacheSize:   *cache,
 		Metrics:     obs.NewMetrics(),
 		Datasets:    ds,
+		Policy:      resilient.Policy{ApproxEps: *approx},
 	})
 
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}

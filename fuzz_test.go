@@ -7,6 +7,8 @@ import (
 	"math"
 	"testing"
 
+	"inplacehull/internal/approx"
+	"inplacehull/internal/hull2d"
 	"inplacehull/internal/unsorted"
 	"inplacehull/internal/workload"
 )
@@ -134,6 +136,63 @@ func FuzzPresortedHull(f *testing.F) {
 			Edges: res.Edges, Chain: res.Chain, EdgeOf: res.EdgeOf,
 		}); verr != nil {
 			t.Fatalf("oracle rejected hull of sorted projection: %v", verr)
+		}
+	})
+}
+
+// FuzzNoisyScanParity: the metamorphic anchor of the noisy-resilient
+// tier on arbitrary inputs — the voted monotone scan with a flip-free
+// oracle must match the exact scan bit for bit, for any vote schedule.
+func FuzzNoisyScanParity(f *testing.F) {
+	corpus2D(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pts := decodePoints(data)
+		if hasNonFinite(pts) {
+			return // the raw scans require finite inputs (validated upstream)
+		}
+		votes := 1
+		if len(data) > 0 {
+			votes = int(data[0]%5)*2 + 1 // 1..9, odd
+		}
+		o := &NoisyOracle{Flip: func() bool { return false }, Votes: votes}
+		want := hull2d.UpperHull(pts)
+		got := hull2d.UpperHullOracle(pts, o)
+		if len(got) != len(want) {
+			t.Fatalf("voted scan: %d vertices, exact scan %d (%d points, %d votes)",
+				len(got), len(want), len(pts), votes)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("voted scan vertex %d = %v, exact %v", i, got[i], want[i])
+			}
+		}
+	})
+}
+
+// FuzzApproxCertificate: the approximate tier's certificate must be
+// honest on arbitrary finite inputs — the re-derived certificate agrees
+// and every input point (hence every exact hull vertex) lies within the
+// certified ε above the returned chain.
+func FuzzApproxCertificate(f *testing.F) {
+	corpus2D(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pts := decodePoints(data)
+		if hasNonFinite(pts) || len(pts) == 0 {
+			return
+		}
+		eps := []float64{0.01, 0.05, 0.2}[len(data)%3]
+		a, err := approx.Upper2D(pts, eps, nil)
+		if err != nil {
+			if !IsTyped(err) {
+				t.Fatalf("untyped error from the approximate tier: %v", err)
+			}
+			return
+		}
+		if err := approx.Check2D(pts, a); err != nil {
+			t.Fatalf("certificate re-check failed on %d points: %v", len(pts), err)
+		}
+		if !a.Met() {
+			t.Fatalf("exact-oracle approximation missed its tolerance: eps=%g tol=%g", a.Eps, a.Tol)
 		}
 	})
 }

@@ -111,6 +111,11 @@ const (
 	// ErrKindOverloaded: the serving layer (internal/serve, cmd/hullserve)
 	// shed the request — admission queue full or server closed. Retryable.
 	ErrKindOverloaded = hullerr.Overloaded
+	// ErrKindApproximateOnly: the caller demanded an exact answer
+	// (Policy.RequireExact, or require_exact on the wire) but every exact
+	// tier failed and only the certified ε-approximate tier could answer.
+	// Retrying without the exactness demand would succeed.
+	ErrKindApproximateOnly = hullerr.ApproximateOnly
 )
 
 // Sentinel errors for errors.Is matching (kind-based).
@@ -132,6 +137,9 @@ var (
 	// ErrOverload matches admission-control shedding from the serving
 	// layer; callers should back off and retry.
 	ErrOverload = hullerr.ErrOverload
+	// ErrApproximateOnly matches the refusal issued when exactness is
+	// demanded but only the approximate degradation tier survives.
+	ErrApproximateOnly = hullerr.ErrApproximateOnly
 )
 
 // IsTyped reports whether err is (or wraps) a typed *Error — the guarantee
@@ -233,18 +241,38 @@ type (
 	// budget-escalation base 2, ladder enabled).
 	Policy = resilient.Policy
 	// RunReport is the supervisor's account of one run: attempts, tier,
-	// cumulative PRAM cost across attempts.
+	// cumulative PRAM cost across attempts (plus the vote schedule and
+	// certified ε when the noisy or approximate tiers answered).
 	RunReport = resilient.Report
 	// ResultTier identifies the degradation-ladder rung that produced a
 	// supervised result.
 	ResultTier = resilient.Tier
+	// NoisyPolicy opts the supervisor into the noisy-resilient tier with an
+	// explicit flip-probability model and majority-vote schedule
+	// (Policy.Noisy); see internal/geom.NoisyOracle for the primitive model.
+	NoisyPolicy = resilient.NoisyPolicy
+	// NoisyOracle evaluates the geometric primitives under the
+	// Goodrich–Sridhar noisy-primitive model: each invocation repeats the
+	// base predicate an odd number of times and takes the majority vote.
+	NoisyOracle = geom.NoisyOracle
 )
+
+// VotesFor returns the smallest odd repetition count that drives a
+// majority vote of primitives flipping with probability p (< 1/2) below
+// failure probability delta per invocation (Hoeffding bound).
+func VotesFor(p, delta float64) int { return geom.VotesFor(p, delta) }
 
 // Degradation-ladder tiers, reported in RunReport.Tier.
 const (
 	// TierRandomized: the randomized parallel algorithm succeeded
 	// (possibly after reseeded retries).
 	TierRandomized = resilient.TierRandomized
+	// TierNoisy: the noisy-resilient baseline answered — voted predicates
+	// under the modeled flip probability, result checked exactly.
+	TierNoisy = resilient.TierNoisy
+	// TierApproximate: the certified ε-approximate tier answered; the
+	// report's ApproxEps carries the a-posteriori certified bound.
+	TierApproximate = resilient.TierApproximate
 	// TierSequential: the deterministic sequential baseline answered.
 	TierSequential = resilient.TierSequential
 	// TierDegenerate: the last-resort 3-d degenerate-cap construction.

@@ -47,9 +47,16 @@ const (
 	// O(n log n)-work fallback at a chosen recursion level (see
 	// Plan.FallbackLevel).
 	ForceFallback
+	// PredicateFlip corrupts one geometric primitive evaluation — the
+	// Goodrich–Sridhar noisy-primitive model, in which every orientation
+	// or comparison test errs with constant probability. Unlike the five
+	// paper-named sites above, it is consulted not by the PRAM procedures
+	// but by geom.NoisyOracle (via Injector.Flipper), once per predicate
+	// evaluation of the noisy-resilient and approximate ladder rungs.
+	PredicateFlip
 
 	// NumSites is the number of injection sites.
-	NumSites = int(ForceFallback) + 1
+	NumSites = int(PredicateFlip) + 1
 )
 
 // String names the site.
@@ -65,6 +72,8 @@ func (s Site) String() string {
 		return "vote-skew"
 	case ForceFallback:
 		return "force-fallback"
+	case PredicateFlip:
+		return "predicate-flip"
 	default:
 		return fmt.Sprintf("site(%d)", int(s))
 	}
@@ -152,6 +161,26 @@ func (in *Injector) ForceFallbackAt(level int) bool {
 	}
 	in.hits[ForceFallback].Add(1)
 	return true
+}
+
+// Flipper adapts the injector to geom.NoisyOracle's noise-source contract:
+// a per-evaluation corruption decision. It returns nil when the injector
+// is nil or the plan never flips predicates, so the oracle stays on its
+// exact fast path (and pays no consultation) in fault-free runs.
+func (in *Injector) Flipper() func() bool {
+	if in == nil || in.plan.Rates[PredicateFlip] <= 0 {
+		return nil
+	}
+	return func() bool { return in.Hit(PredicateFlip) }
+}
+
+// Rate reports the plan's injection probability for site s — the error
+// budget the Goodrich–Sridhar repetition schedule is sized from.
+func (in *Injector) Rate(s Site) float64 {
+	if in == nil {
+		return 0
+	}
+	return in.plan.Rates[s]
 }
 
 // Counts returns the per-site occurrence records.

@@ -157,3 +157,53 @@ func TestAttachOnRoundTrip(t *testing.T) {
 		t.Fatal("On(nil) non-nil")
 	}
 }
+
+// TestFlipperContract: the noise-source adapter is nil exactly when no
+// predicate flips can fire, and otherwise consults the PredicateFlip site
+// once per call at the plan's rate.
+func TestFlipperContract(t *testing.T) {
+	var nilInj *Injector
+	if nilInj.Flipper() != nil {
+		t.Fatal("nil injector produced a flipper")
+	}
+	if NewInjector(Plan{Seed: 5}).Flipper() != nil {
+		t.Fatal("zero-rate plan produced a flipper")
+	}
+	var plan Plan
+	plan.Seed = 11
+	plan.Rates[PredicateFlip] = 0.2
+	in := NewInjector(plan)
+	flip := in.Flipper()
+	if flip == nil {
+		t.Fatal("positive-rate plan produced no flipper")
+	}
+	const trials = 20000
+	fired := 0
+	for i := 0; i < trials; i++ {
+		if flip() {
+			fired++
+		}
+	}
+	c := in.Counts()[PredicateFlip]
+	if c.Seen != trials || int(c.Injected) != fired {
+		t.Fatalf("counts %+v after %d calls (%d fired)", c, trials, fired)
+	}
+	rate := float64(fired) / trials
+	if rate < 0.17 || rate > 0.23 {
+		t.Fatalf("empirical flip rate %.4f for Rates=0.2", rate)
+	}
+}
+
+func TestRateAccessor(t *testing.T) {
+	var nilInj *Injector
+	if nilInj.Rate(PredicateFlip) != 0 {
+		t.Fatal("nil injector reported a rate")
+	}
+	var plan Plan
+	plan.Rates[PredicateFlip] = 0.1
+	plan.Rates[LPTimeout] = 0.5
+	in := NewInjector(plan)
+	if in.Rate(PredicateFlip) != 0.1 || in.Rate(LPTimeout) != 0.5 || in.Rate(SampleStorm) != 0 {
+		t.Fatal("Rate accessor disagrees with the plan")
+	}
+}

@@ -1,0 +1,288 @@
+// Noisy-primitive soak: experiment E19's harness. The batch pins the
+// predicate-flip rate to a chosen p across an otherwise-standard chaos
+// batch and runs every scenario through the resilient supervisor with the
+// approximate degradation tier armed. The contract under test is the
+// ladder's labeling guarantee: every response is an exact hull the oracle
+// accepts, a certified ε-approximate hull labeled as such (and actually
+// within its declared ε), or a typed error — never a silently wrong
+// answer at any tier.
+package soak
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"inplacehull/internal/fault"
+	"inplacehull/internal/geom"
+	"inplacehull/internal/hullerr"
+	"inplacehull/internal/pram"
+	"inplacehull/internal/presorted"
+	"inplacehull/internal/resilient"
+	"inplacehull/internal/rng"
+	"inplacehull/internal/unsorted"
+	"inplacehull/internal/workload"
+)
+
+// AlgoOptimal extends the soak rotation for E19: the §2.6 schedule runs
+// direct-only (no supervised variant), so in the noisy batch it asserts
+// the exact half of the contract — flips never corrupt a raw run, because
+// the raw algorithms evaluate their predicates exactly and only the
+// supervisor's noisy/approximate rungs consult the flip site.
+const AlgoOptimal = "optimal"
+
+// NoisyAlgos is the E19 rotation: the four supervised algorithms plus the
+// direct-only §2.6 schedule.
+var NoisyAlgos = []string{AlgoHull2D, AlgoHull3D, AlgoPresorted, AlgoLogStar, AlgoOptimal}
+
+// NoisySummary aggregates an E19 batch at one flip rate.
+type NoisySummary struct {
+	FlipProb  float64
+	Scenarios int
+	// ByTier counts successful responses per degradation-ladder tier
+	// ("randomized", "noisy", "approximate", "sequential", "degenerate",
+	// and "direct" for the unsupervised optimal runs).
+	ByTier map[string]int
+	// TypedErrors counts acceptable surrenders; ExactOK and ApproxOK the
+	// verified successes by label.
+	TypedErrors, ExactOK, ApproxOK int
+	// MaxCertEps is the largest certified ε any approximate response
+	// carried; MaxVotes the largest per-predicate vote schedule used.
+	MaxCertEps float64
+	MaxVotes   int
+	// Failures holds every contract violation: an exact-labeled response
+	// the oracle rejected, an approximate response outside its declared ε,
+	// an untyped error, or a panic.
+	Failures []Record
+}
+
+// Bad reports whether the labeling contract was violated.
+func (s *NoisySummary) Bad() bool { return len(s.Failures) > 0 }
+
+// NoisyScenarios derives count E19 scenarios: the standard chaos plans
+// (same master-seed derivation as Scenarios, so paper-site poisoning and
+// workloads rotate identically) with the flip rate pinned to p and the
+// algorithm rotation widened to NoisyAlgos.
+func NoisyScenarios(master uint64, count int, p float64) []Scenario {
+	out := Scenarios(master, count)
+	for i := range out {
+		out[i].Algo = NoisyAlgos[i%len(NoisyAlgos)]
+		// The widened rotation can land a 3-d slot on a scenario the base
+		// rotation drew a 2-d workload for (and vice versa); re-derive the
+		// workload from the scenario seed when the dimensions disagree.
+		if out[i].Algo == AlgoHull3D {
+			if _, ok := gen3D(out[i].Gen); !ok {
+				s := rng.New(out[i].Seed ^ 0xE19)
+				g := workload.Gens3D[s.Intn(len(workload.Gens3D))]
+				out[i].Gen, out[i].N = g.Name, n3DMenu[s.Intn(len(n3DMenu))]
+			}
+		} else if _, ok := gen2D(out[i].Gen); !ok {
+			s := rng.New(out[i].Seed ^ 0xE19)
+			g := workload.Gens2D[s.Intn(len(workload.Gens2D))]
+			out[i].Gen, out[i].N = g.Name, n2DMenu[s.Intn(len(n2DMenu))]
+		}
+		out[i].Plan.Rates[fault.PredicateFlip] = p
+	}
+	return out
+}
+
+// RunScenarioNoisy executes one E19 scenario and classifies it under the
+// tier-aware contract. Exact-labeled responses must pass the exact
+// oracle; approximate-labeled responses must cover every input point
+// within the certified ε (the exact hull's vertices are input points, so
+// this bounds the vertical Hausdorff distance to the exact hull).
+func RunScenarioNoisy(sc Scenario, pol resilient.Policy) (rec Record, rep resilient.Report) {
+	rec.Scenario = sc
+	inj := fault.NewInjector(sc.Plan)
+	defer func() {
+		rec.Counts = inj.Counts()
+		if r := recover(); r != nil {
+			rec.Outcome = Panicked
+			rec.Detail = fmt.Sprint(r)
+		}
+	}()
+	m := pram.New(pram.WithWorkers(1))
+	rnd := fault.Attach(rng.New(sc.Seed), inj)
+	ctx := context.Background()
+	classify := func(err error, verify func() error) {
+		if err != nil {
+			rec.Detail = err.Error()
+			if hullerr.IsTyped(err) {
+				rec.Outcome = TypedError
+			} else {
+				rec.Outcome = UntypedError
+			}
+			return
+		}
+		if verr := verify(); verr != nil {
+			rec.Outcome = WrongAnswer
+			rec.Detail = verr.Error()
+			return
+		}
+		rec.Outcome = OK
+	}
+	switch sc.Algo {
+	case AlgoHull3D:
+		g, ok := gen3D(sc.Gen)
+		if !ok {
+			rec.Outcome, rec.Detail = UntypedError, "unknown generator "+sc.Gen
+			return rec, rep
+		}
+		pts := g.Gen(sc.Seed, sc.N)
+		res, r, err := resilient.Hull3D(ctx, m, rnd, pts, pol)
+		rep = r
+		classify(err, func() error {
+			if rep.Tier == resilient.TierApproximate {
+				return approxCover3D(pts, res, rep.ApproxEps)
+			}
+			return unsorted.CheckCaps3D(pts, res)
+		})
+	case AlgoHull2D, AlgoPresorted, AlgoLogStar:
+		g, ok := gen2D(sc.Gen)
+		if !ok {
+			rec.Outcome, rec.Detail = UntypedError, "unknown generator "+sc.Gen
+			return rec, rep
+		}
+		var res unsorted.Result2D
+		var err error
+		var pts []geom.Point
+		if sc.Algo == AlgoHull2D {
+			pts = g.Gen(sc.Seed, sc.N)
+			res, rep, err = resilient.Hull2D(ctx, m, rnd, pts, pol)
+		} else {
+			pts = prepSorted(g.Gen(sc.Seed, sc.N))
+			run := resilient.PresortedHull
+			if sc.Algo == AlgoLogStar {
+				run = resilient.LogStarHull
+			}
+			var pr presorted.Result
+			pr, rep, err = run(ctx, m, rnd, pts, pol)
+			res = unsorted.Result2D{Edges: pr.Edges, Chain: pr.Chain, EdgeOf: pr.EdgeOf}
+		}
+		classify(err, func() error {
+			if rep.Tier == resilient.TierApproximate {
+				return approxCover2D(pts, res.Chain, rep.ApproxEps)
+			}
+			return unsorted.CheckAgainstReference(pts, res)
+		})
+	case AlgoOptimal:
+		g, ok := gen2D(sc.Gen)
+		if !ok {
+			rec.Outcome, rec.Detail = UntypedError, "unknown generator "+sc.Gen
+			return rec, rep
+		}
+		pts := prepSorted(g.Gen(sc.Seed, sc.N))
+		r, err := presorted.Optimal(m, rnd, pts)
+		classify(err, func() error {
+			return unsorted.CheckAgainstReference(pts, unsorted.Result2D{
+				Edges: r.Result.Edges, Chain: r.Result.Chain, EdgeOf: r.Result.EdgeOf,
+			})
+		})
+	default:
+		rec.Outcome, rec.Detail = UntypedError, "unknown algorithm "+sc.Algo
+	}
+	return rec, rep
+}
+
+// approxCover2D checks the declared-ε contract of a 2-d approximate
+// answer: every input point lies at most eps (plus float slack) above the
+// chain. The chain's vertices are input points, so the chain never rises
+// above the exact hull; together the two directions bound the vertical
+// Hausdorff distance between approximate and exact hulls by eps.
+func approxCover2D(pts, chain []geom.Point, eps float64) error {
+	if len(pts) == 0 {
+		return nil
+	}
+	if len(chain) == 0 {
+		return fmt.Errorf("approximate answer has an empty chain for %d points", len(pts))
+	}
+	slack := eps*1e-9 + 1e-12
+	for i, p := range pts {
+		y, ok := chainYAt(chain, p.X)
+		if !ok {
+			return fmt.Errorf("point %d (x=%g) outside the chain's x-range", i, p.X)
+		}
+		if p.Y-y > eps+slack {
+			return fmt.Errorf("point %d is %g above the approximate chain, certified eps %g", i, p.Y-y, eps)
+		}
+	}
+	return nil
+}
+
+// chainYAt interpolates the chain's height at x (chain sorted by x).
+func chainYAt(chain []geom.Point, x float64) (float64, bool) {
+	if x < chain[0].X || x > chain[len(chain)-1].X {
+		return 0, false
+	}
+	lo, hi := 0, len(chain)-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if chain[mid].X <= x {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	a, b := chain[lo], chain[hi]
+	if a.X == b.X || x == a.X {
+		return math.Max(a.Y, b.Y), true
+	}
+	t := (x - a.X) / (b.X - a.X)
+	return a.Y + t*(b.Y-a.Y), true
+}
+
+// approxCover3D checks the declared-ε contract of a 3-d approximate
+// answer: every point rises at most eps (plus float slack) above its
+// assigned facet plane, i.e. the facet covers it to within eps
+// vertically. Exact upper-hull vertices are input points, bounding the
+// vertical Hausdorff distance as in 2-d.
+func approxCover3D(pts []geom.Point3, res unsorted.Result3D, eps float64) error {
+	if len(res.FacetOf) != len(pts) {
+		return fmt.Errorf("FacetOf has %d entries for %d points", len(res.FacetOf), len(pts))
+	}
+	slack := eps*1e-9 + 1e-12
+	for i, p := range pts {
+		fi := res.FacetOf[i]
+		if fi < 0 || fi >= len(res.Facets) {
+			return fmt.Errorf("point %d assigned facet %d of %d", i, fi, len(res.Facets))
+		}
+		if d := p.Z - res.Facets[fi].ValueAt(p.X, p.Y); d > eps+slack {
+			return fmt.Errorf("point %d is %g above its facet plane, certified eps %g", i, d, eps)
+		}
+	}
+	return nil
+}
+
+// NoisySoak runs count E19 scenarios at flip rate p under pol and
+// aggregates the tier-aware classification.
+func NoisySoak(master uint64, count int, p float64, pol resilient.Policy) NoisySummary {
+	sum := NoisySummary{FlipProb: p, ByTier: map[string]int{}}
+	for _, sc := range NoisyScenarios(master, count, p) {
+		rec, rep := RunScenarioNoisy(sc, pol)
+		sum.Scenarios++
+		switch {
+		case rec.Outcome == TypedError:
+			sum.TypedErrors++
+		case rec.Outcome == OK:
+			tier := rep.Tier.String()
+			if sc.Algo == AlgoOptimal {
+				tier = "direct"
+			}
+			sum.ByTier[tier]++
+			if sc.Algo != AlgoOptimal && rep.Tier == resilient.TierApproximate {
+				sum.ApproxOK++
+				if rep.ApproxEps > sum.MaxCertEps {
+					sum.MaxCertEps = rep.ApproxEps
+				}
+			} else {
+				sum.ExactOK++
+			}
+			if rep.Votes > sum.MaxVotes {
+				sum.MaxVotes = rep.Votes
+			}
+		default:
+			sum.Failures = append(sum.Failures, rec)
+		}
+	}
+	return sum
+}

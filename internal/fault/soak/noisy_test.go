@@ -1,0 +1,92 @@
+package soak
+
+import (
+	"testing"
+
+	"inplacehull/internal/fault"
+	"inplacehull/internal/resilient"
+)
+
+// TestNoisySoakContract is the E19 smoke: at every flip rate, under both
+// the default vote schedule and an under-voted stress policy that forces
+// the approximate tier, every response must be an oracle-exact hull, an
+// approximate hull within its certified ε, or a typed error.
+func TestNoisySoakContract(t *testing.T) {
+	n := 60
+	if testing.Short() {
+		n = 20
+	}
+	for _, p := range []float64{0.05, 0.1, 0.2} {
+		for _, pol := range []resilient.Policy{
+			{ApproxEps: 0.05},
+			{ApproxEps: 0.05, NoLadder: true, Noisy: &resilient.NoisyPolicy{Votes: 1, Rate: p}},
+		} {
+			sum := NoisySoak(0xE19, n, p, pol)
+			if sum.Scenarios != n {
+				t.Fatalf("p=%g: ran %d scenarios, want %d", p, sum.Scenarios, n)
+			}
+			for _, rec := range sum.Failures {
+				t.Errorf("p=%g: scenario %+v: %s (%s)", p, rec.Scenario, rec.Outcome, rec.Detail)
+			}
+			if sum.ExactOK == 0 {
+				t.Fatalf("p=%g: no exact responses — harness broken", p)
+			}
+		}
+	}
+}
+
+// TestNoisySoakExercisesTiers: the default batch must recover through the
+// noisy tier and the under-voted batch must produce approximate-labeled
+// responses, or E19's claims are vacuous.
+func TestNoisySoakExercisesTiers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs the full batch to reach the degraded tiers")
+	}
+	def := NoisySoak(0xE19, 60, 0.2, resilient.Policy{ApproxEps: 0.05})
+	if def.ByTier["noisy"] == 0 {
+		t.Error("default policy batch never answered from the noisy tier")
+	}
+	if def.MaxVotes < 3 {
+		t.Errorf("max vote schedule %d, want a real repetition schedule", def.MaxVotes)
+	}
+	uv := NoisySoak(0xE19, 60, 0.2, resilient.Policy{
+		ApproxEps: 0.05, NoLadder: true, Noisy: &resilient.NoisyPolicy{Votes: 1, Rate: 0.2},
+	})
+	if uv.ApproxOK == 0 {
+		t.Error("under-voted batch never answered from the approximate tier")
+	}
+}
+
+// TestNoisyScenariosDeterministic: E19 scenario derivation is a pure
+// function of (master, count, p), prefix-stable like the base rotation.
+func TestNoisyScenariosDeterministic(t *testing.T) {
+	a := NoisyScenarios(7, 40, 0.1)
+	long := NoisyScenarios(7, 80, 0.1)
+	for i := range a {
+		if a[i] != long[i] {
+			t.Fatalf("scenario %d not prefix-stable", i)
+		}
+		if a[i].Plan.Rates[fault.PredicateFlip] != 0.1 {
+			t.Fatalf("scenario %d flip rate %g, want pinned 0.1", i, a[i].Plan.Rates[fault.PredicateFlip])
+		}
+	}
+}
+
+// TestBaseScenariosCarryFlipRates: the standard chaos matrix now draws a
+// predicate-flip rate too (from the plan seed, so the historical
+// main-stream draw order — and with it E14's scenario identities — is
+// unchanged), and the menu actually produces non-zero rates.
+func TestBaseScenariosCarryFlipRates(t *testing.T) {
+	nonzero := 0
+	for _, sc := range Scenarios(0xE14, 200) {
+		if r := sc.Plan.Rates[fault.PredicateFlip]; r > 0 {
+			nonzero++
+			if r != 0.05 && r != 0.1 && r != 0.2 {
+				t.Fatalf("flip rate %g not on the menu", r)
+			}
+		}
+	}
+	if nonzero < 40 { // menu is 3/5 zero, so ~120 of 200 expected
+		t.Fatalf("only %d of 200 scenarios drew a non-zero flip rate", nonzero)
+	}
+}

@@ -115,6 +115,7 @@ var (
 	rateMenu   = []float64{0, 0, 0.1, 0.5, 1}
 	levelMenu  = []int{0, 0, 0, 1, 2}
 	budgetMenu = []int{0, 0, 1, 4, 16}
+	flipMenu   = []float64{0, 0, 0.05, 0.1, 0.2}
 	n2DMenu    = []int{64, 128, 256, 512}
 	n3DMenu    = []int{64, 96, 128}
 )
@@ -129,11 +130,17 @@ func Scenarios(master uint64, count int) []Scenario {
 		sc := Scenario{ID: i, Algo: Algos[i%len(Algos)], Seed: s.Uint64()}
 		var plan fault.Plan
 		plan.Seed = s.Uint64()
-		for site := 0; site < fault.NumSites; site++ {
+		for site := 0; site < int(fault.PredicateFlip); site++ {
 			plan.Rates[site] = rateMenu[s.Intn(len(rateMenu))]
 		}
 		plan.FallbackLevel = levelMenu[s.Intn(len(levelMenu))]
 		plan.MaxPerSite = budgetMenu[s.Intn(len(budgetMenu))]
+		// The predicate-flip rate derives from plan.Seed, not the master
+		// stream: the five paper-named sites keep their historical draw
+		// order, so scenario IDs from earlier soak batches (E14) still name
+		// the same plans. The flip site is consulted only by the supervisor's
+		// noisy-resilient rung, so raw runs are additionally unaffected.
+		plan.Rates[fault.PredicateFlip] = flipMenu[rng.New(plan.Seed^0xF11F).Intn(len(flipMenu))]
 		sc.Plan = plan
 		if sc.Algo == AlgoHull3D {
 			g := workload.Gens3D[s.Intn(len(workload.Gens3D))]

@@ -1,0 +1,167 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+// splitmix-style test noise source: deterministic Bernoulli(p) sequence.
+func testFlip(seed uint64, p float64) func() bool {
+	state := seed
+	return func() bool {
+		state += 0x9e3779b97f4a7c15
+		x := state
+		x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+		x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+		x ^= x >> 31
+		return float64(x>>11)/(1<<53) < p
+	}
+}
+
+func TestVotesForSchedule(t *testing.T) {
+	if got := VotesFor(0, 1e-9); got != 1 {
+		t.Errorf("VotesFor(0) = %d, want 1", got)
+	}
+	if got := VotesFor(-0.1, 1e-9); got != 1 {
+		t.Errorf("VotesFor(-0.1) = %d, want 1", got)
+	}
+	// Odd, and monotone in both p and 1/delta.
+	prev := 0
+	for _, p := range []float64{0.05, 0.1, 0.2, 0.3, 0.4} {
+		k := VotesFor(p, 1e-6)
+		if k%2 == 0 {
+			t.Errorf("VotesFor(%g) = %d is even", p, k)
+		}
+		if k < prev {
+			t.Errorf("VotesFor not monotone in p: %d after %d", k, prev)
+		}
+		prev = k
+		if k2 := VotesFor(p, 1e-12); k2 < k {
+			t.Errorf("VotesFor(%g) not monotone in confidence: %d < %d", p, k2, k)
+		}
+	}
+	// The Hoeffding bound itself: exp(-2k(1/2-p)^2) <= delta, for rates
+	// whose schedule fits under the cap.
+	for _, p := range []float64{0.05, 0.2, 0.35} {
+		for _, delta := range []float64{1e-3, 1e-9} {
+			k := VotesFor(p, delta)
+			gap := 0.5 - p
+			if bound := math.Exp(-2 * float64(k) * gap * gap); bound > delta*1.0000001 {
+				t.Errorf("VotesFor(%g,%g)=%d: bound %g > delta", p, delta, k, bound)
+			}
+		}
+	}
+	// Out-of-model error rates hit the cap instead of diverging.
+	if got := VotesFor(0.5, 1e-9); got != 1001 {
+		t.Errorf("VotesFor(0.5) = %d, want cap 1001", got)
+	}
+}
+
+// TestExactPathBitIdentical: a nil oracle and a flip-free oracle (any vote
+// count) must agree bit for bit with the raw predicates — the metamorphic
+// anchor of the noisy tier.
+func TestExactPathBitIdentical(t *testing.T) {
+	var nilOracle *NoisyOracle
+	voted := &NoisyOracle{Votes: 7} // Flip nil: still the exact path
+	next := testFlip(42, 0.5)       // coordinate generator, not noise
+	coord := func() float64 {
+		v := 0.0
+		for i := 0; i < 6; i++ {
+			v *= 2
+			if next() {
+				v++
+			}
+		}
+		return v - 32
+	}
+	for i := 0; i < 2000; i++ {
+		a := Point{coord(), coord()}
+		b := Point{coord(), coord()}
+		c := Point{coord(), coord()}
+		want := Orientation(a, b, c)
+		if got := nilOracle.Orientation(a, b, c); got != want {
+			t.Fatalf("nil oracle Orientation(%v,%v,%v) = %d, want %d", a, b, c, got, want)
+		}
+		if got := voted.Orientation(a, b, c); got != want {
+			t.Fatalf("voted exact Orientation(%v,%v,%v) = %d, want %d", a, b, c, got, want)
+		}
+		if got, want := nilOracle.LexLess(a, b), LexLess(a, b); got != want {
+			t.Fatalf("nil oracle LexLess(%v,%v) = %v, want %v", a, b, got, want)
+		}
+		d := Point3{coord(), coord(), coord()}
+		e := Point3{coord(), coord(), coord()}
+		f := Point3{coord(), coord(), coord()}
+		g := Point3{coord(), coord(), coord()}
+		if got, want := voted.Orientation3(d, e, f, g), Orientation3(d, e, f, g); got != want {
+			t.Fatalf("voted exact Orientation3 = %d, want %d", got, want)
+		}
+	}
+}
+
+// TestVotingRecoversNoise: at flip rate p with the scheduled vote count,
+// the voted predicate must agree with the exact predicate on every trial;
+// a single unvoted evaluation at the same rate must show errors (sanity
+// check that the noise source actually bites).
+func TestVotingRecoversNoise(t *testing.T) {
+	const trials = 3000
+	for _, p := range []float64{0.05, 0.1, 0.2} {
+		votes := VotesFor(p, 1e-9)
+		voted := &NoisyOracle{Flip: testFlip(7, p), Votes: votes}
+		single := &NoisyOracle{Flip: testFlip(7, p), Votes: 1}
+		coordSrc := testFlip(99, 0.5)
+		coord := func() float64 {
+			v := 0.0
+			for i := 0; i < 5; i++ {
+				v *= 2
+				if coordSrc() {
+					v++
+				}
+			}
+			return v
+		}
+		singleErrs := 0
+		for i := 0; i < trials; i++ {
+			a := Point{coord(), coord()}
+			b := Point{coord(), coord()}
+			c := Point{coord(), coord()}
+			want := Orientation(a, b, c)
+			if got := voted.Orientation(a, b, c); got != want {
+				t.Fatalf("p=%g votes=%d: voted Orientation(%v,%v,%v) = %d, want %d (trial %d)",
+					p, votes, a, b, c, got, want, i)
+			}
+			if single.Orientation(a, b, c) != want {
+				singleErrs++
+			}
+		}
+		if singleErrs == 0 {
+			t.Errorf("p=%g: unvoted oracle made no errors in %d trials — noise source inert", p, trials)
+		}
+		// The unvoted error rate should be in the vicinity of p (wide
+		// tolerance: this is a sanity band, not a statistical test).
+		rate := float64(singleErrs) / trials
+		if rate < p/3 || rate > 3*p {
+			t.Errorf("p=%g: unvoted error rate %.3f outside sanity band", p, rate)
+		}
+	}
+}
+
+// TestCorruptionModel pins the deterministic corruption of outcomes.
+func TestCorruptionModel(t *testing.T) {
+	always := &NoisyOracle{Flip: func() bool { return true }, Votes: 1}
+	a, b, c := Point{0, 0}, Point{2, 0}, Point{1, 1}
+	if got := always.Orientation(a, b, c); got != -Orientation(a, b, c) {
+		t.Errorf("always-flip nonzero sign: got %d", got)
+	}
+	if got := always.Orientation(a, b, Point{1, 0}); got != 1 {
+		t.Errorf("always-flip zero sign: got %d, want +1", got)
+	}
+	if !always.LexLess(b, a) || always.LexLess(a, b) {
+		t.Errorf("always-flip boolean not inverted")
+	}
+	// Odd voting over an always-wrong source stays wrong (p >= 1/2 is
+	// outside the model) — but deterministically so, not a tie.
+	always.Votes = 5
+	if got := always.Orientation(a, b, c); got != -Orientation(a, b, c) {
+		t.Errorf("always-flip voted sign: got %d", got)
+	}
+}

@@ -1,0 +1,43 @@
+// The noisy-resilient monotone chain: the same scan as UpperHull, with
+// every comparison and orientation test routed through a geom.NoisyOracle
+// so the Goodrich–Sridhar majority-vote repetition absorbs predicate
+// corruption. The structural clean-ups (duplicate removal, vertical-end
+// collapse) use exact coordinate equality — equality of stored floats is
+// not a geometric predicate in the noisy model.
+package hull2d
+
+import (
+	"sort"
+
+	"inplacehull/internal/geom"
+)
+
+// UpperHullOracle returns the upper hull of pts by the monotone chain
+// scan with all predicates evaluated through o. A nil (or flip-free)
+// oracle reproduces UpperHull bit for bit. Under noise the output may be
+// wrong — callers gate it behind the exact verification oracle.
+func UpperHullOracle(pts []geom.Point, o *geom.NoisyOracle) []geom.Point {
+	s := make([]geom.Point, len(pts))
+	copy(s, pts)
+	sort.Slice(s, func(i, j int) bool { return o.LexLess(s[i], s[j]) })
+	// Exact dedupe: a noisy sort may leave equal points non-adjacent, so
+	// scan against the last kept point *and* let the hull scan drop any
+	// stragglers (orientation of a repeated vertex votes to 0 ≥ 0).
+	out := s[:0]
+	for i, p := range s {
+		if i == 0 || p != s[i-1] {
+			out = append(out, p)
+		}
+	}
+	if len(out) <= 1 {
+		return append([]geom.Point(nil), out...)
+	}
+	var h []geom.Point
+	for _, p := range out {
+		for len(h) >= 2 && o.Orientation(h[len(h)-2], h[len(h)-1], p) >= 0 {
+			h = h[:len(h)-1]
+		}
+		h = append(h, p)
+	}
+	return dedupeVerticalEnds(h)
+}

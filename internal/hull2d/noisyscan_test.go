@@ -1,0 +1,62 @@
+package hull2d
+
+import (
+	"testing"
+
+	"inplacehull/internal/geom"
+	"inplacehull/internal/rng"
+	"inplacehull/internal/workload"
+)
+
+// TestUpperHullOracleBitIdentical is the metamorphic anchor of the noisy
+// scan: with a nil oracle, and with a voted flip-free oracle, the output
+// must match UpperHull bit for bit on every generator.
+func TestUpperHullOracleBitIdentical(t *testing.T) {
+	oracles := map[string]*geom.NoisyOracle{
+		"nil":       nil,
+		"zero":      {},
+		"voted-9":   {Votes: 9},
+		"flip-free": {Flip: func() bool { return false }, Votes: 5},
+	}
+	for _, g := range workload.Gens2D {
+		for _, n := range []int{0, 1, 2, 3, 17, 256} {
+			pts := g.Gen(11, n)
+			want := UpperHull(pts)
+			for name, o := range oracles {
+				got := UpperHullOracle(pts, o)
+				if len(got) != len(want) {
+					t.Fatalf("%s n=%d oracle=%s: %d vertices, want %d", g.Name, n, name, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("%s n=%d oracle=%s: vertex %d = %v, want %v", g.Name, n, name, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestUpperHullOracleUnderNoise: with real flips and a schedule sized for
+// the rate, the voted scan still recovers the exact hull (failure
+// probability per predicate ≤ 1e-9).
+func TestUpperHullOracleUnderNoise(t *testing.T) {
+	pts := workload.Disk(13, 512)
+	want := UpperHull(pts)
+	for _, p := range []float64{0.05, 0.1, 0.2} {
+		noise := rng.New(uint64(p * 1e4))
+		o := &geom.NoisyOracle{
+			Flip:  func() bool { return noise.Float64() < p },
+			Votes: geom.VotesFor(p, 1e-9),
+		}
+		got := UpperHullOracle(pts, o)
+		if len(got) != len(want) {
+			t.Fatalf("p=%g: %d vertices, want %d", p, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("p=%g: vertex %d = %v, want %v", p, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -32,9 +32,10 @@ type face struct {
 	conflict []int // unprocessed points that see this face
 }
 
-// visible reports whether point p sees face f strictly from outside.
-func visible(pts []geom.Point3, f *face, p int) bool {
-	return geom.Orientation3(pts[f.v[0]], pts[f.v[1]], pts[f.v[2]], pts[p]) > 0
+// visible reports whether point p sees face f strictly from outside,
+// evaluating the orientation through o (nil = exact).
+func visible(o *geom.NoisyOracle, pts []geom.Point3, f *face, p int) bool {
+	return o.Orientation3(pts[f.v[0]], pts[f.v[1]], pts[f.v[2]], pts[p]) > 0
 }
 
 // Incremental computes the full convex hull by randomized incremental
@@ -42,6 +43,16 @@ func visible(pts []geom.Point3, f *face, p int) bool {
 // position. Inputs where all points are coplanar yield an error (callers
 // handle flat data with the 2-d algorithms).
 func Incremental(rnd *rng.Stream, pts []geom.Point3) (Hull, error) {
+	return IncrementalOracle(rnd, pts, nil)
+}
+
+// IncrementalOracle is Incremental with every orientation predicate
+// evaluated through o — the noisy-resilient variant of the baseline. The
+// structural degeneracy filters (coincidence, collinearity) stay exact:
+// they compare stored coordinates, which the noisy-primitive model does
+// not corrupt. Under noise the hull may be wrong; callers gate the output
+// behind the exact verification oracle.
+func IncrementalOracle(rnd *rng.Stream, pts []geom.Point3, o *geom.NoisyOracle) (Hull, error) {
 	n := len(pts)
 	if n < 4 {
 		return Hull{}, fmt.Errorf("hull3d: need at least 4 points, have %d", n)
@@ -79,7 +90,7 @@ func Incremental(rnd *rng.Stream, pts []geom.Point3) (Hull, error) {
 		if i == i0 || i == i1 || i == i2 {
 			continue
 		}
-		if geom.Orientation3(pts[i0], pts[i1], pts[i2], pts[i]) != 0 {
+		if o.Orientation3(pts[i0], pts[i1], pts[i2], pts[i]) != 0 {
 			i3 = i
 			break
 		}
@@ -89,7 +100,7 @@ func Incremental(rnd *rng.Stream, pts []geom.Point3) (Hull, error) {
 	}
 
 	// Orient the simplex: faces outward.
-	if geom.Orientation3(pts[i0], pts[i1], pts[i2], pts[i3]) > 0 {
+	if o.Orientation3(pts[i0], pts[i1], pts[i2], pts[i3]) > 0 {
 		i1, i2 = i2, i1
 	}
 	// Now i3 is on the negative side of (i0, i1, i2): that face is outward.
@@ -120,7 +131,7 @@ func Incremental(rnd *rng.Stream, pts []geom.Point3) (Hull, error) {
 			continue
 		}
 		for _, f := range faces {
-			if visible(pts, f, p) {
+			if visible(o, pts, f, p) {
 				link(p, f)
 			}
 		}
@@ -175,7 +186,7 @@ func Incremental(rnd *rng.Stream, pts []geom.Point3) (Hull, error) {
 				if g == nil || g.dead || visibleSet[g] {
 					continue
 				}
-				if visible(pts, g, p) {
+				if visible(o, pts, g, p) {
 					visibleSet[g] = true
 					visibleList = append(visibleList, g)
 				}
@@ -221,7 +232,7 @@ func Incremental(rnd *rng.Stream, pts []geom.Point3) (Hull, error) {
 						continue
 					}
 					seen[q] = true
-					if visible(pts, nf, q) {
+					if visible(o, pts, nf, q) {
 						link(q, nf)
 					}
 				}

@@ -1,0 +1,66 @@
+package hull3d
+
+import (
+	"testing"
+
+	"inplacehull/internal/geom"
+	"inplacehull/internal/rng"
+	"inplacehull/internal/workload"
+)
+
+func sameHull(a, b Hull) bool {
+	if len(a.Faces) != len(b.Faces) {
+		return false
+	}
+	for i := range a.Faces {
+		if a.Faces[i] != b.Faces[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestIncrementalOracleBitIdentical: the oracle-routed incremental build
+// with a nil or flip-free voted oracle reproduces Incremental bit for bit
+// (same stream seed → same insertion order → same face list).
+func TestIncrementalOracleBitIdentical(t *testing.T) {
+	for _, g := range workload.Gens3D {
+		pts := g.Gen(17, 128)
+		want, err := Incremental(rng.New(99), pts)
+		if err != nil {
+			continue // degenerate generator output; parity below still holds
+		}
+		for name, o := range map[string]*geom.NoisyOracle{
+			"nil": nil, "voted-7": {Votes: 7}, "flip-free": {Flip: func() bool { return false }, Votes: 3},
+		} {
+			got, err := IncrementalOracle(rng.New(99), pts, o)
+			if err != nil {
+				t.Fatalf("%s oracle=%s: %v", g.Name, name, err)
+			}
+			if !sameHull(got, want) {
+				t.Fatalf("%s oracle=%s: %d faces, want %d (or face lists differ)",
+					g.Name, name, len(got.Faces), len(want.Faces))
+			}
+		}
+	}
+}
+
+// TestIncrementalOracleUnderNoise: with real flips and a Hoeffding-sized
+// schedule, the voted build still produces a verifying hull.
+func TestIncrementalOracleUnderNoise(t *testing.T) {
+	pts := workload.Ball(19, 160)
+	for _, p := range []float64{0.05, 0.1} {
+		noise := rng.New(uint64(1e3 * p))
+		o := &geom.NoisyOracle{
+			Flip:  func() bool { return noise.Float64() < p },
+			Votes: geom.VotesFor(p, 1e-9),
+		}
+		h, err := IncrementalOracle(rng.New(7), pts, o)
+		if err != nil {
+			t.Fatalf("p=%g: %v", p, err)
+		}
+		if err := h.Verify(); err != nil {
+			t.Fatalf("p=%g: voted hull fails verification: %v", p, err)
+		}
+	}
+}

@@ -43,6 +43,11 @@ const (
 	// request was rejected before any PRAM work was charged; retrying
 	// after backoff is reasonable, retrying immediately is not.
 	Overloaded
+	// ApproximateOnly: every exact tier of the degradation ladder failed,
+	// a certified ε-approximate answer was available, but the caller
+	// demanded exactness (Policy.RequireExact). Relaxing the requirement
+	// and re-running would succeed with the approximate tier.
+	ApproximateOnly
 )
 
 // String names the kind for error messages.
@@ -60,6 +65,8 @@ func (k Kind) String() string {
 		return "deadline exceeded"
 	case Overloaded:
 		return "overloaded"
+	case ApproximateOnly:
+		return "approximate only"
 	default:
 		return "internal error"
 	}
@@ -104,6 +111,9 @@ var (
 	ErrDeadline = &Error{Kind: DeadlineExceeded, Msg: "run deadline exceeded"}
 	// ErrOverload: the serving layer's admission control shed the request.
 	ErrOverload = &Error{Kind: Overloaded, Msg: "server overloaded"}
+	// ErrApproximateOnly: only the approximate tier survived, but the
+	// caller required exactness.
+	ErrApproximateOnly = &Error{Kind: ApproximateOnly, Msg: "only an approximate hull is available"}
 )
 
 // New builds a typed error.

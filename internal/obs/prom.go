@@ -20,6 +20,7 @@ type Metrics struct {
 	phases map[string]map[string]Phase // algo → phase name → summed account
 	notes  map[string]map[string]int64 // event → detail → count
 	serve  map[string]int64            // serving-layer counters (internal/serve)
+	tiers  map[string]int64            // serving-layer answers per ladder tier
 }
 
 // NewMetrics returns an empty aggregator.
@@ -110,6 +111,31 @@ func (x *Metrics) ServeCounter(name string) int64 {
 	return x.serve[name]
 }
 
+// ServeTierAdd counts one served answer per degradation-ladder tier
+// ("randomized", "noisy", "approximate", "sequential", "degenerate",
+// "cached"). Exports as inplacehull_serve_tier_total{tier="…"}.
+func (x *Metrics) ServeTierAdd(tier string) {
+	if x == nil {
+		return
+	}
+	x.mu.Lock()
+	if x.tiers == nil {
+		x.tiers = make(map[string]int64)
+	}
+	x.tiers[tier]++
+	x.mu.Unlock()
+}
+
+// ServeTier reads one tier counter (0 if never incremented).
+func (x *Metrics) ServeTier(tier string) int64 {
+	if x == nil {
+		return 0
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.tiers[tier]
+}
+
 // escapeLabel escapes a Prometheus label value.
 func escapeLabel(v string) string {
 	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
@@ -187,6 +213,19 @@ func (x *Metrics) WritePrometheus(w io.Writer) error {
 		for _, d := range details {
 			fmt.Fprintf(&b, "inplacehull_events_total{event=%q,detail=%q} %d\n",
 				escapeLabel(e), escapeLabel(d), x.notes[e][d])
+		}
+	}
+
+	if len(x.tiers) > 0 {
+		b.WriteString("# HELP inplacehull_serve_tier_total Served hull answers per degradation-ladder tier.\n")
+		b.WriteString("# TYPE inplacehull_serve_tier_total counter\n")
+		tierNames := make([]string, 0, len(x.tiers))
+		for t := range x.tiers {
+			tierNames = append(tierNames, t)
+		}
+		sort.Strings(tierNames)
+		for _, t := range tierNames {
+			fmt.Fprintf(&b, "inplacehull_serve_tier_total{tier=%q} %d\n", escapeLabel(t), x.tiers[t])
 		}
 	}
 

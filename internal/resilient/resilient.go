@@ -46,6 +46,16 @@ const (
 	// TierRandomized: the §2/§4 randomized parallel algorithm, possibly
 	// after reseeded retries.
 	TierRandomized Tier = iota
+	// TierNoisy: the noisy-resilient sequential rung — the monotone chain
+	// (2-d) or incremental baseline (3-d) with every predicate evaluated
+	// through a majority-voted geom.NoisyOracle, gated by the exact
+	// verification oracle. Runs when predicate noise is modeled
+	// (Policy.Noisy or an injected predicate-flip rate).
+	TierNoisy
+	// TierApproximate: the certified ε-approximate hull (internal/approx).
+	// The result is *labeled* approximate and carries its measured ε in
+	// Report.ApproxEps — never a silently wrong exact claim.
+	TierApproximate
 	// TierSequential: the deterministic sequential baseline
 	// (Kirkpatrick–Seidel or monotone chain in 2-d, the randomized
 	// incremental hull in 3-d).
@@ -61,6 +71,10 @@ func (t Tier) String() string {
 	switch t {
 	case TierRandomized:
 		return "randomized"
+	case TierNoisy:
+		return "noisy"
+	case TierApproximate:
+		return "approximate"
 	case TierSequential:
 		return "sequential"
 	case TierDegenerate:
@@ -78,13 +92,43 @@ type Policy struct {
 	// BudgetScale is the escalation base: attempt a (0-based) runs with
 	// surrender budgets multiplied by BudgetScale^a. Default 2.
 	BudgetScale float64
-	// NoLadder disables the sequential fallback: after the retry cap the
-	// supervisor surrenders with the last attempt's typed error.
+	// NoLadder disables the sequential surrender rungs (TierSequential,
+	// TierDegenerate): after the retry cap the supervisor surrenders with
+	// a typed error instead of falling back to a deterministic baseline.
+	// The noisy and approximate rungs, when enabled, still run.
 	NoLadder bool
 	// OnRetry, when non-nil, is called between attempts with the 1-based
 	// number of the attempt that just failed and its error — the hook the
 	// cancellation tests and the demo's progress reporting use.
 	OnRetry func(attempt int, err error)
+	// Noisy, when non-nil, enables the noisy-resilient rung with an
+	// explicit repetition schedule. When nil, the rung is still enabled
+	// automatically whenever the run's fault injector models predicate
+	// flips (its rate sizes the schedule).
+	Noisy *NoisyPolicy
+	// ApproxEps, when > 0, enables the certified ε-approximate rung with
+	// this relative tolerance (fraction of the bounding-box diagonal).
+	ApproxEps float64
+	// RequireExact demands an exact answer: the approximate rung is never
+	// used to answer. If every exact tier fails and the approximate rung
+	// would have certified, the supervisor returns the typed
+	// ApproximateOnly error instead of a generic surrender.
+	RequireExact bool
+}
+
+// NoisyPolicy sizes the Goodrich–Sridhar repetition schedule of the
+// noisy-resilient rung.
+type NoisyPolicy struct {
+	// Votes, when > 0, fixes the per-predicate vote count directly
+	// (rounded up to odd). When 0 it is derived from Rate and Confidence
+	// via geom.VotesFor.
+	Votes int
+	// Rate is the modeled per-predicate error probability. When 0 the
+	// fault injector's predicate-flip rate is used.
+	Rate float64
+	// Confidence is the per-predicate failure budget δ of the schedule.
+	// Default 1e-9.
+	Confidence float64
 }
 
 func (p *Policy) fill() {
@@ -109,6 +153,13 @@ type Report struct {
 	// TotalSteps and TotalWork accumulate the PRAM cost across all
 	// attempts — the overhead E15 measures.
 	TotalSteps, TotalWork int64
+	// ApproxEps is the certified ε of an approximate-tier result: the
+	// measured maximum distance of any input point outside the returned
+	// hull. 0 for exact tiers.
+	ApproxEps float64
+	// Votes is the per-predicate vote count of the noisy-resilient rung
+	// when predicate noise was modeled (0 otherwise).
+	Votes int
 }
 
 // Retryable reports whether a reseeded re-run can plausibly clear err:
@@ -178,13 +229,25 @@ func typed(op string, err error) error {
 	return hullerr.New(hullerr.Internal, op, "untyped failure: %v", err)
 }
 
+// rung is one step of the degradation ladder: a nominal tier (used for
+// policy filtering) and a runner returning the result, the tier that
+// actually answered, the certified ε (approximate rungs only; 0 for
+// exact), and the rung's error.
+type rung[T any] struct {
+	tier Tier
+	run  func() (T, Tier, float64, error)
+}
+
 // supervise is the generic supervisor: randomized attempts with reseed and
-// budget escalation, then the deterministic ladder. run receives the
-// attempt's random stream and budget scale; ladder produces the
-// deterministic result (already oracle-verified by its implementation).
+// budget escalation, then the degradation ladder — noisy-resilient rung,
+// certified-approximate rung, deterministic sequential surrender, each
+// oracle-verified by its implementation and filtered by the policy. The
+// contract: an exact hull, a certified ε-approximate hull labeled as such
+// (TierApproximate + Report.ApproxEps), or a typed error — never a
+// silently wrong answer.
 func supervise[T any](ctx context.Context, m *pram.Machine, rnd *rng.Stream, pol Policy, op string,
 	run func(attemptRnd *rng.Stream, scale float64) (T, error),
-	ladder func() (T, Tier, error),
+	rungs []rung[T],
 ) (T, Report, error) {
 	pol.fill()
 	var zero T
@@ -221,38 +284,78 @@ func supervise[T any](ctx context.Context, m *pram.Machine, rnd *rng.Stream, pol
 			}
 		}
 	}
-	if pol.NoLadder {
-		return zero, rep, hullerr.New(hullerr.BudgetExhausted, op,
-			"all %d randomized attempts failed (ladder disabled); last: %s",
-			rep.Attempts, rep.AttemptErrors[len(rep.AttemptErrors)-1])
+	// Partition the ladder by policy: RequireExact holds approximate rungs
+	// back as probes (consulted only to classify the failure), NoLadder
+	// drops the sequential surrender rungs entirely.
+	var active, probes []rung[T]
+	for _, r := range rungs {
+		switch {
+		case r.tier == TierApproximate && pol.RequireExact:
+			probes = append(probes, r)
+		case r.tier >= TierSequential && pol.NoLadder:
+		default:
+			active = append(active, r)
+		}
 	}
-	if err := ctxErr(ctx, op); err != nil {
-		return zero, rep, err
+	runRung := func(r rung[T]) (T, Tier, float64, error) {
+		before := m.Snap()
+		out, tier, eps, err := guardedRung(op, r)
+		delta := m.Delta(before)
+		rep.TotalSteps += delta.Time
+		rep.TotalWork += delta.Work
+		return out, tier, eps, err
 	}
-	m.Note("ladder", "enter")
-	before := m.Snap()
-	out, tier, err := guardedLadder(op, ladder)
-	delta := m.Delta(before)
-	rep.TotalSteps += delta.Time
-	rep.TotalWork += delta.Work
-	rep.Tier = tier
-	if err != nil {
-		return zero, rep, typed(op, err)
+	var lastErr error
+	for i, r := range active {
+		if err := ctxErr(ctx, op); err != nil {
+			return zero, rep, err
+		}
+		if i == 0 {
+			m.Note("ladder", "enter")
+		}
+		out, tier, eps, err := runRung(r)
+		rep.Tier = tier
+		if err == nil {
+			rep.ApproxEps = eps
+			m.Note("tier", tier.String())
+			return out, rep, nil
+		}
+		lastErr = typed(op, err)
+		m.Note("rung", kindOf(lastErr))
 	}
-	m.Note("tier", tier.String())
-	return out, rep, nil
+	// Every exact tier is exhausted. If the caller required exactness and
+	// an approximate rung would have certified, say so specifically — the
+	// caller can re-run without RequireExact and get a labeled answer.
+	for _, r := range probes {
+		if err := ctxErr(ctx, op); err != nil {
+			return zero, rep, err
+		}
+		if _, _, eps, err := runRung(r); err == nil {
+			rep.Tier = TierApproximate
+			return zero, rep, hullerr.New(hullerr.ApproximateOnly, op,
+				"exact tiers exhausted after %d attempts; a certified ε=%.3g approximate hull is available but the caller requires exactness",
+				rep.Attempts, eps)
+		}
+	}
+	if lastErr != nil {
+		return zero, rep, lastErr
+	}
+	return zero, rep, hullerr.New(hullerr.BudgetExhausted, op,
+		"all %d randomized attempts failed (ladder disabled); last: %s",
+		rep.Attempts, rep.AttemptErrors[len(rep.AttemptErrors)-1])
 }
 
-// guardedLadder runs a ladder with its own panic boundary (the sequential
-// baselines never attach a context, so only Internal conversion applies).
-func guardedLadder[T any](op string, ladder func() (T, Tier, error)) (out T, tier Tier, err error) {
-	tier = TierSequential
+// guardedRung runs one ladder rung with its own panic boundary (the
+// sequential baselines never attach a context, so only Internal conversion
+// applies).
+func guardedRung[T any](op string, r rung[T]) (out T, tier Tier, eps float64, err error) {
+	tier = r.tier
 	defer func() {
-		if r := recover(); r != nil {
-			err = hullerr.New(hullerr.Internal, op, "ladder panic: %v\n%s", r, debug.Stack())
+		if rec := recover(); rec != nil {
+			err = hullerr.New(hullerr.Internal, op, "ladder panic: %v\n%s", rec, debug.Stack())
 		}
 	}()
-	return ladder()
+	return r.run()
 }
 
 // Hull2D supervises unsorted.Hull2D with default algorithm options.
@@ -261,21 +364,26 @@ func Hull2D(ctx context.Context, m *pram.Machine, rnd *rng.Stream, pts []geom.Po
 }
 
 // Hull2DOpts supervises unsorted.Hull2DOpts: reseeded retries escalate
-// opt.BudgetScale, then the ladder runs Kirkpatrick–Seidel (the O(n log h)
-// baseline of Theorem 5) and, if its output fails the oracle on degenerate
-// geometry, the monotone chain.
+// opt.BudgetScale, then the degradation ladder — the voted noisy scan
+// (when predicate noise is modeled), the certified approximate tier (when
+// Policy.ApproxEps is set), Kirkpatrick–Seidel (the O(n log h) baseline of
+// Theorem 5) and, if its output fails the oracle on degenerate geometry,
+// the monotone chain.
 func Hull2DOpts(ctx context.Context, m *pram.Machine, rnd *rng.Stream, pts []geom.Point, opt unsorted.Options, pol Policy) (unsorted.Result2D, Report, error) {
 	base := opt.BudgetScale
 	if base < 1 {
 		base = 1
 	}
-	return supervise(ctx, m, rnd, pol, "resilient.Hull2D",
+	oracle := oracleFor(pol, rnd)
+	res, rep, err := supervise(ctx, m, rnd, pol, "resilient.Hull2D",
 		func(r *rng.Stream, scale float64) (unsorted.Result2D, error) {
 			o := opt
 			o.BudgetScale = base * scale
 			return unsorted.Hull2DOpts(m, r, pts, o)
 		},
-		func() (unsorted.Result2D, Tier, error) { return ladder2D(m, pts) })
+		rungs2D(m, pts, pol, oracle))
+	rep.Votes = oracle.VoteCount()
+	return res, rep, err
 }
 
 // Hull3D supervises unsorted.Hull3D with default algorithm options.
@@ -294,34 +402,46 @@ func Hull3DOpts(ctx context.Context, m *pram.Machine, rnd *rng.Stream, pts []geo
 	}
 	// Derive the ladder's seed up front so it does not depend on how many
 	// attempts ran, and strip the payload: the sequential tier must be
-	// immune to injected faults.
+	// immune to injected faults. (Split never advances the parent, so the
+	// extra derivations leave the attempt streams untouched.)
 	ladderSeed := rnd.Split(0x5E9).Uint64()
-	return supervise(ctx, m, rnd, pol, "resilient.Hull3D",
+	noisySeed := rnd.Split(0x5E90A15).Uint64()
+	approxSeed := rnd.Split(0x5E90A44).Uint64()
+	oracle := oracleFor(pol, rnd)
+	res, rep, err := supervise(ctx, m, rnd, pol, "resilient.Hull3D",
 		func(r *rng.Stream, scale float64) (unsorted.Result3D, error) {
 			o := opt
 			o.BudgetScale = base * scale
 			return unsorted.Hull3DOpts(m, r, pts, o)
 		},
-		func() (unsorted.Result3D, Tier, error) { return ladder3D(m, rng.New(ladderSeed), pts) })
+		rungs3D(m, pts, pol, oracle, noisySeed, approxSeed, ladderSeed))
+	rep.Votes = oracle.VoteCount()
+	return res, rep, err
 }
 
 // PresortedHull supervises presorted.ConstantTime. The constant-time
 // algorithm has no budget knob, so retries are pure reseeds; the ladder is
 // the monotone chain over the (already sorted) points.
 func PresortedHull(ctx context.Context, m *pram.Machine, rnd *rng.Stream, pts []geom.Point, pol Policy) (presorted.Result, Report, error) {
-	return supervise(ctx, m, rnd, pol, "resilient.PresortedHull",
+	oracle := oracleFor(pol, rnd)
+	res, rep, err := supervise(ctx, m, rnd, pol, "resilient.PresortedHull",
 		func(r *rng.Stream, _ float64) (presorted.Result, error) {
 			return presorted.ConstantTime(m, r, pts)
 		},
-		func() (presorted.Result, Tier, error) { return ladderPresorted(m, pts) })
+		rungsPresorted(m, pts, pol, oracle))
+	rep.Votes = oracle.VoteCount()
+	return res, rep, err
 }
 
 // LogStarHull supervises presorted.LogStar with the same ladder as
 // PresortedHull.
 func LogStarHull(ctx context.Context, m *pram.Machine, rnd *rng.Stream, pts []geom.Point, pol Policy) (presorted.Result, Report, error) {
-	return supervise(ctx, m, rnd, pol, "resilient.LogStarHull",
+	oracle := oracleFor(pol, rnd)
+	res, rep, err := supervise(ctx, m, rnd, pol, "resilient.LogStarHull",
 		func(r *rng.Stream, _ float64) (presorted.Result, error) {
 			return presorted.LogStar(m, r, pts)
 		},
-		func() (presorted.Result, Tier, error) { return ladderPresorted(m, pts) })
+		rungsPresorted(m, pts, pol, oracle))
+	rep.Votes = oracle.VoteCount()
+	return res, rep, err
 }

@@ -257,7 +257,10 @@ func TestPanicBecomesTypedInternal(t *testing.T) {
 			boom++
 			panic("kaboom")
 		},
-		func() (unsorted.Result2D, Tier, error) { return ladder2D(seqMachine(), pts) })
+		[]rung[unsorted.Result2D]{{tier: TierSequential, run: func() (unsorted.Result2D, Tier, float64, error) {
+			res, tier, err := ladder2D(seqMachine(), pts)
+			return res, tier, 0, err
+		}}})
 	if err != nil {
 		t.Fatalf("ladder did not rescue the panicking core: %v", err)
 	}

@@ -1,0 +1,218 @@
+package resilient
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"inplacehull/internal/fault"
+	"inplacehull/internal/geom"
+	"inplacehull/internal/hullerr"
+	"inplacehull/internal/rng"
+	"inplacehull/internal/unsorted"
+	"inplacehull/internal/workload"
+)
+
+// strictSort x-sorts and deduplicates per abscissa (topmost wins) — the
+// pre-sorted input contract.
+func strictSort(pts []geom.Point) []geom.Point {
+	s := workload.Sorted(pts)
+	out := s[:0]
+	for _, p := range s {
+		if len(out) > 0 && out[len(out)-1].X == p.X {
+			if p.Y > out[len(out)-1].Y {
+				out[len(out)-1] = p
+			}
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// flipPoisonStream poisons every randomized attempt (all paper-named
+// sites at rate 1, no budget) AND models predicate flips at rate p, so
+// the supervisor falls to the noisy-resilient rung with a live noise
+// source.
+func flipPoisonStream(seed uint64, p float64) *rng.Stream {
+	var plan fault.Plan
+	plan.Seed = seed
+	plan.Rates[fault.SampleStorm] = 1
+	plan.Rates[fault.LPTimeout] = 1
+	plan.Rates[fault.VoteSkew] = 1
+	plan.Rates[fault.PredicateFlip] = p
+	return fault.Attach(rng.New(seed), fault.NewInjector(plan))
+}
+
+// TestNoisyTierRecovers2D: with the randomized tier poisoned dead and
+// predicate flips modeled, the voted noisy rung answers with an
+// oracle-exact hull and the report carries the repetition schedule.
+func TestNoisyTierRecovers2D(t *testing.T) {
+	pts := workload.Disk(41, 256)
+	for _, p := range []float64{0.05, 0.1, 0.2} {
+		res, rep, err := Hull2D(context.Background(), seqMachine(), flipPoisonStream(41, p), pts, Policy{})
+		if err != nil {
+			t.Fatalf("p=%g: %v", p, err)
+		}
+		if rep.Tier != TierNoisy {
+			t.Fatalf("p=%g: tier=%v, want noisy", p, rep.Tier)
+		}
+		if rep.Votes < 3 {
+			t.Fatalf("p=%g: report carries votes=%d, want a schedule > 1", p, rep.Votes)
+		}
+		if rep.ApproxEps != 0 {
+			t.Fatalf("p=%g: exact tier reported eps=%g", p, rep.ApproxEps)
+		}
+		if verr := unsorted.CheckAgainstReference(pts, res); verr != nil {
+			t.Fatalf("p=%g: oracle rejected noisy-tier result: %v", p, verr)
+		}
+	}
+}
+
+// TestNoisyTierRecovers3D: the 3-d voted incremental baseline under the
+// same poisoning.
+func TestNoisyTierRecovers3D(t *testing.T) {
+	pts := workload.Ball(43, 128)
+	res, rep, err := Hull3D(context.Background(), seqMachine(), flipPoisonStream(43, 0.1), pts, Policy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Tier != TierNoisy {
+		t.Fatalf("tier=%v, want noisy", rep.Tier)
+	}
+	if verr := unsorted.CheckCaps3D(pts, res); verr != nil {
+		t.Fatalf("oracle rejected noisy-tier caps: %v", verr)
+	}
+}
+
+// TestExplicitNoisyPolicy: Policy.Noisy enables the rung without an
+// injector and fixes the schedule.
+func TestExplicitNoisyPolicy(t *testing.T) {
+	pts := workload.Disk(47, 128)
+	pol := Policy{Noisy: &NoisyPolicy{Votes: 5}}
+	_, rep, err := Hull2D(context.Background(), seqMachine(), votePoisonStream(47, 0), pts, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Tier != TierNoisy || rep.Votes != 5 {
+		t.Fatalf("tier=%v votes=%d, want noisy with 5 votes", rep.Tier, rep.Votes)
+	}
+}
+
+// TestApproximateTierAnswers: randomized dead, no noise modeled,
+// ApproxEps set — the approximate rung answers before the sequential
+// surrender, labeled with its certified ε.
+func TestApproximateTierAnswers(t *testing.T) {
+	pts := workload.Disk(53, 512)
+	pol := Policy{MaxAttempts: 1, ApproxEps: 0.05}
+	res, rep, err := Hull2D(context.Background(), seqMachine(), votePoisonStream(53, 0), pts, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Tier != TierApproximate {
+		t.Fatalf("tier=%v, want approximate", rep.Tier)
+	}
+	// Certified eps must be within the absolute tolerance: the disk fits
+	// in the unit circle, so the bbox diagonal is at most 2√2.
+	if rep.ApproxEps < 0 || rep.ApproxEps > pol.ApproxEps*2*math.Sqrt2 {
+		t.Fatalf("certified eps %g not within requested tolerance", rep.ApproxEps)
+	}
+	if len(res.Chain) == 0 {
+		t.Fatal("approximate tier returned an empty chain")
+	}
+	// 3-d too.
+	p3 := workload.Ball(53, 256)
+	res3, rep3, err := Hull3D(context.Background(), seqMachine(), votePoisonStream(59, 0), p3, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep3.Tier != TierApproximate || len(res3.Facets) == 0 {
+		t.Fatalf("3-d tier=%v facets=%d, want approximate with caps", rep3.Tier, len(res3.Facets))
+	}
+}
+
+// TestRequireExactSurfacesApproximateOnly: exactness demanded, every
+// exact tier exhausted, approximate would certify — the typed
+// ApproximateOnly error names the situation.
+func TestRequireExactSurfacesApproximateOnly(t *testing.T) {
+	pts := workload.Disk(61, 256)
+	pol := Policy{MaxAttempts: 1, NoLadder: true, RequireExact: true, ApproxEps: 0.05}
+	_, rep, err := Hull2D(context.Background(), seqMachine(), votePoisonStream(61, 0), pts, pol)
+	if err == nil {
+		t.Fatal("want ApproximateOnly error, got success")
+	}
+	if !errors.Is(err, hullerr.ErrApproximateOnly) {
+		t.Fatalf("err=%v, want ErrApproximateOnly", err)
+	}
+	if rep.Tier != TierApproximate {
+		t.Fatalf("report tier=%v, want approximate (the probe that certified)", rep.Tier)
+	}
+}
+
+// TestRequireExactWithLadder: with the sequential ladder available,
+// RequireExact is satisfiable — the ladder answers exactly and no
+// ApproximateOnly error appears.
+func TestRequireExactWithLadder(t *testing.T) {
+	pts := workload.Disk(67, 256)
+	pol := Policy{MaxAttempts: 1, RequireExact: true, ApproxEps: 0.05}
+	res, rep, err := Hull2D(context.Background(), seqMachine(), votePoisonStream(67, 0), pts, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Tier != TierSequential {
+		t.Fatalf("tier=%v, want sequential", rep.Tier)
+	}
+	if verr := unsorted.CheckAgainstReference(pts, res); verr != nil {
+		t.Fatalf("oracle rejected: %v", verr)
+	}
+}
+
+// TestNoLadderMessagePreserved: the canonical surrender message of a
+// default (no noisy, no approx) NoLadder policy is unchanged.
+func TestNoLadderMessagePreserved(t *testing.T) {
+	pts := workload.Disk(71, 128)
+	_, _, err := Hull2D(context.Background(), seqMachine(), votePoisonStream(71, 0), pts, Policy{NoLadder: true})
+	if err == nil {
+		t.Fatal("want surrender error")
+	}
+	if !errors.Is(err, hullerr.ErrBudget) {
+		t.Fatalf("err=%v, want budget-exhausted", err)
+	}
+}
+
+// TestPresortedRungs: the pre-sorted contract rides the same rung
+// implementations. The constant-time algorithm absorbs every injected
+// fault by failure sweeping (so its randomized tier cannot be poisoned
+// into the ladder from outside); exercise the rungs directly.
+func TestPresortedRungs(t *testing.T) {
+	pts := strictSort(workload.Disk(73, 256))
+	noise := rng.New(73)
+	o := &geom.NoisyOracle{Flip: func() bool { return noise.Float64() < 0.1 }, Votes: geom.VotesFor(0.1, 1e-9)}
+	rungs := rungsPresorted(seqMachine(), pts, Policy{ApproxEps: 0.05}, o)
+	if len(rungs) != 3 {
+		t.Fatalf("rung count %d, want noisy+approx+sequential", len(rungs))
+	}
+	for i, want := range []Tier{TierNoisy, TierApproximate, TierSequential} {
+		if rungs[i].tier != want {
+			t.Fatalf("rung %d tier=%v, want %v", i, rungs[i].tier, want)
+		}
+		res, tier, eps, err := rungs[i].run()
+		if err != nil {
+			t.Fatalf("rung %v: %v", want, err)
+		}
+		if tier != want {
+			t.Fatalf("rung %d answered as %v", i, tier)
+		}
+		if want == TierApproximate {
+			if eps < 0 || eps > 0.05*2*math.Sqrt2 {
+				t.Fatalf("approximate rung eps %g outside tolerance", eps)
+			}
+			continue // approximate output is allowed to differ from exact
+		}
+		res2 := unsorted.Result2D{Chain: res.Chain, Edges: res.Edges, EdgeOf: res.EdgeOf}
+		if verr := unsorted.CheckAgainstReference(pts, res2); verr != nil {
+			t.Fatalf("rung %v: oracle rejected: %v", want, verr)
+		}
+	}
+}

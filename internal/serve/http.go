@@ -26,6 +26,13 @@ type httpQuery struct {
 	// own context only.
 	DeadlineMS int  `json:"deadline_ms,omitempty"`
 	NoCache    bool `json:"no_cache,omitempty"`
+	// RequireExact refuses a degraded approximate answer: if only the
+	// approximate tier survives, the query fails with kind
+	// "approximate only" (HTTP 422).
+	RequireExact bool `json:"require_exact,omitempty"`
+	// ApproxEps overrides the server's approximate-tier tolerance for
+	// this query (relative to the bounding-box diagonal; > 0 enables).
+	ApproxEps float64 `json:"approx_eps,omitempty"`
 }
 
 // httpResult is the JSON response body.
@@ -36,8 +43,11 @@ type httpResult struct {
 	Facets   int         `json:"facets,omitempty"`
 	Cached   bool        `json:"cached"`
 	Tier     string      `json:"tier"`
-	Attempts int         `json:"attempts"`
-	Elapsed  float64     `json:"elapsed_us"`
+	// ApproxEps is the certified ε of an approximate-tier answer (absolute
+	// vertical distance); 0 for exact tiers.
+	ApproxEps float64 `json:"approx_eps,omitempty"`
+	Attempts  int     `json:"attempts"`
+	Elapsed   float64 `json:"elapsed_us"`
 }
 
 type httpError struct {
@@ -58,6 +68,10 @@ func statusOf(err error) int {
 		return http.StatusBadRequest
 	case hullerr.Overloaded:
 		return http.StatusTooManyRequests
+	case hullerr.ApproximateOnly:
+		// The request as stated (exact) is unsatisfiable, but a relaxed
+		// retry (require_exact=false) would succeed.
+		return http.StatusUnprocessableEntity
 	case hullerr.DeadlineExceeded:
 		return http.StatusGatewayTimeout
 	case hullerr.Canceled:
@@ -126,7 +140,8 @@ func (s *Server) serveHull(w http.ResponseWriter, req *http.Request, dim int) {
 		writeJSON(w, http.StatusBadRequest, httpError{Error: "bad JSON: " + err.Error(), Kind: "invalid input"})
 		return
 	}
-	q := Query{Dataset: hq.Dataset, Seed: hq.Seed, NoCache: hq.NoCache}
+	q := Query{Dataset: hq.Dataset, Seed: hq.Seed, NoCache: hq.NoCache,
+		RequireExact: hq.RequireExact, ApproxEps: hq.ApproxEps}
 	switch hq.Algorithm {
 	case "", "hull2d":
 		q.Algo = AlgoHull2D
@@ -170,12 +185,14 @@ func (s *Server) serveHull(w http.ResponseWriter, req *http.Request, dim int) {
 		return
 	}
 	out := httpResult{
-		N:        res.N,
-		Cached:   res.Cached,
-		Tier:     res.Report.Tier.String(),
-		Attempts: res.Report.Attempts,
-		Elapsed:  float64(res.Elapsed.Microseconds()),
+		N:         res.N,
+		Cached:    res.Cached,
+		Tier:      res.Report.Tier.String(),
+		ApproxEps: res.Report.ApproxEps,
+		Attempts:  res.Report.Attempts,
+		Elapsed:   float64(res.Elapsed.Microseconds()),
 	}
+	w.Header().Set("X-Hull-Tier", out.Tier)
 	if dim == 3 {
 		out.HullSize = res.Facets
 		out.Facets = res.Facets

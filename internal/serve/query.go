@@ -60,6 +60,13 @@ type Query struct {
 	// NoCache bypasses the result cache for this query (both lookup and
 	// fill) — the load generator's cold-path mode.
 	NoCache bool
+	// RequireExact demands an exact answer: the approximate degradation
+	// tier is never used, and a query that only the approximate tier
+	// could answer fails with the typed ApproximateOnly error.
+	RequireExact bool
+	// ApproxEps, when > 0, overrides the server policy's approximate-tier
+	// tolerance for this query (relative to the bounding-box diagonal).
+	ApproxEps float64
 }
 
 // Result is a hull answer. Slices may be shared with the cache and other
@@ -197,6 +204,8 @@ func (s *Server) key(r *request, dsHash hullhash.Sum, haveDS bool) hullhash.Sum 
 	h.Int(r.dim)
 	h.Int(int(r.q.Algo))
 	h.Uint64(r.q.Seed)
+	h.Bool(r.q.RequireExact)
+	h.Float64(r.q.ApproxEps)
 	return h.Sum()
 }
 
@@ -209,6 +218,7 @@ func (s *Server) do(r *request) (Result, error) {
 			s.count(&s.cacheHits, "cache_hits_total")
 			res.Cached = true
 			res.Elapsed = time.Since(start)
+			s.cfg.Metrics.ServeTierAdd(res.Report.Tier.String())
 			return res, nil
 		}
 		s.count(&s.cacheMisses, "cache_misses_total")
@@ -227,6 +237,7 @@ func (s *Server) do(r *request) (Result, error) {
 			return Result{}, resp.err
 		}
 		resp.res.Elapsed = time.Since(start)
+		s.cfg.Metrics.ServeTierAdd(resp.res.Report.Tier.String())
 		return resp.res, nil
 	case <-r.ctx.Done():
 		// The executor will notice the dead context (or answer into the
@@ -236,11 +247,19 @@ func (s *Server) do(r *request) (Result, error) {
 }
 
 // execute runs one admitted request on a checked-out machine through the
-// resilient supervisor.
+// resilient supervisor, with the query's per-request exactness and
+// tolerance overrides applied to the server policy.
 func (s *Server) execute(m *pram.Machine, r *request) (Result, error) {
 	rnd := s.cfg.NewStream(r.q.Seed)
+	pol := s.cfg.Policy
+	if r.q.RequireExact {
+		pol.RequireExact = true
+	}
+	if r.q.ApproxEps > 0 {
+		pol.ApproxEps = r.q.ApproxEps
+	}
 	if r.dim == 3 {
-		out, rep, err := resilient.Hull3D(r.ctx, m, rnd, r.pts3, s.cfg.Policy)
+		out, rep, err := resilient.Hull3D(r.ctx, m, rnd, r.pts3, pol)
 		if err != nil {
 			return Result{}, err
 		}
@@ -248,19 +267,19 @@ func (s *Server) execute(m *pram.Machine, r *request) (Result, error) {
 	}
 	switch r.q.Algo {
 	case AlgoPresorted:
-		out, rep, err := resilient.PresortedHull(r.ctx, m, rnd, r.pts2, s.cfg.Policy)
+		out, rep, err := resilient.PresortedHull(r.ctx, m, rnd, r.pts2, pol)
 		if err != nil {
 			return Result{}, err
 		}
 		return Result{N: len(r.pts2), Chain: out.Chain, Edges: out.Edges, EdgeOf: out.EdgeOf, Report: rep}, nil
 	case AlgoLogStar:
-		out, rep, err := resilient.LogStarHull(r.ctx, m, rnd, r.pts2, s.cfg.Policy)
+		out, rep, err := resilient.LogStarHull(r.ctx, m, rnd, r.pts2, pol)
 		if err != nil {
 			return Result{}, err
 		}
 		return Result{N: len(r.pts2), Chain: out.Chain, Edges: out.Edges, EdgeOf: out.EdgeOf, Report: rep}, nil
 	default:
-		out, rep, err := resilient.Hull2D(r.ctx, m, rnd, r.pts2, s.cfg.Policy)
+		out, rep, err := resilient.Hull2D(r.ctx, m, rnd, r.pts2, pol)
 		if err != nil {
 			return Result{}, err
 		}

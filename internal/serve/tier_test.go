@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"inplacehull/internal/fault"
+	"inplacehull/internal/hullerr"
+	"inplacehull/internal/obs"
+	"inplacehull/internal/resilient"
+	"inplacehull/internal/rng"
+	"inplacehull/internal/workload"
+)
+
+// poisonStream kills every randomized attempt (all paper-named fault
+// sites at rate 1, no budget), forcing queries down the degradation
+// ladder.
+func poisonStream(seed uint64) *rng.Stream {
+	var plan fault.Plan
+	plan.Seed = seed
+	plan.Rates[fault.SampleStorm] = 1
+	plan.Rates[fault.LPTimeout] = 1
+	plan.Rates[fault.VoteSkew] = 1
+	return fault.Attach(rng.New(seed), fault.NewInjector(plan))
+}
+
+// TestTierCounters: served answers land in the per-tier counter family,
+// and cache hits are re-counted under the cached answer's tier.
+func TestTierCounters(t *testing.T) {
+	m := obs.NewMetrics()
+	s := small(t, Config{Metrics: m, CacheSize: 8})
+	pts := workload.Disk(11, 400)
+	for i := 0; i < 3; i++ { // 1 computed + 2 cache hits
+		if _, err := s.Query2D(context.Background(), Query{Points2: pts, Seed: 5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.ServeTier("randomized"); got != 3 {
+		t.Fatalf("tier counter randomized=%d, want 3 (1 computed + 2 cached)", got)
+	}
+	var b bytes.Buffer
+	if err := m.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(b.Bytes(), []byte(`inplacehull_serve_tier_total{tier="randomized"} 3`)) {
+		t.Fatalf("exposition missing tier series:\n%s", b.String())
+	}
+}
+
+// TestTierHeaderAndApproximateOnlyHTTP: the HTTP front end labels every
+// answer with X-Hull-Tier; with the exact tiers poisoned dead a default
+// query degrades to a certified approximate answer (200, labeled), and a
+// require_exact query fails 422 with the typed ApproximateOnly kind.
+func TestTierHeaderAndApproximateOnlyHTTP(t *testing.T) {
+	m := obs.NewMetrics()
+	s := small(t, Config{
+		Metrics:   m,
+		NewStream: poisonStream,
+		Policy:    resilient.Policy{MaxAttempts: 1, NoLadder: true, ApproxEps: 0.05},
+		Datasets:  map[string]Dataset{"disk": {Points2: workload.Disk(17, 400)}},
+	})
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(srv.Close)
+
+	post := func(body string) *http.Response {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/v1/hull2d", "application/json", bytes.NewBufferString(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+
+	resp := post(`{"dataset":"disk","seed":1}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded query status %d, want 200", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Hull-Tier"); got != "approximate" {
+		t.Fatalf("X-Hull-Tier=%q, want approximate", got)
+	}
+	var out httpResult
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Tier != "approximate" || out.ApproxEps <= 0 {
+		t.Fatalf("body tier=%q eps=%g, want a labeled certified approximate answer", out.Tier, out.ApproxEps)
+	}
+	if m.ServeTier("approximate") == 0 {
+		t.Fatal("approximate tier not counted")
+	}
+
+	resp = post(`{"dataset":"disk","seed":2,"require_exact":true,"no_cache":true}`)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("require_exact status %d, want 422", resp.StatusCode)
+	}
+	var he httpError
+	if err := json.NewDecoder(resp.Body).Decode(&he); err != nil {
+		t.Fatal(err)
+	}
+	if he.Kind != hullerr.ApproximateOnly.String() {
+		t.Fatalf("error kind %q, want %q", he.Kind, hullerr.ApproximateOnly.String())
+	}
+}
+
+// TestRequireExactQueryAPI: the typed error also surfaces through the
+// native Query2D API, and a per-query ApproxEps override takes effect
+// without server reconfiguration.
+func TestRequireExactQueryAPI(t *testing.T) {
+	s := small(t, Config{
+		NewStream: poisonStream,
+		Policy:    resilient.Policy{MaxAttempts: 1, NoLadder: true},
+	})
+	pts := workload.Disk(13, 300)
+
+	// No approx tier configured anywhere: typed surrender, not ApproximateOnly.
+	_, err := s.Query2D(context.Background(), Query{Points2: pts, Seed: 1})
+	if err == nil || errors.Is(err, hullerr.ErrApproximateOnly) {
+		t.Fatalf("err=%v, want a typed non-ApproximateOnly surrender", err)
+	}
+
+	// Per-query override enables the approximate tier.
+	res, err := s.Query2D(context.Background(), Query{Points2: pts, Seed: 1, ApproxEps: 0.05, NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Tier != resilient.TierApproximate || res.Report.ApproxEps < 0 {
+		t.Fatalf("tier=%v eps=%g, want certified approximate", res.Report.Tier, res.Report.ApproxEps)
+	}
+
+	// Demanding exactness alongside the override yields the typed error.
+	_, err = s.Query2D(context.Background(), Query{Points2: pts, Seed: 1, ApproxEps: 0.05, RequireExact: true, NoCache: true})
+	if !errors.Is(err, hullerr.ErrApproximateOnly) {
+		t.Fatalf("err=%v, want ErrApproximateOnly", err)
+	}
+}
