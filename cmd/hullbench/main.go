@@ -1,13 +1,15 @@
 // Command hullbench runs the experiments of DESIGN.md §6 and prints their
 // tables — the reproduction's equivalent of regenerating the paper's
-// evaluation figures. The registry spans E1–E18: the theorem-by-theorem
+// evaluation figures. The registry spans E1–E20: the theorem-by-theorem
 // measurements, the E14 chaos soak (with the E14c supervised-recovery
 // re-run), the E15 resilience-overhead sweep, the E16 observability
 // certification (exact phase attribution, Lemma 4.2 round bounds,
 // disabled-path overhead), the E17 engine benchmarks (persistent
-// worker-pool dispatch vs the frozen spawn-per-step baseline), and the
+// worker-pool dispatch vs the frozen spawn-per-step baseline), the
 // E18 serving-layer load test (batched fleet vs one-machine-per-request,
-// cache-hit pricing).
+// cache-hit pricing), the E19 noisy-primitive soak (predicate-flip
+// ladder), and the E20 scatter-gather chaos soak (network-fault mixes
+// against the distributed never-silently-wrong contract).
 //
 // Usage:
 //

@@ -1,21 +1,28 @@
 // Command hullserve exposes the internal/serve hull-query service over
 // HTTP: batched multi-tenant queries against a bounded fleet of pooled
 // PRAM machines, with admission control, a content-addressed result
-// cache, and Prometheus counters.
+// cache, Prometheus counters, and — with -peers/-shards — a failure-aware
+// scatter-gather mode that splits 2-d queries across shard workers
+// (in-process fleets and remote hullserve peers) and merges the partial
+// hulls by common tangents.
 //
 // Usage:
 //
 //	hullserve -addr :8080
 //	hullserve -addr :8080 -fleet 4 -batch 32 -cache 1024
 //	hullserve -addr :8080 -datasets disk:65536,circle:16384,ball:8192
+//	hullserve -addr :8080 -peers http://hull-1:8080,http://hull-2:8080
+//	hullserve -addr :8080 -shards 4          # local-only scatter workers
 //
 // Endpoints:
 //
-//	POST /v1/hull2d    {"points": [[x,y],...]} or {"dataset": "disk-65536"}
+//	POST /v1/hull2d    {"points": [[x,y],...]} or {"dataset": "disk-65536"}; add "shards": k to scatter
 //	POST /v1/hull3d    {"points": [[x,y,z],...]} or {"dataset": "ball-8192"}
+//	POST /v1/scatter2d one shard of a peer coordinator's scatter
 //	GET  /v1/datasets  registered dataset names
+//	GET  /v1/peers     scatter-coordinator per-peer health (breaker states)
 //	GET  /healthz      liveness
-//	GET  /metrics      Prometheus (inplacehull_serve_* counters)
+//	GET  /metrics      Prometheus (inplacehull_serve_* and inplacehull_shard_* counters)
 //
 // The -datasets flag preloads named point sets from the deterministic
 // workload generators; each spec is kind:n with kind one of disk,
@@ -31,14 +38,17 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"inplacehull/internal/obs"
+	"inplacehull/internal/pram"
 	"inplacehull/internal/resilient"
 	"inplacehull/internal/serve"
+	"inplacehull/internal/shard"
 	"inplacehull/internal/workload"
 )
 
@@ -47,12 +57,16 @@ func main() {
 		addr     = flag.String("addr", ":8080", "listen address")
 		fleet    = flag.Int("fleet", 0, "fleet size (pooled machines); 0 = min(GOMAXPROCS, 4)")
 		workers  = flag.Int("workers", 0, "worker-pool width per machine; 0 = GOMAXPROCS")
-		queue    = flag.Int("queue", 256, "admission queue bound; full queue sheds with 429")
+		queue    = flag.Int("queue", 256, "admission queue bound; full queue sheds with 503 + Retry-After")
 		batch    = flag.Int("batch", 32, "max queries coalesced per machine dispatch; 1 disables batching")
 		window   = flag.Duration("window", 200*time.Microsecond, "how long a lone small query holds its batch open for stragglers")
 		cache    = flag.Int("cache", 1024, "result-cache entries; 0 disables caching")
 		datasets = flag.String("datasets", "disk:4096,circle:4096,ball:4096", "comma-separated kind:n dataset specs to preload (empty for none)")
 		approx   = flag.Float64("approx-eps", 0, "server-default approximate-tier tolerance (relative to bbox diagonal); 0 keeps the tier off unless a query opts in via approx_eps")
+		peers    = flag.String("peers", "", "comma-separated base URLs of hullserve peers for scatter-gather (e.g. http://hull-1:8080,http://hull-2:8080)")
+		shards   = flag.Int("shards", 0, "default scatter width; > 0 with no -peers builds that many in-process shard workers")
+		hedge    = flag.Duration("hedge", 20*time.Millisecond, "scatter straggler threshold before a hedged shard request launches; 0 disables hedging")
+		partial  = flag.Bool("allow-partial", true, "answer scattered queries partially (HTTP 206 + typed PartialHull) when shards stay unreachable")
 	)
 	flag.Parse()
 
@@ -62,6 +76,14 @@ func main() {
 		os.Exit(2)
 	}
 
+	metrics := obs.NewMetrics()
+	sharder, closeSharder, err := buildSharder(*peers, *shards, *hedge, *partial, metrics)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hullserve: %v\n", err)
+		os.Exit(2)
+	}
+	defer closeSharder()
+
 	srv := serve.NewServer(serve.Config{
 		FleetSize:   *fleet,
 		Workers:     *workers,
@@ -69,9 +91,10 @@ func main() {
 		MaxBatch:    *batch,
 		BatchWindow: *window,
 		CacheSize:   *cache,
-		Metrics:     obs.NewMetrics(),
+		Metrics:     metrics,
 		Datasets:    ds,
 		Policy:      resilient.Policy{ApproxEps: *approx},
+		Sharder:     sharder,
 	})
 
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
@@ -80,6 +103,9 @@ func main() {
 
 	names := srv.Datasets()
 	fmt.Printf("hullserve: listening on %s (datasets: %s)\n", *addr, strings.Join(names, ", "))
+	if sharder != nil {
+		fmt.Printf("hullserve: scatter-gather enabled, %d-way default split\n", sharder.Shards())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -98,6 +124,50 @@ func main() {
 		fmt.Fprintf(os.Stderr, "hullserve: shutdown: %v\n", err)
 	}
 	srv.Close()
+}
+
+// buildSharder assembles the scatter-gather coordinator: one HTTPWorker
+// per -peers URL plus a local worker backed by a small dedicated machine
+// fleet (dedicated so scattered sub-hulls never compete with the serving
+// fleet's admission queue). Returns nil when scatter is not configured.
+func buildSharder(peerSpec string, shards int, hedge time.Duration, allowPartial bool, metrics *obs.Metrics) (*shard.Coordinator, func(), error) {
+	var peerURLs []string
+	for _, p := range strings.Split(peerSpec, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			if !strings.HasPrefix(p, "http://") && !strings.HasPrefix(p, "https://") {
+				return nil, func() {}, fmt.Errorf("peer %q: want an http(s) base URL", p)
+			}
+			peerURLs = append(peerURLs, strings.TrimRight(p, "/"))
+		}
+	}
+	if len(peerURLs) == 0 && shards <= 0 {
+		return nil, func() {}, nil
+	}
+	localN := 1
+	if len(peerURLs) == 0 {
+		// Local-only scatter: all k shard workers are in-process.
+		localN = shards
+	}
+	fleetSize := localN
+	if max := runtime.GOMAXPROCS(0); fleetSize > max {
+		fleetSize = max
+	}
+	fleet := pram.NewFleet(fleetSize)
+	var ws []shard.Worker
+	for i := 0; i < localN; i++ {
+		ws = append(ws, &shard.LocalWorker{ID: fmt.Sprintf("local-%d", i), Fleet: fleet})
+	}
+	for _, u := range peerURLs {
+		ws = append(ws, &shard.HTTPWorker{Base: u})
+	}
+	coord := shard.New(shard.Config{
+		Workers:      ws,
+		Shards:       shards,
+		HedgeAfter:   hedge,
+		AllowPartial: allowPartial,
+		Metrics:      metrics,
+	})
+	return coord, fleet.Close, nil
 }
 
 // buildDatasets parses "kind:n,kind:n" specs into preloaded datasets

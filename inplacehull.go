@@ -116,6 +116,11 @@ const (
 	// tier failed and only the certified ε-approximate tier could answer.
 	// Retrying without the exactness demand would succeed.
 	ErrKindApproximateOnly = hullerr.ApproximateOnly
+	// ErrKindPartialHull: the sharded scatter-gather layer answered with
+	// an exact hull of only the reachable shards; the error names the
+	// missing ones. Retrying once the missing peers recover yields the
+	// global hull.
+	ErrKindPartialHull = hullerr.PartialHull
 )
 
 // Sentinel errors for errors.Is matching (kind-based).
@@ -140,6 +145,10 @@ var (
 	// ErrApproximateOnly matches the refusal issued when exactness is
 	// demanded but only the approximate degradation tier survives.
 	ErrApproximateOnly = hullerr.ErrApproximateOnly
+	// ErrPartialHull matches partial-coverage answers from the sharded
+	// scatter-gather serving mode: the result is exact for the covered
+	// shards and the error lists the missing ones.
+	ErrPartialHull = hullerr.ErrPartialHull
 )
 
 // IsTyped reports whether err is (or wraps) a typed *Error — the guarantee

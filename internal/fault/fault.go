@@ -54,29 +54,59 @@ const (
 	// but by geom.NoisyOracle (via Injector.Flipper), once per predicate
 	// evaluation of the noisy-resilient and approximate ladder rungs.
 	PredicateFlip
+	// ShardSlow delays one shard attempt of the scatter-gather layer
+	// (internal/shard) past its straggler threshold — the slow-peer mode
+	// hedged requests exist for.
+	ShardSlow
+	// ShardDrop loses one shard request on the wire: the attempt fails
+	// with a typed transport error and must be retried or re-scattered.
+	ShardDrop
+	// ShardCorrupt corrupts one shard response — a flipped chain vertex,
+	// a truncated chain, or a mismatched input checksum — exercising the
+	// coordinator's merge-integrity verification (a lying shard must be
+	// detected, never merged).
+	ShardCorrupt
+	// PeerDown kills a shard worker for the remainder of the run: every
+	// request to it fails fast, exercising the per-peer circuit breaker
+	// and the re-scatter path.
+	PeerDown
 
 	// NumSites is the number of injection sites.
-	NumSites = int(PredicateFlip) + 1
+	NumSites = int(PeerDown) + 1
 )
 
-// String names the site.
+// siteNames is the table-driven site registry: one row per injection
+// point. Adding a site means adding a constant above and one row here —
+// String, the soak harnesses, and the exporters all read this table
+// instead of carrying per-site switch arms.
+var siteNames = [NumSites]string{
+	SampleStorm:     "sample-storm",
+	CompactOverflow: "compact-overflow",
+	LPTimeout:       "lp-timeout",
+	VoteSkew:        "vote-skew",
+	ForceFallback:   "force-fallback",
+	PredicateFlip:   "predicate-flip",
+	ShardSlow:       "shard-slow",
+	ShardDrop:       "shard-drop",
+	ShardCorrupt:    "shard-corrupt",
+	PeerDown:        "peer-down",
+}
+
+// PaperSites lists the paper-named PRAM failure sites — the ones the E14
+// scenario derivation draws rates for, in their historical order (soak
+// scenario IDs depend on this order staying fixed).
+var PaperSites = []Site{SampleStorm, CompactOverflow, LPTimeout, VoteSkew, ForceFallback}
+
+// NetworkSites lists the distribution-level failure sites consulted by the
+// scatter-gather layer (internal/shard), not by the PRAM procedures.
+var NetworkSites = []Site{ShardSlow, ShardDrop, ShardCorrupt, PeerDown}
+
+// String names the site from the registry table.
 func (s Site) String() string {
-	switch s {
-	case SampleStorm:
-		return "sample-storm"
-	case CompactOverflow:
-		return "compact-overflow"
-	case LPTimeout:
-		return "lp-timeout"
-	case VoteSkew:
-		return "vote-skew"
-	case ForceFallback:
-		return "force-fallback"
-	case PredicateFlip:
-		return "predicate-flip"
-	default:
-		return fmt.Sprintf("site(%d)", int(s))
+	if s >= 0 && int(s) < NumSites {
+		return siteNames[s]
 	}
+	return fmt.Sprintf("site(%d)", int(s))
 }
 
 // Plan is an immutable description of which injections fire. The zero value
@@ -133,6 +163,30 @@ func (in *Injector) Hit(s Site) bool {
 		return false
 	}
 	i := in.seen[s].Add(1)
+	return in.decide(s, uint64(i))
+}
+
+// HitAt is Hit for callers that own the occurrence numbering: the decision
+// is the same pure function of (plan seed, site, key) that Hit applies to
+// its internal counter, but the key is supplied by the caller. The shard
+// scatter layer keys on (shard, attempt), so concurrent shard goroutines
+// reach deterministic decisions regardless of interleaving — the property
+// the sequential soaks get from host-side ordering, recovered here for
+// parallel consultation.
+func (in *Injector) HitAt(s Site, key uint64) bool {
+	if in == nil {
+		return false
+	}
+	in.seen[s].Add(1)
+	// Offset the caller key so HitAt(s, k) draws the same stream position
+	// as Hit's (k+1)-th occurrence; key 0 never degenerates to the
+	// constant seed^site draw.
+	return in.decide(s, key+1)
+}
+
+// decide draws the injection decision for stream position i of site s and
+// records a firing. Pure in (plan seed, s, i) apart from the budget cap.
+func (in *Injector) decide(s Site, i uint64) bool {
 	r := in.plan.Rates[s]
 	if r <= 0 {
 		return false
@@ -140,7 +194,7 @@ func (in *Injector) Hit(s Site) bool {
 	if in.plan.MaxPerSite > 0 && in.hits[s].Load() >= int64(in.plan.MaxPerSite) {
 		return false
 	}
-	v := splitmix64(in.plan.Seed ^ uint64(s+1)*0x9e3779b97f4a7c15 ^ uint64(i)*0xbf58476d1ce4e5b9)
+	v := splitmix64(in.plan.Seed ^ uint64(s+1)*0x9e3779b97f4a7c15 ^ i*0xbf58476d1ce4e5b9)
 	if float64(v>>11)/(1<<53) >= r {
 		return false
 	}

@@ -130,7 +130,7 @@ func Scenarios(master uint64, count int) []Scenario {
 		sc := Scenario{ID: i, Algo: Algos[i%len(Algos)], Seed: s.Uint64()}
 		var plan fault.Plan
 		plan.Seed = s.Uint64()
-		for site := 0; site < int(fault.PredicateFlip); site++ {
+		for _, site := range fault.PaperSites {
 			plan.Rates[site] = rateMenu[s.Intn(len(rateMenu))]
 		}
 		plan.FallbackLevel = levelMenu[s.Intn(len(levelMenu))]

@@ -48,6 +48,14 @@ const (
 	// demanded exactness (Policy.RequireExact). Relaxing the requirement
 	// and re-running would succeed with the approximate tier.
 	ApproximateOnly
+	// PartialHull: the sharded scatter-gather layer (internal/shard)
+	// exhausted its retry/hedge/re-scatter ladder with some shards still
+	// unreachable, and answered with the exact hull of the shards it
+	// could cover. The result is certified for the covered shards and
+	// labeled with the missing ones — it is never presented as the global
+	// hull. Retrying once the missing peers recover yields the exact
+	// answer.
+	PartialHull
 )
 
 // String names the kind for error messages.
@@ -67,6 +75,8 @@ func (k Kind) String() string {
 		return "overloaded"
 	case ApproximateOnly:
 		return "approximate only"
+	case PartialHull:
+		return "partial hull"
 	default:
 		return "internal error"
 	}
@@ -114,6 +124,9 @@ var (
 	// ErrApproximateOnly: only the approximate tier survived, but the
 	// caller required exactness.
 	ErrApproximateOnly = &Error{Kind: ApproximateOnly, Msg: "only an approximate hull is available"}
+	// ErrPartialHull: the scatter-gather layer answered with a hull
+	// covering only the reachable shards.
+	ErrPartialHull = &Error{Kind: PartialHull, Msg: "hull covers only the reachable shards"}
 )
 
 // New builds a typed error.

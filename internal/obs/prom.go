@@ -21,6 +21,7 @@ type Metrics struct {
 	notes  map[string]map[string]int64 // event → detail → count
 	serve  map[string]int64            // serving-layer counters (internal/serve)
 	tiers  map[string]int64            // serving-layer answers per ladder tier
+	shards map[string]map[string]int64 // scatter-gather peer → event → count
 }
 
 // NewMetrics returns an empty aggregator.
@@ -83,6 +84,52 @@ var serveHelp = map[string]string{
 	"cache_evictions_total": "Result-cache LRU evictions.",
 	"batches_total":         "Machine dispatches executed by the micro-batcher.",
 	"batched_queries_total": "Queries executed inside those dispatches (total/batches = mean batch size).",
+
+	// Scatter-gather coordinator counters (internal/shard).
+	"shard_queries_total":          "Scatter-gather hull queries started by the coordinator.",
+	"shard_attempts_total":         "Shard attempts launched (first tries, retries and hedges).",
+	"shard_scatter_retries_total":  "Shard attempts beyond the first (retry/re-scatter rungs of the ladder).",
+	"shard_hedges_total":           "Hedged shard requests launched against stragglers.",
+	"shard_breaker_opens_total":    "Per-peer circuit-breaker open transitions.",
+	"shard_corrupt_detected_total": "Shard responses rejected by merge-integrity verification.",
+	"shard_exact_total":            "Scatter-gather queries answered with the exact global hull.",
+	"shard_partial_total":          "Scatter-gather queries answered partially (typed PartialHull).",
+	"shard_failed_total":           "Scatter-gather queries that failed below the partial-coverage floor.",
+	"shard_latency_us_total":       "Summed per-shard attempt latency in microseconds (successful attempts).",
+
+	// Request-tracing counters (internal/serve).
+	"request_id_propagated_total": "HTTP queries that arrived with a caller-supplied X-Request-ID.",
+	"request_id_generated_total":  "HTTP queries for which the server minted an X-Request-ID.",
+}
+
+// ShardEventAdd counts one scatter-gather event for a peer ("attempt",
+// "ok", "fail", "timeout", "hedge", "corrupt", "breaker_open"). Exports as
+// inplacehull_shard_events_total{peer="…",event="…"} — the per-peer twin
+// of the flat shard_* counters, so a dashboard can tell WHICH peer is
+// slow, lying, or broken.
+func (x *Metrics) ShardEventAdd(peer, event string) {
+	if x == nil {
+		return
+	}
+	x.mu.Lock()
+	if x.shards == nil {
+		x.shards = make(map[string]map[string]int64)
+	}
+	if x.shards[peer] == nil {
+		x.shards[peer] = make(map[string]int64)
+	}
+	x.shards[peer][event]++
+	x.mu.Unlock()
+}
+
+// ShardEvent reads one per-peer event counter (0 if never incremented).
+func (x *Metrics) ShardEvent(peer, event string) int64 {
+	if x == nil {
+		return 0
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.shards[peer][event]
 }
 
 // ServeCounterAdd accumulates a serving-layer counter by name; it is the
@@ -226,6 +273,27 @@ func (x *Metrics) WritePrometheus(w io.Writer) error {
 		sort.Strings(tierNames)
 		for _, t := range tierNames {
 			fmt.Fprintf(&b, "inplacehull_serve_tier_total{tier=%q} %d\n", escapeLabel(t), x.tiers[t])
+		}
+	}
+
+	if len(x.shards) > 0 {
+		b.WriteString("# HELP inplacehull_shard_events_total Scatter-gather events per shard peer.\n")
+		b.WriteString("# TYPE inplacehull_shard_events_total counter\n")
+		peers := make([]string, 0, len(x.shards))
+		for p := range x.shards {
+			peers = append(peers, p)
+		}
+		sort.Strings(peers)
+		for _, p := range peers {
+			events := make([]string, 0, len(x.shards[p]))
+			for e := range x.shards[p] {
+				events = append(events, e)
+			}
+			sort.Strings(events)
+			for _, e := range events {
+				fmt.Fprintf(&b, "inplacehull_shard_events_total{peer=%q,event=%q} %d\n",
+					escapeLabel(p), escapeLabel(e), x.shards[p][e])
+			}
 		}
 	}
 

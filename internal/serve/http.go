@@ -4,12 +4,15 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"inplacehull/internal/geom"
 	"inplacehull/internal/hullerr"
+	"inplacehull/internal/shard"
 )
 
 // httpQuery is the JSON request body of POST /v1/hull2d and /v1/hull3d.
@@ -33,6 +36,10 @@ type httpQuery struct {
 	// ApproxEps overrides the server's approximate-tier tolerance for
 	// this query (relative to the bounding-box diagonal; > 0 enables).
 	ApproxEps float64 `json:"approx_eps,omitempty"`
+	// Shards routes the query through the scatter-gather coordinator
+	// split k ways (-1 = the coordinator's default width). Requires the
+	// server to be started with peers/shards configured; 2-d hull2d only.
+	Shards int `json:"shards,omitempty"`
 }
 
 // httpResult is the JSON response body.
@@ -48,30 +55,49 @@ type httpResult struct {
 	ApproxEps float64 `json:"approx_eps,omitempty"`
 	Attempts  int     `json:"attempts"`
 	Elapsed   float64 `json:"elapsed_us"`
+	// Shards/MissingShards describe a scattered answer: how many shards
+	// the query split into, and — on an HTTP 206 partial answer — which of
+	// them the hull does not cover.
+	Shards        int    `json:"shards,omitempty"`
+	MissingShards []int  `json:"missing_shards,omitempty"`
+	RequestID     string `json:"request_id,omitempty"`
 }
 
 type httpError struct {
-	Error string `json:"error"`
-	Kind  string `json:"kind"`
+	Error     string `json:"error"`
+	Kind      string `json:"kind"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // statusOf maps the typed error taxonomy onto HTTP statuses. Untyped
-// errors cannot reach here (the supervisor's contract), but map to 500
-// defensively.
+// errors cannot reach here (the supervisor's contract), but map
+// defensively: a raw context deadline is still a timeout (504), anything
+// else a 500.
 func statusOf(err error) int {
 	var e *hullerr.Error
 	if !errors.As(err, &e) {
+		if errors.Is(err, context.DeadlineExceeded) {
+			return http.StatusGatewayTimeout
+		}
 		return http.StatusInternalServerError
 	}
 	switch e.Kind {
 	case hullerr.InvalidInput, hullerr.UnsortedInput:
 		return http.StatusBadRequest
 	case hullerr.Overloaded:
-		return http.StatusTooManyRequests
+		// 503, not 429: the server as a whole is saturated or closing —
+		// the client did nothing wrong, the capacity is simply not there
+		// right now. Retry-After tells it when to come back.
+		return http.StatusServiceUnavailable
 	case hullerr.ApproximateOnly:
 		// The request as stated (exact) is unsatisfiable, but a relaxed
 		// retry (require_exact=false) would succeed.
 		return http.StatusUnprocessableEntity
+	case hullerr.PartialHull:
+		// Scattered answers with unreachable shards carry their covered
+		// hull; serveHull answers 206 with the body, this arm only backs
+		// writeErr up if one escapes to the generic path.
+		return http.StatusPartialContent
 	case hullerr.DeadlineExceeded:
 		return http.StatusGatewayTimeout
 	case hullerr.Canceled:
@@ -95,29 +121,44 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeErr(w http.ResponseWriter, err error) {
+func writeErr(w http.ResponseWriter, ctx context.Context, err error) {
 	status := statusOf(err)
-	if status == http.StatusTooManyRequests {
+	if status == http.StatusServiceUnavailable {
 		w.Header().Set("Retry-After", "1")
 	}
-	writeJSON(w, status, httpError{Error: err.Error(), Kind: kindName(err)})
+	writeJSON(w, status, httpError{Error: err.Error(), Kind: kindName(err),
+		RequestID: shard.RequestIDFrom(ctx)})
 }
 
 // Handler returns the HTTP front end:
 //
-//	POST /v1/hull2d   {"points":[[x,y],…]|"dataset":name, "algorithm":…, "seed":…, "deadline_ms":…}
-//	POST /v1/hull3d   {"points":[[x,y,z],…]|"dataset":name, …}
-//	GET  /v1/datasets registered dataset names
-//	GET  /healthz     liveness
-//	GET  /metrics     Prometheus exposition (when Config.Metrics is set)
+//	POST /v1/hull2d    {"points":[[x,y],…]|"dataset":name, "algorithm":…, "seed":…, "deadline_ms":…, "shards":…}
+//	POST /v1/hull3d    {"points":[[x,y,z],…]|"dataset":name, …}
+//	POST /v1/scatter2d one shard of a peer coordinator's scatter (internal/shard wire format)
+//	GET  /v1/datasets  registered dataset names
+//	GET  /v1/peers     per-peer health of the scatter coordinator (when configured)
+//	GET  /healthz      liveness
+//	GET  /metrics      Prometheus exposition (when Config.Metrics is set)
+//
+// Every request runs under an X-Request-ID: a caller-supplied one is
+// propagated (to the response, error bodies, and scatter fan-out to
+// peers), otherwise the server mints one.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/hull2d", func(w http.ResponseWriter, req *http.Request) { s.serveHull(w, req, 2) })
 	mux.HandleFunc("/v1/hull3d", func(w http.ResponseWriter, req *http.Request) { s.serveHull(w, req, 3) })
+	mux.HandleFunc(shard.ScatterPath, s.serveScatter)
 	mux.HandleFunc("/v1/datasets", func(w http.ResponseWriter, req *http.Request) {
 		names := s.Datasets()
 		sort.Strings(names)
 		writeJSON(w, http.StatusOK, map[string][]string{"datasets": names})
+	})
+	mux.HandleFunc("/v1/peers", func(w http.ResponseWriter, req *http.Request) {
+		if s.cfg.Sharder == nil {
+			writeJSON(w, http.StatusOK, map[string]any{"peers": []any{}})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"peers": s.cfg.Sharder.Health()})
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -126,7 +167,56 @@ func (s *Server) Handler() http.Handler {
 	if s.cfg.Metrics != nil {
 		mux.Handle("/metrics", s.cfg.Metrics)
 	}
-	return mux
+	return s.withRequestID(mux)
+}
+
+// ridCounter backs server-minted request IDs.
+var ridCounter atomic.Uint64
+
+// withRequestID is the tracing middleware: propagate the caller's
+// X-Request-ID or mint one, thread it through the request context (where
+// typed-error bodies and scatter fan-out pick it up), and echo it on the
+// response.
+func (s *Server) withRequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		id := req.Header.Get(shard.RequestIDHeader)
+		if id != "" {
+			s.cfg.Metrics.ServeCounterAdd("request_id_propagated_total", 1)
+		} else {
+			id = fmt.Sprintf("hull-%x-%x", time.Now().UnixNano(), ridCounter.Add(1))
+			s.cfg.Metrics.ServeCounterAdd("request_id_generated_total", 1)
+		}
+		w.Header().Set(shard.RequestIDHeader, id)
+		next.ServeHTTP(w, req.WithContext(shard.WithRequestID(req.Context(), id)))
+	})
+}
+
+// serveScatter answers one shard of a remote coordinator's scatter: decode
+// the wire request, compute the canonical shard hull through the full
+// serving path, echo the content checksum of the received bytes.
+func (s *Server) serveScatter(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var wr shard.WireRequest
+	if err := json.NewDecoder(req.Body).Decode(&wr); err != nil {
+		writeJSON(w, http.StatusBadRequest, httpError{Error: "bad JSON: " + err.Error(),
+			Kind: "invalid input", RequestID: shard.RequestIDFrom(req.Context())})
+		return
+	}
+	sreq, err := shard.DecodeRequest(wr)
+	if err != nil {
+		writeErr(w, req.Context(), err)
+		return
+	}
+	resp, err := s.Scatter2D(req.Context(), sreq)
+	if err != nil {
+		writeErr(w, req.Context(), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, shard.EncodeResponse(resp))
 }
 
 func (s *Server) serveHull(w http.ResponseWriter, req *http.Request, dim int) {
@@ -141,7 +231,7 @@ func (s *Server) serveHull(w http.ResponseWriter, req *http.Request, dim int) {
 		return
 	}
 	q := Query{Dataset: hq.Dataset, Seed: hq.Seed, NoCache: hq.NoCache,
-		RequireExact: hq.RequireExact, ApproxEps: hq.ApproxEps}
+		RequireExact: hq.RequireExact, ApproxEps: hq.ApproxEps, Shards: hq.Shards}
 	switch hq.Algorithm {
 	case "", "hull2d":
 		q.Algo = AlgoHull2D
@@ -180,17 +270,21 @@ func (s *Server) serveHull(w http.ResponseWriter, req *http.Request, dim int) {
 	} else {
 		res, err = s.Query2D(ctx, q)
 	}
-	if err != nil {
-		writeErr(w, err)
+	partial := err != nil && errors.Is(err, hullerr.ErrPartialHull)
+	if err != nil && !partial {
+		writeErr(w, ctx, err)
 		return
 	}
 	out := httpResult{
-		N:         res.N,
-		Cached:    res.Cached,
-		Tier:      res.Report.Tier.String(),
-		ApproxEps: res.Report.ApproxEps,
-		Attempts:  res.Report.Attempts,
-		Elapsed:   float64(res.Elapsed.Microseconds()),
+		N:             res.N,
+		Cached:        res.Cached,
+		Tier:          res.Report.Tier.String(),
+		ApproxEps:     res.Report.ApproxEps,
+		Attempts:      res.Report.Attempts,
+		Elapsed:       float64(res.Elapsed.Microseconds()),
+		Shards:        res.Shards,
+		MissingShards: res.Missing,
+		RequestID:     shard.RequestIDFrom(ctx),
 	}
 	w.Header().Set("X-Hull-Tier", out.Tier)
 	if dim == 3 {
@@ -203,7 +297,15 @@ func (s *Server) serveHull(w http.ResponseWriter, req *http.Request, dim int) {
 			out.Chain[i] = []float64{p.X, p.Y}
 		}
 	}
-	writeJSON(w, http.StatusOK, out)
+	status := http.StatusOK
+	if partial {
+		// 206: the body carries the exact hull of the covered shards and
+		// names the missing ones — a labeled degradation, never presented
+		// as the global hull.
+		status = http.StatusPartialContent
+		w.Header().Set("X-Hull-Partial", "true")
+	}
+	writeJSON(w, status, out)
 }
 
 func itoa(n int) string {

@@ -67,6 +67,12 @@ type Query struct {
 	// ApproxEps, when > 0, overrides the server policy's approximate-tier
 	// tolerance for this query (relative to the bounding-box diagonal).
 	ApproxEps float64
+	// Shards, when > 0, routes the query through the scatter-gather
+	// coordinator (Config.Sharder) split k ways; -1 selects the
+	// coordinator's default width. 2-d only, AlgoHull2D only. Part of the
+	// cache key: a sharded and an unsharded query cache separately (the
+	// answers are bit-identical, but the failure modes are not).
+	Shards int
 }
 
 // Result is a hull answer. Slices may be shared with the cache and other
@@ -86,6 +92,11 @@ type Result struct {
 	Report resilient.Report
 	// Cached reports whether the answer came from the result cache.
 	Cached bool
+	// Shards is the number of non-empty shards a scattered query split
+	// into (0 for unscattered queries); Missing lists the shard indices a
+	// partial answer does not cover (nil for exact answers).
+	Shards  int
+	Missing []int
 	// Elapsed is the service time: queue wait plus machine time for a
 	// computed answer, lookup time for a cached one.
 	Elapsed time.Duration
@@ -147,6 +158,9 @@ func (s *Server) Query2D(ctx context.Context, q Query) (Result, error) {
 		r.pts2 = q.Points2
 	}
 	r.key = s.key(r, dsHash, haveDS)
+	if q.Shards != 0 {
+		return s.doScattered(ctx, r)
+	}
 	return s.do(r)
 }
 
@@ -206,6 +220,7 @@ func (s *Server) key(r *request, dsHash hullhash.Sum, haveDS bool) hullhash.Sum 
 	h.Uint64(r.q.Seed)
 	h.Bool(r.q.RequireExact)
 	h.Float64(r.q.ApproxEps)
+	h.Int(r.q.Shards)
 	return h.Sum()
 }
 

@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"time"
+
+	"inplacehull/internal/geom"
+	"inplacehull/internal/hullerr"
+	"inplacehull/internal/hullhash"
+	"inplacehull/internal/shard"
+)
+
+// doScattered answers a 2-d query through the scatter-gather coordinator
+// instead of the local batcher. It shares the result cache with the
+// single-node path (the shard width is folded into the key), but never
+// caches a partial answer: a partial is a degraded artifact of the moment's
+// failures, and serving it after the peers recover would be wrong.
+func (s *Server) doScattered(ctx context.Context, r *request) (Result, error) {
+	const op = "serve.Scatter"
+	start := time.Now()
+	if s.cfg.Sharder == nil {
+		return Result{}, hullerr.New(hullerr.InvalidInput, op, "no scatter coordinator configured (Config.Sharder)")
+	}
+	if r.q.Algo != AlgoHull2D {
+		return Result{}, hullerr.New(hullerr.InvalidInput, op, "scattered queries support algorithm hull2d only, not %s", r.q.Algo)
+	}
+	if s.cache != nil && !r.q.NoCache {
+		if res, ok := s.cache.get(r.key); ok {
+			s.count(&s.cacheHits, "cache_hits_total")
+			res.Cached = true
+			res.Elapsed = time.Since(start)
+			return res, nil
+		}
+		s.count(&s.cacheMisses, "cache_misses_total")
+	}
+	k := r.q.Shards
+	if k < 0 {
+		k = s.cfg.Sharder.Shards()
+	}
+	out, err := s.cfg.Sharder.Gather2D(ctx, r.pts2, k, r.q.Seed)
+	if err != nil && !errors.Is(err, hullerr.ErrPartialHull) {
+		s.count(&s.errors, "errors_total")
+		return Result{}, err
+	}
+	res := Result{
+		N:       len(r.pts2),
+		Chain:   out.Chain,
+		Shards:  out.Shards,
+		Missing: out.Missing,
+		Elapsed: time.Since(start),
+	}
+	s.count(&s.completed, "completed_total")
+	if err == nil && s.cache != nil && !r.q.NoCache {
+		s.cache.put(r.key, res)
+	}
+	// A partial answer returns BOTH the covered hull and the typed
+	// PartialHull error; callers that cannot use partial coverage treat it
+	// as a failure, the HTTP layer maps it to 206.
+	return res, err
+}
+
+// Scatter2D is the peer side of the scatter protocol: it computes the
+// canonical strict upper hull of one shard, reusing the server's full
+// admission/batching/cache path (a retried shard hits the cache), and
+// echoes the content checksum of the points it actually received — the
+// coordinator's proof that the wire carried the right bytes.
+func (s *Server) Scatter2D(ctx context.Context, req shard.Request) (shard.Response, error) {
+	h := hullhash.New()
+	h.Points2(req.Points)
+	res, err := s.Query2D(ctx, Query{
+		Points2:      req.Points,
+		Algo:         AlgoHull2D,
+		Seed:         req.Seed,
+		RequireExact: true, // only exact partial hulls keep the merge certifiable
+	})
+	if err != nil {
+		return shard.Response{}, err
+	}
+	// Canonicalize over the lexicographically sorted shard (the
+	// coordinator sends sorted points, but re-sorting a copy keeps the
+	// endpoint's contract independent of the caller's discipline).
+	pts := append([]geom.Point(nil), req.Points...)
+	sort.Slice(pts, func(i, j int) bool { return geom.LexLess(pts[i], pts[j]) })
+	return shard.Response{
+		Shard: req.Shard,
+		Chain: shard.Canonical(pts, res.Chain),
+		Sum:   h.Sum(),
+		Tier:  res.Report.Tier.String(),
+	}, nil
+}

@@ -63,6 +63,7 @@ import (
 	"inplacehull/internal/pram"
 	"inplacehull/internal/resilient"
 	"inplacehull/internal/rng"
+	"inplacehull/internal/shard"
 )
 
 // Config tunes the server. The zero value serves with defaults: a small
@@ -105,6 +106,11 @@ type Config struct {
 	// rng.New; the fault-injection soak overrides it to attach a
 	// deterministic injector payload (fault.Attach).
 	NewStream func(seed uint64) *rng.Stream
+	// Sharder, when non-nil, enables the scatter-gather query mode: a 2-d
+	// query with Query.Shards > 0 is split across the coordinator's shard
+	// workers (in-process fleets and/or remote hullserve peers) instead of
+	// running on one machine. See internal/shard.
+	Sharder *shard.Coordinator
 }
 
 func (c *Config) fill() {

@@ -1,0 +1,96 @@
+package shard
+
+import (
+	"sync"
+	"time"
+)
+
+// breaker is a per-worker circuit breaker: closed (healthy), open (refusing
+// after BreakerThreshold consecutive failures), half-open (cooldown passed;
+// exactly one probe is admitted, and its outcome re-closes or re-opens the
+// circuit). It protects the retry ladder from hammering a dead peer — the
+// PeerDown failure mode — while the cooldown probe lets a recovered peer
+// rejoin without operator action.
+type breaker struct {
+	mu          sync.Mutex
+	threshold   int
+	cooldown    time.Duration
+	consecutive int
+	openedAt    time.Time
+	open        bool
+	probing     bool
+	successes   int64
+	failures    int64
+	// now is swappable for tests.
+	now func() time.Time
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// allow reports whether a request may be sent to this worker. In the open
+// state it admits a single half-open probe once the cooldown has elapsed.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.open {
+		return true
+	}
+	if b.probing {
+		return false
+	}
+	if b.now().Sub(b.openedAt) >= b.cooldown {
+		b.probing = true
+		return true
+	}
+	return false
+}
+
+// report records a request outcome. onOpen fires (outside no locks other
+// than b's) exactly on closed→open transitions, so callers can count them.
+func (b *breaker) report(ok bool, onOpen func()) {
+	b.mu.Lock()
+	opened := false
+	if ok {
+		b.successes++
+		b.consecutive = 0
+		b.open = false
+		b.probing = false
+	} else {
+		b.failures++
+		b.consecutive++
+		b.probing = false
+		if b.consecutive >= b.threshold {
+			if !b.open {
+				opened = true
+			}
+			b.open = true
+			b.openedAt = b.now()
+		}
+	}
+	b.mu.Unlock()
+	if opened && onOpen != nil {
+		onOpen()
+	}
+}
+
+// snapshot captures the tracker state for Coordinator.Health.
+func (b *breaker) snapshot(peer string) PeerHealth {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	state := "closed"
+	if b.open {
+		state = "open"
+		if b.probing || b.now().Sub(b.openedAt) >= b.cooldown {
+			state = "half-open"
+		}
+	}
+	return PeerHealth{
+		Peer:        peer,
+		State:       state,
+		Consecutive: b.consecutive,
+		Successes:   b.successes,
+		Failures:    b.failures,
+	}
+}

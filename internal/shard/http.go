@@ -1,0 +1,198 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"inplacehull/internal/geom"
+	"inplacehull/internal/hullerr"
+	"inplacehull/internal/hullhash"
+)
+
+// RequestIDHeader is the tracing header the serving layer propagates:
+// inbound requests keep their caller-supplied ID, requests without one get
+// a server-minted ID, and scatter fan-out forwards the ID to every peer so
+// one query's shard attempts correlate across the cluster.
+const RequestIDHeader = "X-Request-ID"
+
+// ridKey is the context key carrying the request ID.
+type ridKey struct{}
+
+// WithRequestID returns ctx carrying the request ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, ridKey{}, id)
+}
+
+// RequestIDFrom extracts the request ID riding ctx ("" if none).
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(ridKey{}).(string)
+	return id
+}
+
+// ScatterPath is the shard-computation endpoint a hullserve peer exposes.
+const ScatterPath = "/v1/scatter2d"
+
+// WireRequest is the JSON body of POST /v1/scatter2d. float64 coordinates
+// and uint64 checksum halves survive the JSON round trip exactly
+// (shortest-representation encoding), so the peer can verify the content
+// hash of the bytes it decoded against the coordinator's.
+type WireRequest struct {
+	Shard   int         `json:"shard"`
+	Attempt int         `json:"attempt"`
+	Seed    uint64      `json:"seed"`
+	SumHi   uint64      `json:"sum_hi"`
+	SumLo   uint64      `json:"sum_lo"`
+	Points  [][]float64 `json:"points"`
+}
+
+// WireResponse is the JSON answer: the canonical strict upper hull of the
+// shard plus the checksum of the points the peer actually received.
+type WireResponse struct {
+	Shard int         `json:"shard"`
+	SumHi uint64      `json:"sum_hi"`
+	SumLo uint64      `json:"sum_lo"`
+	Chain [][]float64 `json:"chain"`
+	Tier  string      `json:"tier,omitempty"`
+}
+
+// wireError mirrors the serving layer's error envelope.
+type wireError struct {
+	Error string `json:"error"`
+	Kind  string `json:"kind"`
+}
+
+// EncodeRequest converts a shard request to its wire form.
+func EncodeRequest(req Request) WireRequest {
+	w := WireRequest{Shard: req.Shard, Attempt: req.Attempt, Seed: req.Seed,
+		SumHi: req.Sum.Hi, SumLo: req.Sum.Lo, Points: make([][]float64, len(req.Points))}
+	for i, p := range req.Points {
+		w.Points[i] = []float64{p.X, p.Y}
+	}
+	return w
+}
+
+// DecodeRequest converts a wire request back to a shard request. Malformed
+// coordinate arity is a typed invalid-input error.
+func DecodeRequest(w WireRequest) (Request, error) {
+	req := Request{Shard: w.Shard, Attempt: w.Attempt, Seed: w.Seed,
+		Sum: hullhash.Sum{Hi: w.SumHi, Lo: w.SumLo}}
+	req.Points = make([]geom.Point, len(w.Points))
+	for i, c := range w.Points {
+		if len(c) != 2 {
+			return Request{}, hullerr.New(hullerr.InvalidInput, "shard.DecodeRequest",
+				"point %d has %d coordinates, want 2", i, len(c))
+		}
+		req.Points[i] = geom.Point{X: c[0], Y: c[1]}
+	}
+	return req, nil
+}
+
+// EncodeResponse converts a shard response to its wire form.
+func EncodeResponse(resp Response) WireResponse {
+	w := WireResponse{Shard: resp.Shard, SumHi: resp.Sum.Hi, SumLo: resp.Sum.Lo,
+		Tier: resp.Tier, Chain: make([][]float64, len(resp.Chain))}
+	for i, p := range resp.Chain {
+		w.Chain[i] = []float64{p.X, p.Y}
+	}
+	return w
+}
+
+// DecodeResponse converts a wire response back to a shard response.
+func DecodeResponse(w WireResponse) (Response, error) {
+	resp := Response{Shard: w.Shard, Sum: hullhash.Sum{Hi: w.SumHi, Lo: w.SumLo}, Tier: w.Tier}
+	resp.Chain = make([]geom.Point, len(w.Chain))
+	for i, c := range w.Chain {
+		if len(c) != 2 {
+			return Response{}, hullerr.New(hullerr.Internal, "shard.DecodeResponse",
+				"chain vertex %d has %d coordinates, want 2", i, len(c))
+		}
+		resp.Chain[i] = geom.Point{X: c[0], Y: c[1]}
+	}
+	return resp, nil
+}
+
+// KindFromName inverts hullerr.Kind.String — the wire carries kinds by
+// name, and the coordinator wants its retry/breaker decisions to see the
+// peer's typed taxonomy, not a flattened transport error.
+func KindFromName(name string) (hullerr.Kind, bool) {
+	for k := hullerr.InvalidInput; k <= hullerr.PartialHull; k++ {
+		if k.String() == name {
+			return k, true
+		}
+	}
+	return hullerr.Internal, false
+}
+
+// HTTPWorker computes shards on a remote hullserve peer via POST
+// {Base}/v1/scatter2d. Deadlines propagate through the request context;
+// typed error kinds survive the wire via the error envelope's kind name.
+type HTTPWorker struct {
+	// Base is the peer's base URL, e.g. "http://hull-1:8080".
+	Base string
+	// Client, when nil, defaults to a client with a 30s safety timeout
+	// (per-attempt deadlines normally bind first via the context).
+	Client *http.Client
+}
+
+// Name implements Worker.
+func (w *HTTPWorker) Name() string { return w.Base }
+
+func (w *HTTPWorker) client() *http.Client {
+	if w.Client != nil {
+		return w.Client
+	}
+	return &http.Client{Timeout: 30 * time.Second}
+}
+
+// Partial implements Worker.
+func (w *HTTPWorker) Partial(ctx context.Context, req Request) (Response, error) {
+	const op = "shard.HTTPWorker"
+	body, err := json.Marshal(EncodeRequest(req))
+	if err != nil {
+		return Response{}, hullerr.New(hullerr.Internal, op, "encode shard %d: %v", req.Shard, err)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, w.Base+ScatterPath, bytes.NewReader(body))
+	if err != nil {
+		return Response{}, hullerr.New(hullerr.Internal, op, "build request: %v", err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	if id := RequestIDFrom(ctx); id != "" {
+		hreq.Header.Set(RequestIDHeader, id)
+	}
+	hresp, err := w.client().Do(hreq)
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return Response{}, hullerr.FromContext(op, ctxErr)
+		}
+		return Response{}, hullerr.New(hullerr.Internal, op, "peer %s unreachable: %v", w.Base, err)
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		var we wireError
+		_ = json.NewDecoder(hresp.Body).Decode(&we)
+		kind, ok := KindFromName(we.Kind)
+		if !ok {
+			return Response{}, hullerr.New(hullerr.Internal, op,
+				"peer %s: HTTP %d: %s", w.Base, hresp.StatusCode, firstNonEmpty(we.Error, hresp.Status))
+		}
+		return Response{}, hullerr.New(kind, op, "peer %s: %s", w.Base, we.Error)
+	}
+	var wr WireResponse
+	if err := json.NewDecoder(hresp.Body).Decode(&wr); err != nil {
+		return Response{}, hullerr.New(hullerr.Internal, op, "peer %s: bad response body: %v", w.Base, err)
+	}
+	return DecodeResponse(wr)
+}
+
+func firstNonEmpty(a, b string) string {
+	if a != "" {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,315 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"inplacehull/internal/fault"
+	"inplacehull/internal/fault/soak"
+	"inplacehull/internal/geom"
+	"inplacehull/internal/hull2d"
+	"inplacehull/internal/hullerr"
+	"inplacehull/internal/pram"
+	"inplacehull/internal/rng"
+	"inplacehull/internal/workload"
+)
+
+// This file is the chaos-soak harness behind experiment E20: large batches
+// of seeded scatter-gather scenarios under the four network failure sites
+// (shard-slow, shard-drop, shard-corrupt, peer-down), alone and mixed, on
+// top of optional PRAM-level faults inside the shard workers. The
+// distributed robustness contract under test: under ANY injection mix,
+// every Gather2D call ends in exactly one of
+//
+//   - an exact answer bit-identical to the single-node reference hull,
+//   - a partial answer carrying the typed PartialHull error whose chain is
+//     bit-identical to the reference hull of the covered shards, or
+//   - a typed *hullerr.Error —
+//
+// never a silently wrong hull, an untyped error, or a panic.
+//
+// Determinism note: every injection decision is a pure function of
+// (per-worker seed, site, shard, retry rung), so WHAT a worker does for a
+// given rung never varies. Which worker a hedge lands on — and therefore
+// per-run counter values — can vary with goroutine scheduling; outcomes
+// cannot, because every worker's verified answer for a shard is the same
+// canonical chain.
+
+// Mix names a network-fault site combination a soak batch runs under.
+type Mix struct {
+	Name  string
+	Sites []fault.Site
+}
+
+// Mixes are the E20 batches: each network site alone, then all four.
+var Mixes = []Mix{
+	{Name: "slow", Sites: []fault.Site{fault.ShardSlow}},
+	{Name: "drop", Sites: []fault.Site{fault.ShardDrop}},
+	{Name: "corrupt", Sites: []fault.Site{fault.ShardCorrupt}},
+	{Name: "down", Sites: []fault.Site{fault.PeerDown}},
+	{Name: "mixed", Sites: fault.NetworkSites},
+}
+
+// SoakScenario is one fully deterministic scatter-gather soak run.
+type SoakScenario struct {
+	ID  int
+	Mix string
+	Gen string
+	// N points split across K shards on K workers.
+	N, K int
+	// Seed drives the workload generator and the query seed.
+	Seed uint64
+	// Plan carries the network-site rates (per the mix) plus occasional
+	// low-rate paper-site faults, so PRAM-level and network-level failure
+	// handling compose. Each worker w runs an injector seeded
+	// Plan.Seed ^ splitmix(w), decorrelating peers deterministically.
+	Plan fault.Plan
+	// Hedge enables the straggler hedge for this run.
+	Hedge bool
+	// AllowPartial enables the partial-coverage rung.
+	AllowPartial bool
+}
+
+// SoakRecord is one scenario's outcome, reusing the E14 classification.
+type SoakRecord struct {
+	Scenario SoakScenario
+	Outcome  soak.Outcome
+	Detail   string
+	// Retries/Hedges are the coordinator's extra-attempt counts (informational).
+	Retries, Hedges int64
+	// Partial reports whether the answer was a certified partial hull.
+	Partial bool
+}
+
+// SoakSummary aggregates a batch.
+type SoakSummary struct {
+	Scenarios int
+	ByOutcome [int(soak.Panicked) + 1]int
+	// ByMix[mix][outcome] counts runs per fault mix.
+	ByMix    map[string]*[int(soak.Panicked) + 1]int
+	Partials int
+	Retries  int64
+	Hedges   int64
+	Failures []SoakRecord
+}
+
+// Bad reports whether any scenario violated the contract.
+func (s *SoakSummary) Bad() bool { return len(s.Failures) > 0 }
+
+var (
+	netRateMenu   = []float64{0, 0.1, 0.3, 1}
+	paperRateMenu = []float64{0, 0, 0, 0.1}
+	soakNMenu     = []int{64, 128, 256, 512}
+	soakKMenu     = []int{2, 3, 4, 5}
+	soakBudget    = []int{0, 4, 16}
+)
+
+// SoakScenarios derives count scenarios deterministically from the master
+// seed, rotating through the mixes so every batch covers all of them.
+func SoakScenarios(master uint64, count int) []SoakScenario {
+	s := rng.New(master)
+	out := make([]SoakScenario, 0, count)
+	for i := 0; i < count; i++ {
+		mix := Mixes[i%len(Mixes)]
+		sc := SoakScenario{ID: i, Mix: mix.Name, Seed: s.Uint64()}
+		sc.Plan.Seed = s.Uint64()
+		for _, site := range mix.Sites {
+			sc.Plan.Rates[site] = netRateMenu[s.Intn(len(netRateMenu))]
+		}
+		for _, site := range fault.PaperSites {
+			sc.Plan.Rates[site] = paperRateMenu[s.Intn(len(paperRateMenu))]
+		}
+		sc.Plan.MaxPerSite = soakBudget[s.Intn(len(soakBudget))]
+		g := workload.Gens2D[s.Intn(len(workload.Gens2D))]
+		sc.Gen = g.Name
+		sc.N = soakNMenu[s.Intn(len(soakNMenu))]
+		sc.K = soakKMenu[s.Intn(len(soakKMenu))]
+		sc.Hedge = s.Intn(2) == 0
+		sc.AllowPartial = s.Intn(4) != 0 // partial enabled 3/4 of the time
+		out = append(out, sc)
+	}
+	return out
+}
+
+// soakGen2D resolves a registered 2-d generator by name.
+func soakGen2D(name string) (workload.Gen2D, bool) {
+	for _, g := range workload.Gens2D {
+		if g.Name == name {
+			return g, true
+		}
+	}
+	return workload.Gen2D{}, false
+}
+
+// workerSeed decorrelates worker w's injector from the plan seed.
+func workerSeed(planSeed uint64, w int) uint64 { return shardSeed(planSeed^0x5EED, w) }
+
+// RunSoakScenario executes one scenario end to end: build a K-worker
+// chaos-wrapped coordinator, scatter, and classify the outcome against the
+// sequential reference oracle. Panics become Panicked records.
+func RunSoakScenario(sc SoakScenario) (rec SoakRecord) {
+	rec.Scenario = sc
+	defer func() {
+		if r := recover(); r != nil {
+			rec.Outcome = soak.Panicked
+			rec.Detail = fmt.Sprint(r)
+		}
+	}()
+	g, ok := soakGen2D(sc.Gen)
+	if !ok {
+		rec.Outcome, rec.Detail = soak.UntypedError, "unknown generator "+sc.Gen
+		return rec
+	}
+	pts := g.Gen(sc.Seed, sc.N)
+
+	// One machine per worker, single PRAM worker each: the soak's load is
+	// many small shards, not one big one.
+	fleet := pram.NewFleet(sc.K, pram.WithWorkers(1))
+	defer fleet.Close()
+	workers := make([]Worker, sc.K)
+	for w := 0; w < sc.K; w++ {
+		inj := fault.NewInjector(plainPlanFor(sc.Plan, workerSeed(sc.Plan.Seed, w)))
+		workers[w] = &ChaosWorker{
+			Inner: &LocalWorker{
+				ID:    fmt.Sprintf("local-%d", w),
+				Fleet: fleet,
+				// Thread the SAME injector into the worker's PRAM stream,
+				// so paper-site faults fire inside the shard computation.
+				NewStream: func(seed uint64) *rng.Stream { return fault.Attach(rng.New(seed), inj) },
+			},
+			Inj:       inj,
+			SlowSleep: 200 * time.Millisecond,
+		}
+	}
+	cfg := Config{
+		Workers:          workers,
+		Shards:           sc.K,
+		MaxAttempts:      3,
+		ShardTimeout:     80 * time.Millisecond,
+		Backoff:          200 * time.Microsecond,
+		BreakerThreshold: 3,
+		BreakerCooldown:  50 * time.Millisecond,
+		AllowPartial:     sc.AllowPartial,
+	}
+	if sc.Hedge {
+		cfg.HedgeAfter = 4 * time.Millisecond
+	}
+	coord := New(cfg)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	res, err := coord.Gather2D(ctx, pts, sc.K, sc.Seed)
+	rec.Retries, rec.Hedges = res.Retries, res.Hedges
+
+	switch {
+	case err == nil:
+		if detail := checkExact(pts, res); detail != "" {
+			rec.Outcome, rec.Detail = soak.WrongAnswer, detail
+			return rec
+		}
+		rec.Outcome = soak.OK
+	case errors.Is(err, hullerr.ErrPartialHull):
+		rec.Partial = true
+		if detail := checkPartial(pts, sc.K, res); detail != "" {
+			rec.Outcome, rec.Detail = soak.WrongAnswer, detail
+			return rec
+		}
+		rec.Outcome = soak.OK
+	case hullerr.IsTyped(err):
+		rec.Outcome, rec.Detail = soak.TypedError, err.Error()
+	default:
+		rec.Outcome, rec.Detail = soak.UntypedError, err.Error()
+	}
+	return rec
+}
+
+// plainPlanFor rebinds a plan to a per-worker seed (rates and budget
+// shared, decisions decorrelated).
+func plainPlanFor(p fault.Plan, seed uint64) fault.Plan {
+	p.Seed = seed
+	return p
+}
+
+// checkExact asserts an exact answer is bit-identical to the single-node
+// reference hull; "" means it is.
+func checkExact(pts []geom.Point, res Result) string {
+	want := hull2d.UpperHull(pts)
+	if s := sameChain(want, res.Chain); s != "" {
+		return "exact answer differs from single-node reference: " + s
+	}
+	if len(res.Missing) != 0 {
+		return fmt.Sprintf("nil error but Missing=%v", res.Missing)
+	}
+	return ""
+}
+
+// checkPartial asserts a partial answer is bit-identical to the reference
+// hull of exactly the covered shards of the deterministic split.
+func checkPartial(pts []geom.Point, k int, res Result) string {
+	if len(res.Missing) == 0 {
+		return "PartialHull error but no missing shards"
+	}
+	plan := SplitX(pts, k)
+	live := plan.NonEmpty()
+	missing := make(map[int]bool, len(res.Missing))
+	for _, s := range res.Missing {
+		missing[s] = true
+		found := false
+		for _, l := range live {
+			found = found || l == s
+		}
+		if !found {
+			return fmt.Sprintf("missing shard %d is not a live shard of the plan", s)
+		}
+	}
+	var covered []geom.Point
+	for _, s := range live {
+		if !missing[s] {
+			covered = append(covered, plan.Points(s)...)
+		}
+	}
+	want := hull2d.UpperHull(covered)
+	if s := sameChain(want, res.Chain); s != "" {
+		return "partial answer differs from covered-shards reference: " + s
+	}
+	return ""
+}
+
+// sameChain compares two chains vertex for vertex; "" means identical.
+func sameChain(want, got []geom.Point) string {
+	if len(want) != len(got) {
+		return fmt.Sprintf("hull size %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			return fmt.Sprintf("vertex %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	return ""
+}
+
+// RunSoak executes count scenarios derived from master and aggregates.
+func RunSoak(master uint64, count int) SoakSummary {
+	sum := SoakSummary{ByMix: map[string]*[int(soak.Panicked) + 1]int{}}
+	for _, m := range Mixes {
+		sum.ByMix[m.Name] = &[int(soak.Panicked) + 1]int{}
+	}
+	for _, sc := range SoakScenarios(master, count) {
+		rec := RunSoakScenario(sc)
+		sum.Scenarios++
+		sum.ByOutcome[rec.Outcome]++
+		if by, ok := sum.ByMix[sc.Mix]; ok {
+			by[rec.Outcome]++
+		}
+		if rec.Partial {
+			sum.Partials++
+		}
+		sum.Retries += rec.Retries
+		sum.Hedges += rec.Hedges
+		if rec.Outcome.Bad() {
+			sum.Failures = append(sum.Failures, rec)
+		}
+	}
+	return sum
+}
