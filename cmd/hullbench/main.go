@@ -1,6 +1,6 @@
 // Command hullbench runs the experiments of DESIGN.md §6 and prints their
 // tables — the reproduction's equivalent of regenerating the paper's
-// evaluation figures. The registry spans E1–E20: the theorem-by-theorem
+// evaluation figures. The registry spans E1–E21: the theorem-by-theorem
 // measurements, the E14 chaos soak (with the E14c supervised-recovery
 // re-run), the E15 resilience-overhead sweep, the E16 observability
 // certification (exact phase attribution, Lemma 4.2 round bounds,
@@ -8,8 +8,10 @@
 // worker-pool dispatch vs the frozen spawn-per-step baseline), the
 // E18 serving-layer load test (batched fleet vs one-machine-per-request,
 // cache-hit pricing), the E19 noisy-primitive soak (predicate-flip
-// ladder), and the E20 scatter-gather chaos soak (network-fault mixes
-// against the distributed never-silently-wrong contract).
+// ladder), the E20 scatter-gather chaos soak (network-fault mixes
+// against the distributed never-silently-wrong contract), and the E21
+// execution-backend comparison (native vs counted serving throughput on
+// cache-miss queries).
 //
 // Usage:
 //
@@ -23,6 +25,8 @@
 //	hullbench -quick -exp E17 -prambase BENCH_pram.json   # CI regression gate
 //	hullbench -serve -servejson BENCH_serve.json   # serving-layer load test (E18)
 //	hullbench -quick -serve -servebase BENCH_serve.json   # serving CI gate
+//	hullbench -exp E21 -servejson BENCH_serve.json   # merge backend rows into the report
+//	hullbench -quick -exp E21 -servebase BENCH_serve.json   # backend CI gate
 package main
 
 import (
@@ -46,8 +50,8 @@ func main() {
 		pramjson  = flag.String("pramjson", "", "write E17's machine-readable engine report (BENCH_pram.json schema) to this path")
 		prambase  = flag.String("prambase", "", "gate E17 against this committed BENCH_pram.json; exit 1 on >10% regression")
 		serveLoad = flag.Bool("serve", false, "run the serving-layer load test (shorthand for -exp E18)")
-		servejson = flag.String("servejson", "", "write E18's machine-readable serving report (BENCH_serve.json schema) to this path")
-		servebase = flag.String("servebase", "", "gate E18 against this committed BENCH_serve.json (and the absolute acceptance contract); exit 1 on failure")
+		servejson = flag.String("servejson", "", "write the machine-readable serving report (BENCH_serve.json schema) to this path; E18 and E21 each merge their own section")
+		servebase = flag.String("servebase", "", "gate E18/E21 against this committed BENCH_serve.json (and the absolute acceptance contracts); exit 1 on failure")
 	)
 	flag.Parse()
 

@@ -10,6 +10,7 @@
 //
 //	hullserve -addr :8080
 //	hullserve -addr :8080 -fleet 4 -batch 32 -cache 1024
+//	hullserve -addr :8080 -backend counted   # serve on the simulated PRAM
 //	hullserve -addr :8080 -datasets disk:65536,circle:16384,ball:8192
 //	hullserve -addr :8080 -peers http://hull-1:8080,http://hull-2:8080
 //	hullserve -addr :8080 -shards 4          # local-only scatter workers
@@ -67,8 +68,15 @@ func main() {
 		shards   = flag.Int("shards", 0, "default scatter width; > 0 with no -peers builds that many in-process shard workers")
 		hedge    = flag.Duration("hedge", 20*time.Millisecond, "scatter straggler threshold before a hedged shard request launches; 0 disables hedging")
 		partial  = flag.Bool("allow-partial", true, "answer scattered queries partially (HTTP 206 + typed PartialHull) when shards stay unreachable")
+		backend  = flag.String("backend", "native", "default execution engine: native (direct, host-speed) or counted (simulated PRAM); queries may override per request")
 	)
 	flag.Parse()
+
+	be, ok := resilient.ParseBackend(*backend)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "hullserve: unknown -backend %q (want native or counted)\n", *backend)
+		os.Exit(2)
+	}
 
 	ds, err := buildDatasets(*datasets)
 	if err != nil {
@@ -77,7 +85,7 @@ func main() {
 	}
 
 	metrics := obs.NewMetrics()
-	sharder, closeSharder, err := buildSharder(*peers, *shards, *hedge, *partial, metrics)
+	sharder, closeSharder, err := buildSharder(*peers, *shards, *hedge, *partial, be, metrics)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hullserve: %v\n", err)
 		os.Exit(2)
@@ -94,6 +102,7 @@ func main() {
 		Metrics:     metrics,
 		Datasets:    ds,
 		Policy:      resilient.Policy{ApproxEps: *approx},
+		Backend:     be,
 		Sharder:     sharder,
 	})
 
@@ -102,7 +111,7 @@ func main() {
 	go func() { errc <- hs.ListenAndServe() }()
 
 	names := srv.Datasets()
-	fmt.Printf("hullserve: listening on %s (datasets: %s)\n", *addr, strings.Join(names, ", "))
+	fmt.Printf("hullserve: listening on %s (backend: %s; datasets: %s)\n", *addr, be, strings.Join(names, ", "))
 	if sharder != nil {
 		fmt.Printf("hullserve: scatter-gather enabled, %d-way default split\n", sharder.Shards())
 	}
@@ -130,7 +139,7 @@ func main() {
 // per -peers URL plus a local worker backed by a small dedicated machine
 // fleet (dedicated so scattered sub-hulls never compete with the serving
 // fleet's admission queue). Returns nil when scatter is not configured.
-func buildSharder(peerSpec string, shards int, hedge time.Duration, allowPartial bool, metrics *obs.Metrics) (*shard.Coordinator, func(), error) {
+func buildSharder(peerSpec string, shards int, hedge time.Duration, allowPartial bool, backend resilient.Backend, metrics *obs.Metrics) (*shard.Coordinator, func(), error) {
 	var peerURLs []string
 	for _, p := range strings.Split(peerSpec, ",") {
 		if p = strings.TrimSpace(p); p != "" {
@@ -155,7 +164,7 @@ func buildSharder(peerSpec string, shards int, hedge time.Duration, allowPartial
 	fleet := pram.NewFleet(fleetSize)
 	var ws []shard.Worker
 	for i := 0; i < localN; i++ {
-		ws = append(ws, &shard.LocalWorker{ID: fmt.Sprintf("local-%d", i), Fleet: fleet})
+		ws = append(ws, &shard.LocalWorker{ID: fmt.Sprintf("local-%d", i), Fleet: fleet, Backend: backend})
 	}
 	for _, u := range peerURLs {
 		ws = append(ws, &shard.HTTPWorker{Base: u})

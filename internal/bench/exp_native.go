@@ -1,0 +1,241 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"inplacehull/internal/serve"
+)
+
+// Experiment E21 prices the native execution backend against the counted
+// (simulated-PRAM) engine on the serving path, extending BENCH_serve.json
+// with backend comparison rows.
+//
+// E18 established where the serving layer's win comes from: on repeated
+// queries the cache supplies the speedup, and on cache misses the counted
+// rows track the per-machine baseline because the simulated engine's
+// compute dominates either way. E21 measures what the engine swap is
+// worth on exactly those cache-miss queries: the same closed-loop
+// request stream is replayed twice against one server — once with every
+// query pinned to `"backend": "counted"`, once pinned to
+// `"backend": "native"` — with the result cache disabled so every
+// request pays full compute. The acceptance criterion is a ≥10x
+// throughput gap on the headline row (the native row with the widest
+// same-n gap): the counted engine spends its time maintaining step
+// barriers and work counters that the native backend simply does not
+// have. Where the headline lands depends on the host: on a single-core
+// runner the large-n rows converge to the per-primitive simulation cost
+// ratio and the small-n rows carry the full fixed-overhead gap, while
+// multi-core hosts widen the large-n rows through the native backend's
+// binary forking (the counted engine simulates its parallelism on a
+// fixed worker pool either way).
+//
+// Both streams run through the full request path (admission, batching,
+// machine checkout) on the same serve.Config; only the per-query wire
+// string differs, which is precisely the knob a production client has.
+
+// NativeServeRow is one backend-comparison row in BENCH_serve.json.
+type NativeServeRow struct {
+	Backend string  `json:"backend"`
+	N       int     `json:"n"`
+	Conc    int     `json:"conc"`
+	Total   int     `json:"total"`
+	OK      int     `json:"ok"`
+	Shed    int     `json:"shed"`
+	QPS     float64 `json:"qps"`
+	P50us   float64 `json:"p50_us"`
+	P95us   float64 `json:"p95_us"`
+	// Speedup = this row's QPS / the same-n counted QPS, same run
+	// (1 on the counted rows themselves).
+	Speedup float64 `json:"speedup_vs_counted"`
+}
+
+func measureNativeServe(cfg Config) ([]NativeServeRow, []string) {
+	// The headline size stays in quick mode: the ≥10x acceptance gap is a
+	// large-n claim (the counted engine's per-primitive overhead dominates
+	// there), so the CI gate must measure it even when the totals shrink.
+	ns := []int{64, 256, 1024}
+	conc, total := 32, 2000
+	if cfg.Quick {
+		conc, total = 16, 600
+	}
+
+	var rows []NativeServeRow
+	for _, n := range ns {
+		qs := serveStream(cfg.Seed+21, n)
+		s := serve.NewServer(serve.Config{
+			FleetSize: serveFleet, Workers: serveWorkers,
+			MaxQueue: conc * 2, MaxBatch: 16,
+			BatchWindow: 200 * time.Microsecond,
+			CacheSize:   0, // cache-miss serving is the point
+		})
+		run := func(backend string) serve.LoadResult {
+			return serve.RunClosedLoop(conc, total, func(i int) error {
+				q := qs[i%len(qs)]
+				_, err := s.Query2D(context.Background(), serve.Query{
+					Points2: q.pts, Seed: q.seed, NoCache: true, Backend: backend,
+				})
+				return err
+			})
+		}
+		counted := run("counted")
+		native := run("native")
+		s.Close()
+
+		add := func(backend string, lr serve.LoadResult, speedup float64) {
+			rows = append(rows, NativeServeRow{
+				Backend: backend, N: n, Conc: conc, Total: total,
+				OK: lr.OK, Shed: lr.Overloads,
+				QPS:   lr.Throughput,
+				P50us: float64(lr.P50.Microseconds()), P95us: float64(lr.P95.Microseconds()),
+				Speedup: speedup,
+			})
+		}
+		add("counted", counted, 1)
+		add("native", native, native.Throughput/counted.Throughput)
+	}
+	notes := []string{
+		"one server, cache disabled; the two streams differ only in the per-query backend wire string",
+		"speedup is same-run QPS over the counted row at the same n; the counted engine pays step barriers and work counters on every primitive, the native backend does not",
+		"acceptance: the widest same-n gap must clear 10x, every native row 2x (single-core hosts peak at small n, multi-core hosts at large n)",
+	}
+	return rows, notes
+}
+
+// gateNative checks the backend rows against the acceptance contract
+// (headline ≥10x, floor 2x) and, when a baseline is given, against the
+// committed BENCH_serve.json's native rows for drift.
+func gateNative(rows []NativeServeRow, basePath string) ([]string, error) {
+	var fails []string
+	native := map[int]NativeServeRow{}
+	var best NativeServeRow
+	for _, r := range rows {
+		if r.Shed > 0 {
+			fails = append(fails, fmt.Sprintf(
+				"%s n=%d: %d requests shed with queue 2×conc", r.Backend, r.N, r.Shed))
+		}
+		if r.Backend != "native" {
+			continue
+		}
+		native[r.N] = r
+		if r.Speedup > best.Speedup {
+			best = r
+		}
+		if r.Speedup < 2 {
+			fails = append(fails, fmt.Sprintf(
+				"native n=%d: %.2fx counted throughput, acceptance floor is 2x", r.N, r.Speedup))
+		}
+	}
+	if len(native) == 0 {
+		fails = append(fails, "report has no native rows")
+	} else if best.Speedup < 10 {
+		fails = append(fails, fmt.Sprintf(
+			"headline: widest native-vs-counted gap is %.2fx (n=%d) on cache misses, acceptance is 10x",
+			best.Speedup, best.N))
+	}
+
+	if basePath == "" {
+		return fails, nil
+	}
+	base, err := readServeReport(basePath)
+	if err != nil {
+		return fails, err
+	}
+	// Drift check only against configuration-matched baseline rows (a
+	// -quick run against a full-scale baseline relies on the absolute
+	// contract above).
+	baseNative := map[[2]int]NativeServeRow{}
+	for _, r := range base.Native {
+		if r.Backend == "native" {
+			baseNative[[2]int{r.N, r.Conc}] = r
+		}
+	}
+	for n, r := range native {
+		br, ok := baseNative[[2]int{n, r.Conc}]
+		if !ok || br.Total != r.Total {
+			continue
+		}
+		if r.Speedup < br.Speedup*0.5 {
+			fails = append(fails, fmt.Sprintf(
+				"native n=%d: speedup %.2fx is less than half the baseline's %.2fx", n, r.Speedup, br.Speedup))
+		}
+	}
+	return fails, nil
+}
+
+// readServeReport loads a BENCH_serve.json.
+func readServeReport(path string) (ServeReport, error) {
+	var rep ServeReport
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+func init() {
+	Register(Experiment{
+		ID:    "E21",
+		Claim: "native backend serves cache-miss queries ≥10x the counted engine's throughput at the headline size (≥2x at every size)",
+		Run: func(cfg Config) []Table {
+			rows, notes := measureNativeServe(cfg)
+
+			t := Table{
+				Title:   "E21 — serving backends on cache-miss queries: counted PRAM vs native",
+				Columns: []string{"backend", "n", "conc", "q/s", "p50 µs", "p95 µs", "vs counted"},
+				Notes:   notes,
+			}
+			for _, r := range rows {
+				t.Add(r.Backend, r.N, r.Conc, r.QPS, r.P50us, r.P95us, r.Speedup)
+			}
+
+			if cfg.ServeJSON != "" {
+				// Merge into the E18 report rather than clobbering it: the
+				// two experiments share BENCH_serve.json.
+				rep, err := readServeReport(cfg.ServeJSON)
+				if err != nil {
+					rep = ServeReport{
+						Experiment: "E21",
+						GOMAXPROCS: runtime.GOMAXPROCS(0),
+						FleetSize:  serveFleet,
+						Workers:    serveWorkers,
+						Quick:      cfg.Quick,
+					}
+				}
+				rep.Native = rows
+				buf, err := json.MarshalIndent(rep, "", "  ")
+				if err == nil {
+					err = os.WriteFile(cfg.ServeJSON, append(buf, '\n'), 0o644)
+				}
+				if err != nil {
+					t.Notes = append(t.Notes, "ERROR writing "+cfg.ServeJSON+": "+err.Error())
+				} else {
+					t.Notes = append(t.Notes, "native rows merged into "+cfg.ServeJSON)
+				}
+			}
+			if cfg.ServeBaseline != "" || cfg.Gate != nil {
+				fails, err := gateNative(rows, cfg.ServeBaseline)
+				if err != nil {
+					fails = append(fails, "baseline unreadable: "+err.Error())
+				}
+				for _, f := range fails {
+					t.Notes = append(t.Notes, "GATE FAIL: "+f)
+					if cfg.Gate != nil {
+						cfg.Gate(f)
+					}
+				}
+				if len(fails) == 0 {
+					t.Notes = append(t.Notes, "gate: acceptance contract holds (native ≥10x counted at the headline size, ≥2x at every size, no shedding)")
+				}
+			}
+			return []Table{t}
+		},
+	})
+}

@@ -79,15 +79,18 @@ type ServeCacheRow struct {
 	DatasetSpeedup float64 `json:"dataset_speedup"`
 }
 
-// ServeReport is the BENCH_serve.json schema.
+// ServeReport is the BENCH_serve.json schema. Rows and Cache are E18's;
+// Native is E21's backend comparison — each experiment rewrites only its
+// own section and preserves the other's.
 type ServeReport struct {
-	Experiment string          `json:"experiment"`
-	GOMAXPROCS int             `json:"gomaxprocs"`
-	FleetSize  int             `json:"fleet_size"`
-	Workers    int             `json:"workers"`
-	Quick      bool            `json:"quick"`
-	Rows       []ServeRow      `json:"rows"`
-	Cache      []ServeCacheRow `json:"cache"`
+	Experiment string           `json:"experiment"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	FleetSize  int              `json:"fleet_size"`
+	Workers    int              `json:"workers"`
+	Quick      bool             `json:"quick"`
+	Rows       []ServeRow       `json:"rows"`
+	Cache      []ServeCacheRow  `json:"cache"`
+	Native     []NativeServeRow `json:"native,omitempty"`
 }
 
 const (
@@ -373,6 +376,10 @@ func init() {
 			}
 
 			if cfg.ServeJSON != "" {
+				// Preserve E21's backend rows if the file already has them.
+				if old, err := readServeReport(cfg.ServeJSON); err == nil {
+					rep.Native = old.Native
+				}
 				buf, err := json.MarshalIndent(rep, "", "  ")
 				if err == nil {
 					err = os.WriteFile(cfg.ServeJSON, append(buf, '\n'), 0o644)

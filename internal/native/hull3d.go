@@ -1,0 +1,105 @@
+package native
+
+import (
+	"inplacehull/internal/geom"
+	"inplacehull/internal/hull3d"
+	"inplacehull/internal/hullerr"
+	"inplacehull/internal/lp"
+	"inplacehull/internal/pram"
+	"inplacehull/internal/rng"
+	"inplacehull/internal/unsorted"
+)
+
+// Hull3D computes the Result3D cap structure directly: the sequential
+// randomized incremental hull (expected O(n log n), deterministic given
+// seed) lifted into upper-face caps, falling back to the degenerate
+// global-top cap for inputs the incremental builder rejects (fewer than
+// four points, all collinear/coplanar) — the same recipe as the resilient
+// supervisor's sequential rung. The assembled result is checked against
+// the CheckCaps3D oracle before it is returned, so the backend keeps the
+// library's "a correct hull or a typed error" contract without a
+// simulator in the loop. obs may be nil.
+func Hull3D(seed uint64, pts []geom.Point3, obs pram.Sink) (unsorted.Result3D, error) {
+	const op = "native.Hull3D"
+	if err := hullerr.CheckFinite3D(op, pts); err != nil {
+		return unsorted.Result3D{}, err
+	}
+	n := len(pts)
+	res := unsorted.Result3D{FacetOf: make([]int, n)}
+	if n == 0 {
+		return res, nil
+	}
+	o := sink{obs}
+	endCaps := o.span("native-caps")
+	defer endCaps()
+	if h, err := hull3d.Incremental(rng.New(seed), pts); err == nil {
+		res = capsFromHull(pts, h)
+		if err := unsorted.CheckCaps3D(pts, res); err == nil {
+			o.charge(n)
+			return res, nil
+		}
+		res = unsorted.Result3D{FacetOf: make([]int, n)}
+	}
+	// Degenerate rung: every point receives the horizontal cap through the
+	// global top point (no point lies above z = max z).
+	res.Facets = []lp.Solution3D{topCap(pts)}
+	for p := range res.FacetOf {
+		res.FacetOf[p] = 0
+	}
+	if err := unsorted.CheckCaps3D(pts, res); err != nil {
+		return unsorted.Result3D{}, hullerr.New(hullerr.Internal, op,
+			"degenerate cap construction failed the oracle for %d points: %v", n, err)
+	}
+	o.charge(n)
+	return res, nil
+}
+
+// capsFromHull lifts a full 3-d hull into the Result3D cap contract: the
+// upper faces a point actually uses become its cap; points whose
+// xy-location falls on a shadow-boundary fp-sliver (FaceAbove −1) get the
+// degenerate global-top cap. FaceAbove lookups run in parallel over the
+// points; slot assignment stays a sequential sweep so the facet order is
+// deterministic (first-use order, independent of scheduling).
+func capsFromHull(pts []geom.Point3, h hull3d.Hull) unsorted.Result3D {
+	res := unsorted.Result3D{FacetOf: make([]int, len(pts))}
+	upper := h.UpperFaces()
+	above := make([]int, len(pts))
+	parallelFor(len(pts), locateGrain, func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			above[p] = hull3d.FaceAbove(h.Pts, upper, pts[p].X, pts[p].Y)
+		}
+	})
+	facetSlot := make(map[int]int) // upper-face index → slot in res.Facets
+	degenerateSlot := -1
+	for p := range pts {
+		fi := above[p]
+		if fi < 0 {
+			if degenerateSlot < 0 {
+				res.Facets = append(res.Facets, topCap(pts))
+				degenerateSlot = len(res.Facets) - 1
+			}
+			res.FacetOf[p] = degenerateSlot
+			continue
+		}
+		slot, ok := facetSlot[fi]
+		if !ok {
+			f := upper[fi]
+			res.Facets = append(res.Facets, lp.Solution3D{A: h.Pts[f.A], B: h.Pts[f.B], C: h.Pts[f.C]})
+			slot = len(res.Facets) - 1
+			facetSlot[fi] = slot
+		}
+		res.FacetOf[p] = slot
+	}
+	return res
+}
+
+// topCap is the degenerate cap at the point of maximum z.
+func topCap(pts []geom.Point3) lp.Solution3D {
+	top := pts[0]
+	for _, p := range pts {
+		if p.Z > top.Z {
+			top = p
+		}
+	}
+	return lp.Solution3D{A: top, B: top, C: top}
+}

@@ -1,0 +1,307 @@
+// Package native is the direct execution backend: the same canonical hull
+// answers as the counted PRAM engine, computed at host speed. Where the
+// simulator charges every step and processor activation — E17 priced that
+// accounting at ~1.1µs per step even on the pooled engine — this package
+// runs plain divide-and-conquer Go over a flat structure-of-arrays point
+// layout: no step barriers, no work counters, parallelism via the
+// binary-forking pool in pool.go.
+//
+// The output contract is deliberately the counted backend's canonical
+// form. In 2-d the vertex chain and edge list are bit-identical to
+// hull2d.UpperHull (the library-wide oracle the counted algorithms also
+// canonicalize to); EdgeOf assigns each point the first edge whose x-span
+// covers it — the same left-incident rule the resilient ladder uses, which
+// can differ from a counted run only at chain-vertex abscissas where two
+// edges meet (the parity suite in the root package pins exactly this
+// tolerance). In 3-d the cap structure comes from the sequential
+// incremental hull, checked against the CheckCaps3D oracle before it is
+// returned — the same recipe as the supervisor's sequential rung.
+//
+// Observability: callers may pass a pram.Sink. The native path has no
+// counted work to report, so it emits wall-time spans (native-sort,
+// native-chain, native-locate, native-caps) and charges item counts with
+// steps == 0 — the Charge(0, w) shape the obs layer must (and does)
+// attribute without inventing a phantom step bucket.
+package native
+
+import (
+	"sort"
+
+	"inplacehull/internal/geom"
+	"inplacehull/internal/hullerr"
+	"inplacehull/internal/pram"
+	"inplacehull/internal/presorted"
+	"inplacehull/internal/unsorted"
+)
+
+// Fork grains: below these sizes the recursion runs inline. Chosen so a
+// leaf is a few microseconds of work — large enough to amortize a
+// goroutine handoff, small enough to keep all cores fed at serving sizes.
+const (
+	sortGrain   = 4096
+	chainGrain  = 8192
+	locateGrain = 4096
+)
+
+// sink wraps an optional pram.Sink with nil-safe span/charge emission.
+// Spans carry zero Snapshots (there are no machine counters to attach);
+// charges carry steps == 0 and the item count as work.
+type sink struct{ s pram.Sink }
+
+func (o sink) span(name string) func() {
+	if o.s == nil {
+		return func() {}
+	}
+	o.s.SpanOpenEvent(name, pram.Snapshot{})
+	return func() { o.s.SpanCloseEvent(name, pram.Snapshot{}) }
+}
+
+func (o sink) charge(items int) {
+	if o.s != nil && items > 0 {
+		o.s.ChargeEvent(0, int64(items))
+	}
+}
+
+// soa is the flat structure-of-arrays layout the chain scan and point
+// location run over: two dense float64 slabs instead of an array of
+// structs, so a scan touches one stream per coordinate.
+type soa struct{ xs, ys []float64 }
+
+func soaOf(pts []geom.Point) soa {
+	s := soa{xs: make([]float64, len(pts)), ys: make([]float64, len(pts))}
+	parallelFor(len(pts), sortGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s.xs[i] = pts[i].X
+			s.ys[i] = pts[i].Y
+		}
+	})
+	return s
+}
+
+func (s soa) point(i int) geom.Point { return geom.Point{X: s.xs[i], Y: s.ys[i]} }
+
+// Upper2D computes the canonical strict upper hull of unsorted points:
+// sort, dedupe, divide-and-conquer monotone chain, point location. The
+// Chain/Edges output is bit-identical to hull2d.UpperHull; EdgeOf uses the
+// left-incident covering rule (see the package comment). obs may be nil.
+func Upper2D(pts []geom.Point, obs pram.Sink) (unsorted.Result2D, error) {
+	const op = "native.Upper2D"
+	if err := hullerr.CheckFinite2D(op, pts); err != nil {
+		return unsorted.Result2D{}, err
+	}
+	o := sink{obs}
+	endSort := o.span("native-sort")
+	s := sortedUnique(pts)
+	o.charge(len(pts))
+	endSort()
+
+	endChain := o.span("native-chain")
+	chain := upperOfSorted(s)
+	o.charge(len(s.xs))
+	endChain()
+
+	res := unsorted.Result2D{Chain: chain}
+	for i := 1; i < len(chain); i++ {
+		res.Edges = append(res.Edges, geom.Edge{U: chain[i-1], W: chain[i]})
+	}
+	endLoc := o.span("native-locate")
+	res.EdgeOf = locate(pts, res.Edges)
+	o.charge(len(pts))
+	endLoc()
+	return res, nil
+}
+
+// Presorted computes the canonical upper hull of points already sorted by
+// strictly increasing x — the §2 input contract, enforced with the same
+// typed UnsortedInput error as the counted algorithms. obs may be nil.
+func Presorted(pts []geom.Point, obs pram.Sink) (presorted.Result, error) {
+	const op = "native.Presorted"
+	if err := hullerr.CheckFinite2D(op, pts); err != nil {
+		return presorted.Result{}, err
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i-1].X >= pts[i].X {
+			return presorted.Result{}, hullerr.New(hullerr.UnsortedInput, op,
+				"input not strictly x-sorted at %d", i)
+		}
+	}
+	o := sink{obs}
+	endChain := o.span("native-chain")
+	chain := upperOfSorted(soaOf(pts))
+	o.charge(len(pts))
+	endChain()
+
+	res := presorted.Result{Chain: chain}
+	for i := 1; i < len(chain); i++ {
+		res.Edges = append(res.Edges, geom.Edge{U: chain[i-1], W: chain[i]})
+	}
+	endLoc := o.span("native-locate")
+	res.EdgeOf = locate(pts, res.Edges)
+	o.charge(len(pts))
+	endLoc()
+	return res, nil
+}
+
+// sortedUnique returns the SoA view of pts sorted lexicographically with
+// exact duplicates removed: parallel merge sort on a copy, sequential
+// dedupe sweep, then the SoA split.
+func sortedUnique(pts []geom.Point) soa {
+	s := make([]geom.Point, len(pts))
+	copy(s, pts)
+	buf := make([]geom.Point, len(s))
+	mergeSort(s, buf)
+	out := s[:0]
+	for i, p := range s {
+		if i == 0 || p != s[i-1] {
+			out = append(out, p)
+		}
+	}
+	return soaOf(out)
+}
+
+// mergeSort sorts s lexicographically using buf as scratch, forking the
+// halves through the binary pool.
+func mergeSort(s, buf []geom.Point) {
+	if len(s) <= sortGrain {
+		sort.Slice(s, func(i, j int) bool { return geom.LexLess(s[i], s[j]) })
+		return
+	}
+	mid := len(s) / 2
+	parallel2(
+		func() { mergeSort(s[:mid], buf[:mid]) },
+		func() { mergeSort(s[mid:], buf[mid:]) },
+	)
+	copy(buf, s)
+	merge(buf[:mid], buf[mid:], s)
+}
+
+func merge(a, b, out []geom.Point) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if geom.LexLess(b[j], a[i]) {
+			out[k] = b[j]
+			j++
+		} else {
+			out[k] = a[i]
+			i++
+		}
+		k++
+	}
+	copy(out[k:], a[i:])
+	copy(out[k+len(a)-i:], b[j:])
+}
+
+// upperOfSorted computes the canonical strict upper chain of the sorted,
+// duplicate-free SoA: divide-and-conquer block scans whose candidate
+// chains merge by rescanning — the monotone scan is confluent once the
+// candidate set contains every hull vertex, so the result is identical to
+// one flat scan (hull2d.rawUpper) — then the vertical-end dedupe that
+// makes the chain strictly x-increasing.
+func upperOfSorted(s soa) []geom.Point {
+	n := len(s.xs)
+	if n == 0 {
+		return nil
+	}
+	idx := chainDC(s, 0, n)
+	idx = dedupeVerticalEnds(s, idx)
+	chain := make([]geom.Point, len(idx))
+	for i, id := range idx {
+		chain[i] = s.point(id)
+	}
+	return chain
+}
+
+// chainDC returns the raw monotone-scan chain of s[lo:hi] as indices.
+func chainDC(s soa, lo, hi int) []int {
+	if hi-lo <= chainGrain {
+		return scanRange(s, lo, hi)
+	}
+	mid := lo + (hi-lo)/2
+	var left, right []int
+	parallel2(
+		func() { left = chainDC(s, lo, mid) },
+		func() { right = chainDC(s, mid, hi) },
+	)
+	return rescan(s, left, right)
+}
+
+// scanRange is the monotone-chain scan over a contiguous index range,
+// popping on non-right turns — the same robust Orientation predicate and
+// pop rule as hull2d.rawUpper, so pop decisions match the oracle exactly.
+func scanRange(s soa, lo, hi int) []int {
+	h := make([]int, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		for len(h) >= 2 && geom.Orientation(s.point(h[len(h)-2]), s.point(h[len(h)-1]), s.point(i)) >= 0 {
+			h = h[:len(h)-1]
+		}
+		h = append(h, i)
+	}
+	return h
+}
+
+// rescan merges two adjacent candidate chains with the same scan. Every
+// hull vertex of the union survives its own block's scan, so scanning the
+// concatenation reproduces the flat scan's chain.
+func rescan(s soa, left, right []int) []int {
+	h := left
+	for _, i := range right {
+		for len(h) >= 2 && geom.Orientation(s.point(h[len(h)-2]), s.point(h[len(h)-1]), s.point(i)) >= 0 {
+			h = h[:len(h)-1]
+		}
+		h = append(h, i)
+	}
+	return h
+}
+
+// dedupeVerticalEnds collapses a leading or trailing vertical step the raw
+// scan retains when several points share an extreme x (hull2d's rule,
+// applied to indices).
+func dedupeVerticalEnds(s soa, h []int) []int {
+	for len(h) >= 2 && s.xs[h[0]] == s.xs[h[1]] {
+		if s.ys[h[0]] < s.ys[h[1]] {
+			h = h[1:]
+		} else {
+			h = append(h[:1], h[2:]...)
+		}
+	}
+	for len(h) >= 2 && s.xs[h[len(h)-1]] == s.xs[h[len(h)-2]] {
+		if s.ys[h[len(h)-1]] < s.ys[h[len(h)-2]] {
+			h = h[:len(h)-1]
+		} else {
+			h = append(h[:len(h)-2], h[len(h)-1])
+		}
+	}
+	return h
+}
+
+// locate fills EdgeOf: for every input point (duplicates included, in
+// input order) the first edge whose x-span covers it, by parallel binary
+// search over the x-sorted edge list; −1 where no edge spans the abscissa
+// (empty, singleton, single-column inputs).
+func locate(pts []geom.Point, edges []geom.Edge) []int {
+	out := make([]int, len(pts))
+	parallelFor(len(pts), locateGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = coveringEdge(edges, pts[i].X)
+		}
+	})
+	return out
+}
+
+// coveringEdge is the left-incident covering rule: the first edge with
+// W.X ≥ x, if its span covers x.
+func coveringEdge(list []geom.Edge, x float64) int {
+	lo, hi := 0, len(list)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if list[mid].W.X < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(list) && list[lo].Covers(x) {
+		return lo
+	}
+	return -1
+}

@@ -90,6 +90,12 @@ var Registry = map[string]Meta{
 	"alloc":  {Ref: "Lemma 7", Desc: "Matias–Vishkin schedule of the recorded profile"},
 	// §3.3 inner iterations (opened by internal/lp per solve round).
 	"lp-iter": {Ref: "Lemma 4.2", Desc: "one sample/solve/survive round of the bridge LP"},
+	// Native (wall-time) backend phases: spans carry elapsed time, charges
+	// carry item counts with steps == 0 (internal/native).
+	"native-sort":   {Ref: "native", Desc: "parallel merge sort + dedupe of the input copy"},
+	"native-chain":  {Ref: "native", Desc: "divide-and-conquer monotone chain scan"},
+	"native-locate": {Ref: "native", Desc: "parallel covering-edge binary search"},
+	"native-caps":   {Ref: "native", Desc: "incremental 3-d hull lifted to caps, oracle-checked"},
 }
 
 // Ref returns the paper reference of a span name ("" if unregistered).

@@ -59,6 +59,68 @@ func TestCollectorAttributesToInnermostSpan(t *testing.T) {
 	}
 }
 
+// TestCollectorWallTimeBackendEvents replays the native backend's event
+// shape — spans with zero Snapshots and charges with steps == 0 —
+// directly on a Collector. Regression guard for the phantom-bucket bug
+// class: a zero-step charge must attribute its work without inventing
+// steps or an implied processor count, and the exporters must render the
+// resulting zero-step phases.
+func TestCollectorWallTimeBackendEvents(t *testing.T) {
+	c := NewCollector()
+	c.SpanOpenEvent("native-chain", pram.Snapshot{})
+	c.ChargeEvent(0, 4096)
+	c.SpanCloseEvent("native-chain", pram.Snapshot{})
+	c.ChargeEvent(0, 7) // outside every span → untracked
+
+	byName := map[string]Phase{}
+	for _, ph := range c.Phases() {
+		byName[ph.Name] = ph
+	}
+	got := byName["native-chain"]
+	if got.Work != 4096 || got.Steps != 0 || got.Spans != 1 {
+		t.Fatalf("native-chain = %+v, want work 4096, steps 0, spans 1", got)
+	}
+	if got.PeakProcs != 0 {
+		t.Fatalf("steps==0 charge implied PeakProcs %d, want 0 (phantom bucket)", got.PeakProcs)
+	}
+	if got.Ref != "native" {
+		t.Fatalf("native-chain ref = %q, want registered", got.Ref)
+	}
+	if u := byName[Untracked]; u.Work != 7 || u.Steps != 0 {
+		t.Fatalf("untracked = %+v, want work 7, steps 0", u)
+	}
+	if c.Total().Work != 4096+7 || c.Total().Steps != 0 {
+		t.Fatalf("total = %+v", c.Total())
+	}
+
+	// Both exporters must digest zero-step phases.
+	var table bytes.Buffer
+	WriteTable(&table, c)
+	if !strings.Contains(table.String(), "native-chain") {
+		t.Fatalf("table:\n%s", table.String())
+	}
+	x := NewMetrics()
+	x.Observe("native", c)
+	var prom bytes.Buffer
+	if err := x.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prom.String(), `inplacehull_phase_work_total{algo="native",phase="native-chain"} 4096`) {
+		t.Fatalf("exposition:\n%s", prom.String())
+	}
+
+	// The Trace sink must accept the same stream (charges are timeline
+	// no-ops there).
+	tr := NewTrace()
+	tr.SpanOpenEvent("native-chain", pram.Snapshot{})
+	tr.ChargeEvent(0, 4096)
+	tr.SpanCloseEvent("native-chain", pram.Snapshot{})
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestCollectorFoldsConcurrentSubMachines(t *testing.T) {
 	m := pram.New(pram.WithWorkers(1))
 	c := NewCollector()

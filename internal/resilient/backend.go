@@ -1,0 +1,55 @@
+package resilient
+
+// Backend selects the execution engine a run uses. The counted PRAM
+// simulator is the measurement substrate the paper's experiments need —
+// every step and processor activation is accounted — while the native
+// backend (internal/native) executes the same geometry directly on the
+// host: flat SoA point layout, no step barriers, no work counters,
+// divide-and-conquer parallelism in the binary-forking shape. The two
+// backends answer with identical canonical hulls (the parity suite gates
+// this); they differ only in what they cost and what they can report.
+type Backend int
+
+const (
+	// BackendAuto defers the choice to the entry point: machine-first
+	// callers (Run2D/Run3D with an explicit *pram.Machine) resolve to
+	// BackendCounted, machine-free callers (RunAuto2D/RunAuto3D,
+	// internal/serve, internal/shard) resolve to BackendNative.
+	BackendAuto Backend = iota
+	// BackendCounted: the simulated CRCW PRAM with counted steps/work —
+	// the experiments' substrate and the parity suite's oracle.
+	BackendCounted
+	// BackendNative: the direct host-speed path — no simulator tax, wall
+	// time instead of counted work in its reports.
+	BackendNative
+)
+
+// String names the backend the way benchmarks, metrics and the HTTP
+// X-Hull-Backend header label it.
+func (b Backend) String() string {
+	switch b {
+	case BackendAuto:
+		return "auto"
+	case BackendCounted:
+		return "counted"
+	case BackendNative:
+		return "native"
+	default:
+		return "backend(?)"
+	}
+}
+
+// ParseBackend maps the wire/flag spelling onto a Backend; ok is false for
+// unknown names. The empty string is BackendAuto (the caller's default).
+func ParseBackend(s string) (Backend, bool) {
+	switch s {
+	case "", "auto":
+		return BackendAuto, true
+	case "counted":
+		return BackendCounted, true
+	case "native":
+		return BackendNative, true
+	default:
+		return 0, false
+	}
+}

@@ -160,7 +160,16 @@ type Report struct {
 	// Votes is the per-predicate vote count of the noisy-resilient rung
 	// when predicate noise was modeled (0 otherwise).
 	Votes int
+	// ExecBackend is the execution backend that produced the result (the
+	// supervisor always runs counted; the native engine stamps
+	// BackendNative). Read it through the Backend accessor.
+	ExecBackend Backend
 }
+
+// Backend returns the execution backend that produced this report's
+// result: BackendCounted for every supervised run, BackendNative for
+// results from the direct engine (internal/native via internal/engine).
+func (r Report) Backend() Backend { return r.ExecBackend }
 
 // Retryable reports whether a reseeded re-run can plausibly clear err:
 // budget surrenders (adversarial randomness) and internal errors (possibly
@@ -251,7 +260,7 @@ func supervise[T any](ctx context.Context, m *pram.Machine, rnd *rng.Stream, pol
 ) (T, Report, error) {
 	pol.fill()
 	var zero T
-	rep := Report{Tier: TierRandomized}
+	rep := Report{Tier: TierRandomized, ExecBackend: BackendCounted}
 	for a := 0; a < pol.MaxAttempts; a++ {
 		if err := ctxErr(ctx, op); err != nil {
 			return zero, rep, err

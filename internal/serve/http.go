@@ -40,6 +40,11 @@ type httpQuery struct {
 	// split k ways (-1 = the coordinator's default width). Requires the
 	// server to be started with peers/shards configured; 2-d hull2d only.
 	Shards int `json:"shards,omitempty"`
+	// Backend: "" or "auto" (server default, native unless configured
+	// otherwise), "counted" (the simulated PRAM), "native" (the direct
+	// engine). The answer is canonical either way; the backends differ in
+	// speed and in what their reports can say.
+	Backend string `json:"backend,omitempty"`
 }
 
 // httpResult is the JSON response body.
@@ -50,6 +55,9 @@ type httpResult struct {
 	Facets   int         `json:"facets,omitempty"`
 	Cached   bool        `json:"cached"`
 	Tier     string      `json:"tier"`
+	// Backend names the engine that computed the answer ("counted" or
+	// "native"); also echoed as the X-Hull-Backend response header.
+	Backend string `json:"backend"`
 	// ApproxEps is the certified ε of an approximate-tier answer (absolute
 	// vertical distance); 0 for exact tiers.
 	ApproxEps float64 `json:"approx_eps,omitempty"`
@@ -231,7 +239,8 @@ func (s *Server) serveHull(w http.ResponseWriter, req *http.Request, dim int) {
 		return
 	}
 	q := Query{Dataset: hq.Dataset, Seed: hq.Seed, NoCache: hq.NoCache,
-		RequireExact: hq.RequireExact, ApproxEps: hq.ApproxEps, Shards: hq.Shards}
+		RequireExact: hq.RequireExact, ApproxEps: hq.ApproxEps, Shards: hq.Shards,
+		Backend: hq.Backend}
 	switch hq.Algorithm {
 	case "", "hull2d":
 		q.Algo = AlgoHull2D
@@ -279,6 +288,7 @@ func (s *Server) serveHull(w http.ResponseWriter, req *http.Request, dim int) {
 		N:             res.N,
 		Cached:        res.Cached,
 		Tier:          res.Report.Tier.String(),
+		Backend:       res.Report.Backend().String(),
 		ApproxEps:     res.Report.ApproxEps,
 		Attempts:      res.Report.Attempts,
 		Elapsed:       float64(res.Elapsed.Microseconds()),
@@ -287,6 +297,7 @@ func (s *Server) serveHull(w http.ResponseWriter, req *http.Request, dim int) {
 		RequestID:     shard.RequestIDFrom(ctx),
 	}
 	w.Header().Set("X-Hull-Tier", out.Tier)
+	w.Header().Set("X-Hull-Backend", out.Backend)
 	if dim == 3 {
 		out.HullSize = res.Facets
 		out.Facets = res.Facets

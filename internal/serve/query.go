@@ -4,11 +4,14 @@ import (
 	"context"
 	"time"
 
+	"inplacehull/internal/engine"
 	"inplacehull/internal/geom"
 	"inplacehull/internal/hullerr"
 	"inplacehull/internal/hullhash"
 	"inplacehull/internal/pram"
+	"inplacehull/internal/presorted"
 	"inplacehull/internal/resilient"
+	"inplacehull/internal/unsorted"
 )
 
 // Algo selects the 2-d hull algorithm a query runs. Only the supervised
@@ -73,6 +76,15 @@ type Query struct {
 	// cache key: a sharded and an unsharded query cache separately (the
 	// answers are bit-identical, but the failure modes are not).
 	Shards int
+	// Backend selects the execution engine by wire value: "" or "auto"
+	// defers to the server default (Config.Backend, native unless
+	// configured otherwise), "counted" forces the simulated PRAM,
+	// "native" the direct path. Any other value fails typed InvalidInput.
+	// The resolved backend is part of the cache key — the engines produce
+	// canonical answers, but their reports differ and must not alias.
+	// Ignored by scattered queries (Shards != 0): shard workers choose
+	// their own backend.
+	Backend string
 }
 
 // Result is a hull answer. Slices may be shared with the cache and other
@@ -105,15 +117,29 @@ type Result struct {
 // request is one admitted query in flight between a caller and an
 // executor.
 type request struct {
-	ctx  context.Context
-	op   string
-	q    Query
-	dim  int // 2 or 3
-	pts2 []geom.Point
-	pts3 []geom.Point3
-	key  hullhash.Sum
-	resp chan response
-	enq  time.Time
+	ctx     context.Context
+	op      string
+	q       Query
+	dim     int // 2 or 3
+	backend resilient.Backend // resolved: never BackendAuto
+	pts2    []geom.Point
+	pts3    []geom.Point3
+	key     hullhash.Sum
+	resp    chan response
+	enq     time.Time
+}
+
+// resolveBackend parses the query's wire backend and resolves "auto" to
+// the server default.
+func (s *Server) resolveBackend(op string, q Query) (resilient.Backend, error) {
+	b, ok := resilient.ParseBackend(q.Backend)
+	if !ok {
+		return 0, hullerr.New(hullerr.InvalidInput, op, "unknown backend %q", q.Backend)
+	}
+	if b == resilient.BackendAuto {
+		b = s.cfg.Backend
+	}
+	return b, nil
 }
 
 type response struct {
@@ -136,6 +162,10 @@ func (s *Server) Query2D(ctx context.Context, q Query) (Result, error) {
 	r := &request{ctx: ctx, op: op, q: q, dim: 2, resp: make(chan response, 1)}
 	if q.Points3 != nil {
 		return Result{}, hullerr.New(hullerr.InvalidInput, op, "3-d points on the 2-d endpoint")
+	}
+	var err error
+	if r.backend, err = s.resolveBackend(op, q); err != nil {
+		return Result{}, err
 	}
 	var dsHash hullhash.Sum
 	haveDS := false
@@ -171,6 +201,10 @@ func (s *Server) Query3D(ctx context.Context, q Query) (Result, error) {
 	r := &request{ctx: ctx, op: op, q: q, dim: 3, resp: make(chan response, 1)}
 	if q.Points2 != nil {
 		return Result{}, hullerr.New(hullerr.InvalidInput, op, "2-d points on the 3-d endpoint")
+	}
+	var err error
+	if r.backend, err = s.resolveBackend(op, q); err != nil {
+		return Result{}, err
 	}
 	var dsHash hullhash.Sum
 	haveDS := false
@@ -221,6 +255,7 @@ func (s *Server) key(r *request, dsHash hullhash.Sum, haveDS bool) hullhash.Sum 
 	h.Bool(r.q.RequireExact)
 	h.Float64(r.q.ApproxEps)
 	h.Int(r.q.Shards)
+	h.Int(int(r.backend))
 	return h.Sum()
 }
 
@@ -261,11 +296,14 @@ func (s *Server) do(r *request) (Result, error) {
 	}
 }
 
-// execute runs one admitted request on a checked-out machine through the
-// resilient supervisor, with the query's per-request exactness and
-// tolerance overrides applied to the server policy.
+// execute runs one admitted request: native requests go through the
+// direct engine (the checked-out machine sits idle for them — admission
+// and batching still meter the fleet's concurrency), counted requests
+// run on the machine through the resilient supervisor. The query's
+// per-request exactness and tolerance overrides apply to the server
+// policy either way (the native engine is always exact and ignores
+// them).
 func (s *Server) execute(m *pram.Machine, r *request) (Result, error) {
-	rnd := s.cfg.NewStream(r.q.Seed)
 	pol := s.cfg.Policy
 	if r.q.RequireExact {
 		pol.RequireExact = true
@@ -273,6 +311,10 @@ func (s *Server) execute(m *pram.Machine, r *request) (Result, error) {
 	if r.q.ApproxEps > 0 {
 		pol.ApproxEps = r.q.ApproxEps
 	}
+	if r.backend == resilient.BackendNative {
+		return s.executeNative(r, pol)
+	}
+	rnd := s.cfg.NewStream(r.q.Seed)
 	if r.dim == 3 {
 		out, rep, err := resilient.Hull3D(r.ctx, m, rnd, r.pts3, pol)
 		if err != nil {
@@ -300,4 +342,41 @@ func (s *Server) execute(m *pram.Machine, r *request) (Result, error) {
 		}
 		return Result{N: len(r.pts2), Chain: out.Chain, Edges: out.Edges, EdgeOf: out.EdgeOf, Report: rep}, nil
 	}
+}
+
+// executeNative answers one request on the direct engine. The answers
+// are canonical — bit-identical chains and edges to the counted path
+// (the root backend parity suite gates this) — so a cache warmed by one
+// backend is geometrically interchangeable with the other; the entries
+// stay separate only because their reports differ.
+func (s *Server) executeNative(r *request, pol resilient.Policy) (Result, error) {
+	eng := engine.Native(r.q.Seed, nil)
+	if r.dim == 3 {
+		out, rep, err := eng.Hull3D(r.ctx, r.pts3, unsorted.Options3D{}, pol)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{N: len(r.pts3), Facets: len(out.Facets), FacetOf: out.FacetOf, Report: rep}, nil
+	}
+	var (
+		out unsorted.Result2D
+		rep resilient.Report
+		err error
+	)
+	switch r.q.Algo {
+	case AlgoPresorted:
+		var pr presorted.Result
+		pr, rep, err = eng.Presorted(r.ctx, r.pts2, pol)
+		out = unsorted.Result2D{Chain: pr.Chain, Edges: pr.Edges, EdgeOf: pr.EdgeOf}
+	case AlgoLogStar:
+		var pr presorted.Result
+		pr, rep, err = eng.LogStar(r.ctx, r.pts2, pol)
+		out = unsorted.Result2D{Chain: pr.Chain, Edges: pr.Edges, EdgeOf: pr.EdgeOf}
+	default:
+		out, rep, err = eng.Hull2D(r.ctx, r.pts2, unsorted.Options{}, pol)
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{N: len(r.pts2), Chain: out.Chain, Edges: out.Edges, EdgeOf: out.EdgeOf, Report: rep}, nil
 }

@@ -9,6 +9,7 @@ import (
 	"inplacehull/internal/geom"
 	"inplacehull/internal/hullerr"
 	"inplacehull/internal/hullhash"
+	"inplacehull/internal/resilient"
 	"inplacehull/internal/shard"
 )
 
@@ -45,8 +46,14 @@ func (s *Server) doScattered(ctx context.Context, r *request) (Result, error) {
 		return Result{}, err
 	}
 	res := Result{
-		N:       len(r.pts2),
-		Chain:   out.Chain,
+		N:     len(r.pts2),
+		Chain: out.Chain,
+		// The report's backend is the coordinator's resolved default; the
+		// shard workers it fans out to are configured to match (hullserve
+		// wires one -backend through both), though a remote peer is free
+		// to answer with its own engine — the merge only needs canonical
+		// chains, which both engines produce.
+		Report:  resilient.Report{ExecBackend: r.backend},
 		Shards:  out.Shards,
 		Missing: out.Missing,
 		Elapsed: time.Since(start),

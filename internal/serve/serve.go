@@ -95,6 +95,11 @@ type Config struct {
 	CacheSize int
 	// Policy tunes the resilient supervisor every query runs under.
 	Policy resilient.Policy
+	// Backend is the execution engine queries default to when they do not
+	// name one. BackendAuto resolves to BackendNative: serving wants host
+	// speed, and the counted simulator stays available per query (wire
+	// value "counted") and for experiments. E21 measures the gap.
+	Backend resilient.Backend
 	// Metrics, when non-nil, receives the serving counters
 	// (inplacehull_serve_*) for the Prometheus exporter.
 	Metrics *obs.Metrics
@@ -140,6 +145,9 @@ func (c *Config) fill() {
 	}
 	if c.NewStream == nil {
 		c.NewStream = rng.New
+	}
+	if c.Backend == resilient.BackendAuto {
+		c.Backend = resilient.BackendNative
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 
 	"inplacehull/internal/fault"
 	"inplacehull/internal/hullerr"
+	"inplacehull/internal/resilient"
 	"inplacehull/internal/rng"
 	"inplacehull/internal/workload"
 )
@@ -46,6 +47,9 @@ func TestOverloadSoak(t *testing.T) {
 		NewStream: func(seed uint64) *rng.Stream {
 			return fault.Attach(rng.New(seed), inj)
 		},
+		// The injected faults ride the counted machine's stream; the
+		// native engine would never see them.
+		Backend: resilient.BackendCounted,
 	})
 	defer s.Close()
 

@@ -63,6 +63,7 @@ func TestTierHeaderAndApproximateOnlyHTTP(t *testing.T) {
 		NewStream: poisonStream,
 		Policy:    resilient.Policy{MaxAttempts: 1, NoLadder: true, ApproxEps: 0.05},
 		Datasets:  map[string]Dataset{"disk": {Points2: workload.Disk(17, 400)}},
+		Backend:   resilient.BackendCounted, // poisonStream faults ride the counted path
 	})
 	srv := httptest.NewServer(s.Handler())
 	t.Cleanup(srv.Close)
@@ -115,6 +116,7 @@ func TestRequireExactQueryAPI(t *testing.T) {
 	s := small(t, Config{
 		NewStream: poisonStream,
 		Policy:    resilient.Policy{MaxAttempts: 1, NoLadder: true},
+		Backend:   resilient.BackendCounted, // poisonStream faults ride the counted path
 	})
 	pts := workload.Disk(13, 300)
 

@@ -12,6 +12,7 @@ import (
 	"inplacehull/internal/hull2d"
 	"inplacehull/internal/hullerr"
 	"inplacehull/internal/pram"
+	"inplacehull/internal/resilient"
 	"inplacehull/internal/rng"
 	"inplacehull/internal/workload"
 )
@@ -175,6 +176,11 @@ func RunSoakScenario(sc SoakScenario) (rec SoakRecord) {
 			Inner: &LocalWorker{
 				ID:    fmt.Sprintf("local-%d", w),
 				Fleet: fleet,
+				// Pin the counted backend: the injector payload below rides
+				// the counted machine's stream, and the soak is precisely
+				// about faults firing at paper sites inside the shard
+				// computation — the native engine has no such sites.
+				Backend: resilient.BackendCounted,
 				// Thread the SAME injector into the worker's PRAM stream,
 				// so paper-site faults fire inside the shard computation.
 				NewStream: func(seed uint64) *rng.Stream { return fault.Attach(rng.New(seed), inj) },

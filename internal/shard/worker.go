@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"inplacehull/internal/chain"
+	"inplacehull/internal/engine"
 	"inplacehull/internal/fault"
 	"inplacehull/internal/geom"
 	"inplacehull/internal/hullerr"
@@ -14,6 +15,7 @@ import (
 	"inplacehull/internal/pram"
 	"inplacehull/internal/resilient"
 	"inplacehull/internal/rng"
+	"inplacehull/internal/unsorted"
 )
 
 // Request is one shard's work order.
@@ -71,8 +73,15 @@ type LocalWorker struct {
 	Policy resilient.Policy
 	// NewStream builds the shard's random stream from Request.Seed.
 	// Default rng.New. The E20 soak swaps in a fault-attached stream so
-	// PRAM-level faults and network-level faults compose.
+	// PRAM-level faults and network-level faults compose. Counted-backend
+	// only: the native engine draws no per-step randomness.
 	NewStream func(seed uint64) *rng.Stream
+	// Backend selects the shard's execution engine. BackendAuto resolves
+	// to BackendNative — serving wants host speed, and Canonical()
+	// guarantees the merge sees identical chains either way. The E20 soak
+	// pins BackendCounted because its fault payloads ride the counted
+	// machine's stream.
+	Backend resilient.Backend
 }
 
 // Name implements Worker.
@@ -94,18 +103,28 @@ func (w *LocalWorker) Partial(ctx context.Context, req Request) (Response, error
 	if len(req.Points) == 0 {
 		return Response{Shard: req.Shard, Sum: req.Sum}, nil
 	}
-	m, err := w.Fleet.Checkout(ctx)
-	if err != nil {
-		return Response{}, err
-	}
-	defer w.Fleet.Return(m)
-	ns := w.NewStream
-	if ns == nil {
-		ns = rng.New
-	}
 	pol := w.Policy
 	pol.RequireExact = true
-	res, rep, err := resilient.Hull2D(ctx, m, ns(req.Seed), req.Points, pol)
+	var (
+		res unsorted.Result2D
+		rep resilient.Report
+		err error
+	)
+	if w.Backend == resilient.BackendCounted {
+		var m *pram.Machine
+		m, err = w.Fleet.Checkout(ctx)
+		if err != nil {
+			return Response{}, err
+		}
+		defer w.Fleet.Return(m)
+		ns := w.NewStream
+		if ns == nil {
+			ns = rng.New
+		}
+		res, rep, err = resilient.Hull2D(ctx, m, ns(req.Seed), req.Points, pol)
+	} else {
+		res, rep, err = engine.Native(req.Seed, nil).Hull2D(ctx, req.Points, unsorted.Options{}, pol)
+	}
 	if err != nil {
 		return Response{}, err
 	}

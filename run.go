@@ -101,12 +101,23 @@ type RunConfig struct {
 	Policy Policy
 	// Direct bypasses the supervisor: one unsupervised attempt, no
 	// reseeded retries, no degradation ladder. The context still cancels
-	// the machine between PRAM steps.
+	// the machine between PRAM steps. Ignored by the native backend,
+	// which has no supervisor to bypass.
 	Direct bool
 	// Observer, when non-nil, is installed on the machine for the
 	// duration of the run (restoring the previous sink afterwards) and
-	// receives every step, charge, phase span and supervisor note.
+	// receives every step, charge, phase span and supervisor note. Under
+	// the native backend it receives wall-time spans and steps==0 item
+	// charges instead of counted PRAM events.
 	Observer Observer
+	// Backend selects the execution engine. BackendAuto resolves to
+	// BackendCounted in Run2D/Run3D — an explicit *Machine pins the
+	// counted backend — and to BackendNative in RunAuto2D/RunAuto3D and
+	// the serving layer. With BackendNative the machine's counters stay
+	// untouched (the native path has no step barriers or work counters)
+	// and Policy/Direct are ignored: native runs are deterministic and
+	// need no supervisor.
+	Backend Backend
 }
 
 // Run2DResult is the unified output of Run2D: the hull fields every
@@ -157,11 +168,22 @@ func direct[T any](ctx context.Context, m *Machine, op string, fn func() (T, err
 //	    Algorithm: inplacehull.AlgoHull2D,
 //	    Observer:  collector,
 //	})
+//
+// Passing an explicit *Machine pins the counted backend by default: the
+// machine is a measurement instrument, and BackendAuto resolves to
+// BackendCounted here. Callers that only want the hull should prefer
+// RunAuto2D, which needs no machine and runs native. An explicit
+// RunConfig{Backend: BackendNative} still works on this entry point — the
+// machine then only anchors the observer (wall-time spans, steps==0 item
+// charges) and its counters stay untouched.
 func Run2D(ctx context.Context, m *Machine, rnd *Rand, pts []Point, cfg RunConfig) (Run2DResult, RunReport, error) {
 	if cfg.Observer != nil {
 		prev := m.Sink()
 		m.SetSink(cfg.Observer)
 		defer m.SetSink(prev)
+	}
+	if cfg.Backend == BackendNative {
+		return run2DNative(ctx, rnd, pts, cfg, m.Sink())
 	}
 	before := m.Snap()
 	switch cfg.Algorithm {
@@ -204,14 +226,19 @@ func Run2D(ctx context.Context, m *Machine, rnd *Rand, pts []Point, cfg RunConfi
 }
 
 // Run3D is the unified 3-d entry point (the §4.3 algorithm; see Run2D for
-// the supervision and observation semantics). It subsumes the deprecated
-// Hull3D/Hull3DWithOptions/Hull3DCtx/Hull3DCtxOptions variants. The
-// result's cap-facet contract is documented on Hull3DResult.
+// the supervision, observation and backend semantics — an explicit
+// *Machine pins the counted backend unless cfg.Backend says otherwise).
+// It subsumes the deprecated Hull3D/Hull3DWithOptions/Hull3DCtx/
+// Hull3DCtxOptions variants. The result's cap-facet contract is
+// documented on Hull3DResult.
 func Run3D(ctx context.Context, m *Machine, rnd *Rand, pts []Point3, cfg RunConfig) (Hull3DResult, RunReport, error) {
 	if cfg.Observer != nil {
 		prev := m.Sink()
 		m.SetSink(cfg.Observer)
 		defer m.SetSink(prev)
+	}
+	if cfg.Backend == BackendNative {
+		return run3DNative(ctx, rnd, pts, cfg, m.Sink())
 	}
 	before := m.Snap()
 	if cfg.Direct {
@@ -227,7 +254,8 @@ func Run3D(ctx context.Context, m *Machine, rnd *Rand, pts []Point3, cfg RunConf
 // attempt at the randomized tier, costs from the machine delta.
 func directReport(m *Machine, before pram.Snapshot) RunReport {
 	d := m.Delta(before)
-	return RunReport{Attempts: 1, Tier: TierRandomized, TotalSteps: d.Time, TotalWork: d.Work}
+	return RunReport{Attempts: 1, Tier: TierRandomized, TotalSteps: d.Time, TotalWork: d.Work,
+		ExecBackend: resilient.BackendCounted}
 }
 
 func presortedRun(r PresortedResult) Run2DResult {

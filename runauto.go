@@ -1,0 +1,108 @@
+package inplacehull
+
+import (
+	"context"
+
+	"inplacehull/internal/engine"
+	"inplacehull/internal/pram"
+	"inplacehull/internal/resilient"
+)
+
+// Backend selects the execution engine of a run (RunConfig.Backend).
+type Backend = resilient.Backend
+
+const (
+	// BackendAuto lets the entry point choose: Run2D/Run3D resolve it to
+	// BackendCounted (an explicit *Machine pins the counted engine);
+	// RunAuto2D/RunAuto3D and the serving layer resolve it to BackendNative.
+	BackendAuto = resilient.BackendAuto
+	// BackendCounted is the simulated CRCW PRAM engine: every step and
+	// processor activation is counted, the resilient supervisor retries and
+	// degrades, and the machine's Time/Work/PeakProcs counters measure the
+	// run. This is the experiments and oracle engine.
+	BackendCounted = resilient.BackendCounted
+	// BackendNative is the direct host-speed engine (internal/native): the
+	// same canonical hull, no step barriers, no work counters, parallelism
+	// by binary forking. This is the serving engine.
+	BackendNative = resilient.BackendNative
+)
+
+// nativeSeedSplit derives the native engine's seed stream from the
+// caller's Rand without disturbing the values the counted path would
+// draw — a Split, not a Uint64 on the main stream.
+const nativeSeedSplit = 0x4A71
+
+func nativeSeed(rnd *Rand) uint64 {
+	if rnd == nil {
+		return 0
+	}
+	return rnd.Split(nativeSeedSplit).Uint64()
+}
+
+// run2DNative executes a Run2D call on the native backend: the engine
+// seam replaces the machine, which only anchored the observer (sink).
+func run2DNative(ctx context.Context, rnd *Rand, pts []Point, cfg RunConfig, sink pram.Sink) (Run2DResult, RunReport, error) {
+	eng := engine.Native(nativeSeed(rnd), sink)
+	switch cfg.Algorithm {
+	case AlgoPresorted:
+		r, rep, err := eng.Presorted(ctx, pts, cfg.Policy)
+		return presortedRun(r), rep, err
+	case AlgoLogStar:
+		r, rep, err := eng.LogStar(ctx, pts, cfg.Policy)
+		return presortedRun(r), rep, err
+	case AlgoOptimal:
+		r, rep, err := eng.Optimal(ctx, pts)
+		return Run2DResult{
+			Edges: r.Result.Edges, Chain: r.Result.Chain, EdgeOf: r.Result.EdgeOf,
+			Optimal: &r,
+		}, rep, err
+	default: // AlgoHull2D
+		r, rep, err := eng.Hull2D(ctx, pts, cfg.Options2D, cfg.Policy)
+		return unsortedRun(r), rep, err
+	}
+}
+
+// run3DNative is run2DNative's 3-d counterpart.
+func run3DNative(ctx context.Context, rnd *Rand, pts []Point3, cfg RunConfig, sink pram.Sink) (Hull3DResult, RunReport, error) {
+	eng := engine.Native(nativeSeed(rnd), sink)
+	return eng.Hull3D(ctx, pts, cfg.Options3D, cfg.Policy)
+}
+
+// RunAuto2D is Run2D without the machine: the entry point for callers
+// that want the hull, not a measurement. BackendAuto resolves to
+// BackendNative here — the run executes at host speed with no step
+// barriers or work counters, and the report's TotalSteps/TotalWork are
+// zero (wall time flows through cfg.Observer instead, as wall-time spans
+// and steps==0 item charges). An explicit cfg.Backend of BackendCounted
+// runs the counted engine on a temporary machine, so the supervised
+// semantics of Run2D remain one field away:
+//
+//	res, rep, err := inplacehull.RunAuto2D(ctx, rnd, pts, inplacehull.RunConfig{})
+//	// rep.Backend() == inplacehull.BackendNative
+func RunAuto2D(ctx context.Context, rnd *Rand, pts []Point, cfg RunConfig) (Run2DResult, RunReport, error) {
+	if cfg.Backend == BackendCounted {
+		m := NewMachine()
+		defer m.Close()
+		return Run2D(ctx, m, rnd, pts, cfg)
+	}
+	var sink pram.Sink
+	if cfg.Observer != nil {
+		sink = cfg.Observer
+	}
+	return run2DNative(ctx, rnd, pts, cfg, sink)
+}
+
+// RunAuto3D is Run3D without the machine (see RunAuto2D for the backend
+// resolution and observer semantics).
+func RunAuto3D(ctx context.Context, rnd *Rand, pts []Point3, cfg RunConfig) (Hull3DResult, RunReport, error) {
+	if cfg.Backend == BackendCounted {
+		m := NewMachine()
+		defer m.Close()
+		return Run3D(ctx, m, rnd, pts, cfg)
+	}
+	var sink pram.Sink
+	if cfg.Observer != nil {
+		sink = cfg.Observer
+	}
+	return run3DNative(ctx, rnd, pts, cfg, sink)
+}
