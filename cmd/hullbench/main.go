@@ -27,6 +27,8 @@
 //	hullbench -quick -serve -servebase BENCH_serve.json   # serving CI gate
 //	hullbench -exp E21 -servejson BENCH_serve.json   # merge backend rows into the report
 //	hullbench -quick -exp E21 -servebase BENCH_serve.json   # backend CI gate
+//	hullbench -exp E22 -servejson BENCH_serve.json   # merge admission-culling rows
+//	hullbench -quick -exp E22 -servebase BENCH_serve.json   # culling CI gate
 package main
 
 import (
@@ -50,8 +52,8 @@ func main() {
 		pramjson  = flag.String("pramjson", "", "write E17's machine-readable engine report (BENCH_pram.json schema) to this path")
 		prambase  = flag.String("prambase", "", "gate E17 against this committed BENCH_pram.json; exit 1 on >10% regression")
 		serveLoad = flag.Bool("serve", false, "run the serving-layer load test (shorthand for -exp E18)")
-		servejson = flag.String("servejson", "", "write the machine-readable serving report (BENCH_serve.json schema) to this path; E18 and E21 each merge their own section")
-		servebase = flag.String("servebase", "", "gate E18/E21 against this committed BENCH_serve.json (and the absolute acceptance contracts); exit 1 on failure")
+		servejson = flag.String("servejson", "", "write the machine-readable serving report (BENCH_serve.json schema) to this path; E18, E21 and E22 each merge their own section")
+		servebase = flag.String("servebase", "", "gate E18/E21/E22 against this committed BENCH_serve.json (and the absolute acceptance contracts); exit 1 on failure")
 	)
 	flag.Parse()
 

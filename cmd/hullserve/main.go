@@ -45,6 +45,7 @@ import (
 	"syscall"
 	"time"
 
+	"inplacehull/internal/cull"
 	"inplacehull/internal/obs"
 	"inplacehull/internal/pram"
 	"inplacehull/internal/resilient"
@@ -69,12 +70,18 @@ func main() {
 		hedge    = flag.Duration("hedge", 20*time.Millisecond, "scatter straggler threshold before a hedged shard request launches; 0 disables hedging")
 		partial  = flag.Bool("allow-partial", true, "answer scattered queries partially (HTTP 206 + typed PartialHull) when shards stay unreachable")
 		backend  = flag.String("backend", "native", "default execution engine: native (direct, host-speed) or counted (simulated PRAM); queries may override per request")
+		cullFlag = flag.String("cull", "auto", "default admission-side interior-point filter: auto (octagon), off, quad, octagon, or coarse; queries may override per request")
 	)
 	flag.Parse()
 
 	be, ok := resilient.ParseBackend(*backend)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "hullserve: unknown -backend %q (want native or counted)\n", *backend)
+		os.Exit(2)
+	}
+	cp, ok := cull.ParsePolicy(*cullFlag)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "hullserve: unknown -cull %q (want auto, off, quad, octagon, or coarse)\n", *cullFlag)
 		os.Exit(2)
 	}
 
@@ -103,6 +110,7 @@ func main() {
 		Datasets:    ds,
 		Policy:      resilient.Policy{ApproxEps: *approx},
 		Backend:     be,
+		Cull:        cp,
 		Sharder:     sharder,
 	})
 

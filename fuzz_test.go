@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"inplacehull/internal/approx"
+	"inplacehull/internal/cull"
 	"inplacehull/internal/hull2d"
 	"inplacehull/internal/unsorted"
 	"inplacehull/internal/workload"
@@ -193,6 +194,69 @@ func FuzzApproxCertificate(f *testing.F) {
 		}
 		if !a.Met() {
 			t.Fatalf("exact-oracle approximation missed its tolerance: eps=%g tol=%g", a.Eps, a.Tol)
+		}
+	})
+}
+
+// FuzzCullParity2D: the admission-side interior-point filter on arbitrary
+// inputs — for every policy the survivors must be an in-order subsequence
+// of the input, every non-finite point must survive (typed-error parity:
+// validation over the culled set fails exactly when it fails over the full
+// set), and on finite inputs the upper hull of the survivors must be
+// bit-identical to the upper hull of the full input.
+func FuzzCullParity2D(f *testing.F) {
+	corpus2D(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pts := decodePoints(data)
+		seed := uint64(1)
+		if len(data) > 0 {
+			seed = uint64(data[0])<<8 | uint64(len(data))
+		}
+		samePt := func(a, b Point) bool {
+			return math.Float64bits(a.X) == math.Float64bits(b.X) &&
+				math.Float64bits(a.Y) == math.Float64bits(b.Y)
+		}
+		countNonFinite := func(ps []Point) int {
+			c := 0
+			for _, p := range ps {
+				if math.IsNaN(p.X) || math.IsInf(p.X, 0) || math.IsNaN(p.Y) || math.IsInf(p.Y, 0) {
+					c++
+				}
+			}
+			return c
+		}
+		finite := !hasNonFinite(pts)
+		var want []Point
+		if finite {
+			want = hull2d.UpperHull(pts)
+		}
+		for _, pol := range []cull.Policy{cull.PolicyQuad, cull.PolicyOctagon, cull.PolicyCoarse} {
+			culled := cull.Points2(pol, seed, pts)
+			j := 0
+			for _, p := range pts {
+				if j < len(culled) && samePt(culled[j], p) {
+					j++
+				}
+			}
+			if j != len(culled) {
+				t.Fatalf("%v: survivors are not an in-order subsequence (%d/%d matched)", pol, j, len(culled))
+			}
+			if !finite {
+				if countNonFinite(pts) != countNonFinite(culled) {
+					t.Fatalf("%v: a non-finite point was culled", pol)
+				}
+				continue
+			}
+			got := hull2d.UpperHull(culled)
+			if len(got) != len(want) {
+				t.Fatalf("%v: culled hull has %d vertices, full hull %d (n=%d, survivors=%d)",
+					pol, len(got), len(want), len(pts), len(culled))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%v: culled hull vertex %d = %v, full hull %v", pol, i, got[i], want[i])
+				}
+			}
 		}
 	})
 }

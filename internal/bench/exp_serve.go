@@ -80,8 +80,9 @@ type ServeCacheRow struct {
 }
 
 // ServeReport is the BENCH_serve.json schema. Rows and Cache are E18's;
-// Native is E21's backend comparison — each experiment rewrites only its
-// own section and preserves the other's.
+// Native is E21's backend comparison; Cull is E22's admission-culling
+// sweep — each experiment rewrites only its own section and preserves the
+// others'.
 type ServeReport struct {
 	Experiment string           `json:"experiment"`
 	GOMAXPROCS int              `json:"gomaxprocs"`
@@ -91,6 +92,7 @@ type ServeReport struct {
 	Rows       []ServeRow       `json:"rows"`
 	Cache      []ServeCacheRow  `json:"cache"`
 	Native     []NativeServeRow `json:"native,omitempty"`
+	Cull       []CullServeRow   `json:"cull,omitempty"`
 }
 
 const (
@@ -376,9 +378,11 @@ func init() {
 			}
 
 			if cfg.ServeJSON != "" {
-				// Preserve E21's backend rows if the file already has them.
+				// Preserve E21's backend rows and E22's culling rows if the
+				// file already has them.
 				if old, err := readServeReport(cfg.ServeJSON); err == nil {
 					rep.Native = old.Native
+					rep.Cull = old.Cull
 				}
 				buf, err := json.MarshalIndent(rep, "", "  ")
 				if err == nil {

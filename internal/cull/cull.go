@@ -1,0 +1,540 @@
+// Package cull is the admission-side interior-point pre-filter: before a
+// query's points reach batching, hashing, or a backend run, discard the
+// points that certainly cannot matter to the hull, so effective-n — not
+// raw-n — drives every downstream cost. Two filter families are provided,
+// both allocation-light and parallelized over the shared binary-forking
+// token pool (internal/fork):
+//
+//   - Extreme-point polygons (PolicyQuad, PolicyOctagon): the classic
+//     throw-away heuristic of Akl & Toussaint as used by the
+//     quadrilateral/octagon pre-pass of Heydari & Khalifeh — find the
+//     input's extreme points in 4 (resp. 8) directions, take their convex
+//     polygon, and discard everything strictly inside it. One parallel
+//     reduction plus one parallel scan; no per-point allocation.
+//
+//   - Sampled coarse hull (PolicyCoarse): the paper-native variant —
+//     Lemma 3.1-style sampling (a seeded ~√n random sample, widened by
+//     the 8 directional extremes), an exact convex hull of the sample,
+//     then a wedge-binary-search point-in-polygon discard pass. Costs
+//     O(√n log n) to build and O(log h) per point; it adapts to the
+//     input's shape where the fixed octagon cannot.
+//
+// Correctness story (the invariant every test in this package gates on):
+// a point is discarded only when it is CERTAINLY strictly inside the
+// convex hull of a candidate set C whose members are themselves input
+// points. Strict interior of conv(C) ⊆ strict interior of conv(input),
+// so no discarded point can be a hull vertex, lie on a hull edge, or
+// change the hull in any way: conv(survivors) == conv(input) exactly, and
+// the canonical strict upper chain of the survivors is bit-identical to
+// that of the full input. "Certainly" means the strict-side tests use
+// conservative floating-point error bounds (the same Shewchuk-style
+// filter constants as internal/geom): any determinant within its error
+// bound of zero — and any comparison poisoned by NaN or ±Inf — KEEPS the
+// point. Non-finite points are therefore never discarded, which preserves
+// typed-error parity: validation of the culled set fails exactly when
+// validation of the full set would.
+//
+// Degenerate inputs degrade to a no-op, never to wrongness: if the
+// candidate polygon has fewer than three vertices (all-collinear,
+// all-duplicate, tiny n) the filter keeps everything. Adversarial inputs
+// (all points on a circle) simply cull ~0 points at scan cost.
+package cull
+
+import (
+	"math"
+	"sort"
+
+	"inplacehull/internal/fork"
+	"inplacehull/internal/geom"
+	"inplacehull/internal/rng"
+)
+
+// Policy selects the admission filter. The zero value is PolicyAuto so an
+// unset serve.Config field means "let the library choose".
+type Policy int
+
+const (
+	// PolicyAuto lets the library pick; it currently resolves to
+	// PolicyOctagon, the best fixed-cost ratio on the serving workloads
+	// E22 measures.
+	PolicyAuto Policy = iota
+	// PolicyOff disables culling.
+	PolicyOff
+	// PolicyQuad culls against the quadrilateral of the 4 axis-extreme
+	// points (±x, ±y).
+	PolicyQuad
+	// PolicyOctagon culls against the octagon of the 8 directional
+	// extremes (±x, ±y, ±(x+y), ±(x−y)).
+	PolicyOctagon
+	// PolicyCoarse culls against an exact convex hull of a seeded ~√n
+	// sample widened by the 8 directional extremes.
+	PolicyCoarse
+)
+
+// ParsePolicy maps a wire string to a Policy, mirroring
+// resilient.ParseBackend: ok is false for unknown strings, and the empty
+// string is NOT accepted here — callers decide what an absent field means.
+func ParsePolicy(s string) (Policy, bool) {
+	switch s {
+	case "auto":
+		return PolicyAuto, true
+	case "off":
+		return PolicyOff, true
+	case "quad":
+		return PolicyQuad, true
+	case "octagon":
+		return PolicyOctagon, true
+	case "coarse":
+		return PolicyCoarse, true
+	}
+	return PolicyAuto, false
+}
+
+// String returns the wire spelling ParsePolicy accepts.
+func (p Policy) String() string {
+	switch p {
+	case PolicyOff:
+		return "off"
+	case PolicyQuad:
+		return "quad"
+	case PolicyOctagon:
+		return "octagon"
+	case PolicyCoarse:
+		return "coarse"
+	default:
+		return "auto"
+	}
+}
+
+// Resolve collapses PolicyAuto to the concrete policy it currently means,
+// so cache keys and response headers always name the filter that ran.
+func (p Policy) Resolve() Policy {
+	if p == PolicyAuto {
+		return PolicyOctagon
+	}
+	return p
+}
+
+// Filter grains: one parallel-scan leaf is a few thousand strict-side
+// tests — a handful of microseconds, enough to amortize a fork.
+const (
+	cullGrain = 2048
+	// minN is the input size below which filtering is skipped outright:
+	// the extreme-point reduction alone would cost more than the backend
+	// saves on inputs this small.
+	minN = 32
+	// sampleMin/sampleMax clamp the coarse sample size ⌈√n⌉.
+	sampleMin = 32
+	sampleMax = 1024
+)
+
+// Conservative strict-side error bounds, matching the forward-error
+// filters in internal/geom for the identical determinant expressions
+// (geom.Orientation / geom.Orientation3). Determinants within the bound
+// are treated as "uncertain" and the point is kept.
+const (
+	eps2 = 3.3306690738754716e-16 // (3 + 16·eps)·eps, eps = 2^-53
+	eps3 = 7.771561172376103e-16  // (7 + 56·eps)·eps
+)
+
+// Points2 returns the subset of pts that survives the policy's filter, in
+// input order, never mutating pts; when nothing is discarded the input
+// slice itself is returned. seed drives PolicyCoarse sampling and is
+// ignored by the fixed-direction policies. The invariant — checked by this
+// package's tests against the hull2d.UpperHull oracle — is that
+// conv(survivors) == conv(pts) exactly, so any hull computed from the
+// survivors is bit-identical to one computed from the full input.
+func Points2(pol Policy, seed uint64, pts []geom.Point) []geom.Point {
+	if len(pts) < minN {
+		return pts
+	}
+	var poly []geom.Point
+	switch pol.Resolve() {
+	case PolicyQuad:
+		poly = convexCCW(extremes2(pts, quadDirs[:]))
+	case PolicyOctagon:
+		poly = convexCCW(extremes2(pts, octDirs[:]))
+	case PolicyCoarse:
+		poly = convexCCW(coarseSample(pts, seed))
+	default: // PolicyOff
+		return pts
+	}
+	if len(poly) < 3 {
+		return pts
+	}
+	inside := func(p geom.Point) bool { return insideStrict(poly, p) }
+	if len(poly) > polyScanMax {
+		inside = func(p geom.Point) bool { return insideWedge(poly, p) }
+	}
+	keep := make([]bool, len(pts))
+	survivors := 0
+	fork.For(len(pts), cullGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			keep[i] = !inside(pts[i])
+		}
+	})
+	for _, k := range keep {
+		if k {
+			survivors++
+		}
+	}
+	if survivors == len(pts) {
+		return pts
+	}
+	out := make([]geom.Point, 0, survivors)
+	for i, k := range keep {
+		if k {
+			out = append(out, pts[i])
+		}
+	}
+	return out
+}
+
+// Points3 returns the subset of pts surviving the 3-d filter, in input
+// order, never mutating pts. Every active policy uses the octahedron
+// analogue of the extreme-point polygon: the 6 axis extremes (±x, ±y, ±z)
+// split into 4 tetrahedra around the (x−, x+) axis, and a point is
+// discarded only when it is certainly strictly inside one of them — a
+// test that is unconditionally sound (each tetrahedron's vertices are
+// input points, so its strict interior is strict hull interior) no matter
+// how degenerate the extreme configuration is. seed is accepted for
+// signature symmetry and ignored.
+func Points3(pol Policy, seed uint64, pts []geom.Point3) []geom.Point3 {
+	_ = seed
+	if pol.Resolve() == PolicyOff || len(pts) < minN {
+		return pts
+	}
+	ex, ok := extremes3(pts)
+	if !ok {
+		return pts
+	}
+	// Tetrahedra share the x-axis diagonal; each pairs one of ±y with one
+	// of ±z. Their union fills the octahedron for well-shaped inputs.
+	tets := [4][4]geom.Point3{
+		{ex[0], ex[1], ex[2], ex[4]}, // x−, x+, y+, z+
+		{ex[0], ex[1], ex[2], ex[5]}, // x−, x+, y+, z−
+		{ex[0], ex[1], ex[3], ex[4]}, // x−, x+, y−, z+
+		{ex[0], ex[1], ex[3], ex[5]}, // x−, x+, y−, z−
+	}
+	keep := make([]bool, len(pts))
+	survivors := 0
+	fork.For(len(pts), cullGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			p := pts[i]
+			discard := false
+			for t := range tets {
+				if insideTetStrict(tets[t], p) {
+					discard = true
+					break
+				}
+			}
+			keep[i] = !discard
+		}
+	})
+	for _, k := range keep {
+		if k {
+			survivors++
+		}
+	}
+	if survivors == len(pts) {
+		return pts
+	}
+	out := make([]geom.Point3, 0, survivors)
+	for i, k := range keep {
+		if k {
+			out = append(out, pts[i])
+		}
+	}
+	return out
+}
+
+// polyScanMax is the polygon size above which the per-point test switches
+// from the all-edges scan to the wedge binary search. The fixed polygons
+// (≤8 edges) always scan; only coarse hulls grow past this.
+const polyScanMax = 12
+
+// quadDirs/octDirs are the support directions of the fixed filters.
+var quadDirs = [4]geom.Point{{X: 1}, {Y: 1}, {X: -1}, {Y: -1}}
+var octDirs = [8]geom.Point{
+	{X: 1}, {X: 1, Y: 1}, {Y: 1}, {X: -1, Y: 1},
+	{X: -1}, {X: -1, Y: -1}, {Y: -1}, {X: 1, Y: -1},
+}
+
+// extremes2 returns, for each direction, an input point maximizing the
+// dot product — a parallel reduction over fork.For leaves. NaN
+// coordinates can never win a `>` comparison, so a NaN point is selected
+// only if it is pts[0] and nothing beats it; convexCCW's finiteness guard
+// then disables the filter.
+func extremes2(pts []geom.Point, dirs []geom.Point) []geom.Point {
+	nLeaf := (len(pts) + cullGrain - 1) / cullGrain
+	leaves := make([][]geom.Point, nLeaf)
+	// Parallelize over grain-aligned chunk indices (fork.For's own ranges
+	// split by halving, so its lo values are not chunk-aligned).
+	fork.For(nLeaf, 1, func(cLo, cHi int) {
+		for c := cLo; c < cHi; c++ {
+			lo, hi := c*cullGrain, (c+1)*cullGrain
+			if hi > len(pts) {
+				hi = len(pts)
+			}
+			best := make([]geom.Point, len(dirs))
+			for d := range dirs {
+				best[d] = pts[lo]
+			}
+			for i := lo; i < hi; i++ {
+				p := pts[i]
+				for d, dir := range dirs {
+					if p.X*dir.X+p.Y*dir.Y > best[d].X*dir.X+best[d].Y*dir.Y {
+						best[d] = p
+					}
+				}
+			}
+			leaves[c] = best
+		}
+	})
+	out := make([]geom.Point, len(dirs))
+	for d, dir := range dirs {
+		out[d] = leaves[0][d]
+		for _, lf := range leaves[1:] {
+			p := lf[d]
+			if p.X*dir.X+p.Y*dir.Y > out[d].X*dir.X+out[d].Y*dir.Y {
+				out[d] = p
+			}
+		}
+	}
+	return out
+}
+
+// coarseSample draws the PolicyCoarse candidate set: ⌈√n⌉ seeded random
+// picks (clamped to [sampleMin, sampleMax]) widened by the 8 directional
+// extremes so the coarse hull never has less reach than the octagon.
+func coarseSample(pts []geom.Point, seed uint64) []geom.Point {
+	m := int(math.Sqrt(float64(len(pts))))
+	if m < sampleMin {
+		m = sampleMin
+	}
+	if m > sampleMax {
+		m = sampleMax
+	}
+	if m > len(pts) {
+		m = len(pts)
+	}
+	r := rng.New(seed ^ 0xC0A85E_CA11) // decorrelate from backend sampling
+	out := make([]geom.Point, 0, m+len(octDirs))
+	for i := 0; i < m; i++ {
+		out = append(out, pts[r.Intn(len(pts))])
+	}
+	out = append(out, extremes2(pts, octDirs[:])...)
+	return out
+}
+
+// convexCCW computes the exact strict convex hull of the candidates in
+// counterclockwise order (Andrew's monotone chain over the robust
+// geom.Orientation predicate — the candidate sets are small, so the exact
+// path's cost is irrelevant). It returns nil — disabling the filter —
+// when any candidate is non-finite or the hull is not a real polygon
+// (fewer than 3 vertices: all-collinear or all-duplicate candidates).
+func convexCCW(cand []geom.Point) []geom.Point {
+	c := append([]geom.Point(nil), cand...)
+	for _, p := range c {
+		if !p.IsFinite() {
+			return nil
+		}
+	}
+	sort.Slice(c, func(i, j int) bool { return geom.LexLess(c[i], c[j]) })
+	uniq := c[:0]
+	for i, p := range c {
+		if i == 0 || p != c[i-1] {
+			uniq = append(uniq, p)
+		}
+	}
+	c = uniq
+	if len(c) < 3 {
+		return nil
+	}
+	var lo []geom.Point
+	for _, p := range c {
+		for len(lo) >= 2 && geom.Orientation(lo[len(lo)-2], lo[len(lo)-1], p) <= 0 {
+			lo = lo[:len(lo)-1]
+		}
+		lo = append(lo, p)
+	}
+	var up []geom.Point
+	for i := len(c) - 1; i >= 0; i-- {
+		p := c[i]
+		for len(up) >= 2 && geom.Orientation(up[len(up)-2], up[len(up)-1], p) <= 0 {
+			up = up[:len(up)-1]
+		}
+		up = append(up, p)
+	}
+	poly := append(lo[:len(lo)-1], up[:len(up)-1]...)
+	if len(poly) < 3 {
+		return nil
+	}
+	return poly
+}
+
+// strictLeft reports whether p is CERTAINLY strictly left of the directed
+// line u→w: the raw cross determinant must clear the conservative error
+// bound. Any NaN/Inf contamination makes the comparison false — keep.
+func strictLeft(u, w, p geom.Point) bool {
+	t1 := (w.X - u.X) * (p.Y - u.Y)
+	t2 := (w.Y - u.Y) * (p.X - u.X)
+	return t1-t2 > eps2*(math.Abs(t1)+math.Abs(t2))
+}
+
+// insideStrict is the all-edges interior test for a CCW convex polygon:
+// certainly strictly left of every directed edge. O(|poly|) per point —
+// used for the fixed quad/octagon polygons.
+func insideStrict(poly []geom.Point, p geom.Point) bool {
+	n := len(poly)
+	for i := 0; i < n; i++ {
+		if !strictLeft(poly[i], poly[(i+1)%n], p) {
+			return false
+		}
+	}
+	return true
+}
+
+// insideWedge is the O(log h) interior test for larger coarse-hull
+// polygons: binary-search the fan wedge around poly[0] with cheap raw
+// signs (errors here only mis-pick the wedge), then gate the discard on
+// the conservative strict test against the wedge triangle. Only the final
+// strict test can discard, so the search needs no robustness.
+func insideWedge(poly []geom.Point, p geom.Point) bool {
+	n := len(poly)
+	v0 := poly[0]
+	rawLeft := func(u, w geom.Point) bool {
+		return (w.X-u.X)*(p.Y-u.Y)-(w.Y-u.Y)*(p.X-u.X) > 0
+	}
+	if !rawLeft(v0, poly[1]) || rawLeft(v0, poly[n-1]) {
+		return false
+	}
+	lo, hi := 1, n-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if rawLeft(v0, poly[mid]) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return strictLeft(v0, poly[lo], p) &&
+		strictLeft(poly[lo], poly[hi], p) &&
+		strictLeft(poly[hi], v0, p)
+}
+
+// extremes3 returns the 6 axis-extreme points ordered x−, x+, y+, y−, z+,
+// z− (the order Points3's tetrahedra index), with ok false when any
+// extreme is non-finite (disable the filter; non-finite inputs must pass
+// through untouched for typed-error parity).
+func extremes3(pts []geom.Point3) (ex [6]geom.Point3, ok bool) {
+	nLeaf := (len(pts) + cullGrain - 1) / cullGrain
+	leaves := make([][6]geom.Point3, nLeaf)
+	fork.For(nLeaf, 1, func(cLo, cHi int) {
+		for c := cLo; c < cHi; c++ {
+			lo, hi := c*cullGrain, (c+1)*cullGrain
+			if hi > len(pts) {
+				hi = len(pts)
+			}
+			var b [6]geom.Point3
+			for d := range b {
+				b[d] = pts[lo]
+			}
+			for i := lo; i < hi; i++ {
+				p := pts[i]
+				if p.X < b[0].X {
+					b[0] = p
+				}
+				if p.X > b[1].X {
+					b[1] = p
+				}
+				if p.Y > b[2].Y {
+					b[2] = p
+				}
+				if p.Y < b[3].Y {
+					b[3] = p
+				}
+				if p.Z > b[4].Z {
+					b[4] = p
+				}
+				if p.Z < b[5].Z {
+					b[5] = p
+				}
+			}
+			leaves[c] = b
+		}
+	})
+	ex = leaves[0]
+	for _, lf := range leaves[1:] {
+		if lf[0].X < ex[0].X {
+			ex[0] = lf[0]
+		}
+		if lf[1].X > ex[1].X {
+			ex[1] = lf[1]
+		}
+		if lf[2].Y > ex[2].Y {
+			ex[2] = lf[2]
+		}
+		if lf[3].Y < ex[3].Y {
+			ex[3] = lf[3]
+		}
+		if lf[4].Z > ex[4].Z {
+			ex[4] = lf[4]
+		}
+		if lf[5].Z < ex[5].Z {
+			ex[5] = lf[5]
+		}
+	}
+	for _, p := range ex {
+		if !p.IsFinite() {
+			return ex, false
+		}
+	}
+	return ex, true
+}
+
+// orient3Strict returns +1 (certainly positive side), −1 (certainly
+// negative side) or 0 (uncertain, degenerate, or NaN/Inf-poisoned) for
+// the plane through (a, b, c) against d — the same Shewchuk determinant
+// expression and error bound as geom.Orientation3's filter stage, without
+// the exact-arithmetic fallback: an uncertain sign keeps the point, which
+// is the conservative direction here.
+func orient3Strict(a, b, c, d geom.Point3) int {
+	adx, ady, adz := a.X-d.X, a.Y-d.Y, a.Z-d.Z
+	bdx, bdy, bdz := b.X-d.X, b.Y-d.Y, b.Z-d.Z
+	cdx, cdy, cdz := c.X-d.X, c.Y-d.Y, c.Z-d.Z
+
+	bdxcdy := bdx * cdy
+	cdxbdy := cdx * bdy
+	cdxady := cdx * ady
+	adxcdy := adx * cdy
+	adxbdy := adx * bdy
+	bdxady := bdx * ady
+
+	det := adz*(bdxcdy-cdxbdy) + bdz*(cdxady-adxcdy) + cdz*(adxbdy-bdxady)
+	permanent := (math.Abs(bdxcdy)+math.Abs(cdxbdy))*math.Abs(adz) +
+		(math.Abs(cdxady)+math.Abs(adxcdy))*math.Abs(bdz) +
+		(math.Abs(adxbdy)+math.Abs(bdxady))*math.Abs(cdz)
+	if det > eps3*permanent {
+		return 1
+	}
+	if det < -eps3*permanent {
+		return -1
+	}
+	return 0
+}
+
+// insideTetStrict reports whether p is certainly strictly inside the
+// tetrahedron (possibly degenerate — then always false): for each face,
+// p must certainly lie on the same strict side as the opposite vertex.
+func insideTetStrict(t [4]geom.Point3, p geom.Point3) bool {
+	faces := [4][4]int{{1, 2, 3, 0}, {0, 2, 3, 1}, {0, 1, 3, 2}, {0, 1, 2, 3}}
+	for _, f := range faces {
+		a, b, c, opp := t[f[0]], t[f[1]], t[f[2]], t[f[3]]
+		s := orient3Strict(a, b, c, opp)
+		if s == 0 || orient3Strict(a, b, c, p) != s {
+			return false
+		}
+	}
+	return true
+}

@@ -172,3 +172,14 @@ func (e nativeEngine) Hull3D(ctx context.Context, pts []geom.Point3, _ unsorted.
 		return native.Hull3D(e.seed, pts, e.sink)
 	})
 }
+
+// NativeHull3DFrom is the culled-admission variant of the native 3-d
+// path: the incremental hull runs over culled, caps are assigned and
+// oracle-checked over full (see native.Hull3DFrom). It sits outside the
+// Engine interface because only the native backend can honor it — counted
+// 3-d facet identities are not stable under input subsetting.
+func NativeHull3DFrom(ctx context.Context, seed uint64, full, culled []geom.Point3, sink pram.Sink) (unsorted.Result3D, resilient.Report, error) {
+	return run(ctx, "engine.Native.Hull3DFrom", func() (unsorted.Result3D, error) {
+		return native.Hull3DFrom(seed, full, culled, sink)
+	})
+}

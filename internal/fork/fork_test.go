@@ -1,0 +1,71 @@
+package fork
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversRangeDisjointly(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 100, 4097, 100_000} {
+		seen := make([]int32, n)
+		For(n, 64, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&seen[i], 1)
+			}
+		})
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, c)
+			}
+		}
+	}
+}
+
+func TestForZeroAndNegativeGrain(t *testing.T) {
+	var count atomic.Int64
+	For(10, 0, func(lo, hi int) { count.Add(int64(hi - lo)) })
+	if count.Load() != 10 {
+		t.Fatalf("grain 0: covered %d of 10", count.Load())
+	}
+}
+
+func TestParallel2RunsBoth(t *testing.T) {
+	var a, b atomic.Bool
+	Parallel2(func() { a.Store(true) }, func() { b.Store(true) })
+	if !a.Load() || !b.Load() {
+		t.Fatalf("a=%v b=%v, want both true", a.Load(), b.Load())
+	}
+}
+
+func TestParallel2PanicPropagates(t *testing.T) {
+	check := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: panic did not propagate", name)
+			}
+		}()
+		f()
+	}
+	check("left", func() { Parallel2(func() { panic("boom") }, func() {}) })
+	check("right", func() { Parallel2(func() {}, func() { panic("boom") }) })
+}
+
+// TestParallel2NoTokenLeak exercises the pool deep enough that a leaked
+// token would exhaust the budget and serialize everything — the test
+// still passes then, but under -race it also checks the recover handoff.
+func TestParallel2NoTokenLeak(t *testing.T) {
+	for round := 0; round < 100; round++ {
+		var sum atomic.Int64
+		For(1000, 10, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				sum.Add(int64(i))
+			}
+		})
+		if sum.Load() != 999*1000/2 {
+			t.Fatalf("round %d: sum %d", round, sum.Load())
+		}
+	}
+	if len(tokens) != 0 {
+		t.Fatalf("%d tokens leaked", len(tokens))
+	}
+}

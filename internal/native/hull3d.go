@@ -1,6 +1,7 @@
 package native
 
 import (
+	"inplacehull/internal/fork"
 	"inplacehull/internal/geom"
 	"inplacehull/internal/hull3d"
 	"inplacehull/internal/hullerr"
@@ -20,11 +21,27 @@ import (
 // library's "a correct hull or a typed error" contract without a
 // simulator in the loop. obs may be nil.
 func Hull3D(seed uint64, pts []geom.Point3, obs pram.Sink) (unsorted.Result3D, error) {
-	const op = "native.Hull3D"
-	if err := hullerr.CheckFinite3D(op, pts); err != nil {
+	return Hull3DFrom(seed, pts, pts, obs)
+}
+
+// Hull3DFrom computes the Result3D cap structure for full while running
+// the incremental hull only over culled — the serve layer's post-culling
+// entry point. culled must satisfy conv(culled) == conv(full) (the
+// internal/cull invariant); the cap assignment (capsFromHull), the oracle
+// gate (CheckCaps3D) and the degenerate fallback all run over the FULL
+// point set, so FacetOf keeps input length and every point's cap is a
+// genuine upper facet above it. The GEOMETRIC hull is identical to a
+// full-input run; the facet decomposition need not be bit-identical —
+// insertion order differs, so coplanar upper faces may triangulate
+// differently and tie-broken FaceAbove picks may move, the same
+// seed-dependence the 3-d parity suite already tolerates. Correctness is
+// what CheckCaps3D proves, over the full input. obs may be nil.
+func Hull3DFrom(seed uint64, full, culled []geom.Point3, obs pram.Sink) (unsorted.Result3D, error) {
+	const op = "native.Hull3DFrom"
+	if err := hullerr.CheckFinite3D(op, full); err != nil {
 		return unsorted.Result3D{}, err
 	}
-	n := len(pts)
+	n := len(full)
 	res := unsorted.Result3D{FacetOf: make([]int, n)}
 	if n == 0 {
 		return res, nil
@@ -32,9 +49,9 @@ func Hull3D(seed uint64, pts []geom.Point3, obs pram.Sink) (unsorted.Result3D, e
 	o := sink{obs}
 	endCaps := o.span("native-caps")
 	defer endCaps()
-	if h, err := hull3d.Incremental(rng.New(seed), pts); err == nil {
-		res = capsFromHull(pts, h)
-		if err := unsorted.CheckCaps3D(pts, res); err == nil {
+	if h, err := hull3d.Incremental(rng.New(seed), culled); err == nil {
+		res = capsFromHull(full, h)
+		if err := unsorted.CheckCaps3D(full, res); err == nil {
 			o.charge(n)
 			return res, nil
 		}
@@ -42,11 +59,11 @@ func Hull3D(seed uint64, pts []geom.Point3, obs pram.Sink) (unsorted.Result3D, e
 	}
 	// Degenerate rung: every point receives the horizontal cap through the
 	// global top point (no point lies above z = max z).
-	res.Facets = []lp.Solution3D{topCap(pts)}
+	res.Facets = []lp.Solution3D{topCap(full)}
 	for p := range res.FacetOf {
 		res.FacetOf[p] = 0
 	}
-	if err := unsorted.CheckCaps3D(pts, res); err != nil {
+	if err := unsorted.CheckCaps3D(full, res); err != nil {
 		return unsorted.Result3D{}, hullerr.New(hullerr.Internal, op,
 			"degenerate cap construction failed the oracle for %d points: %v", n, err)
 	}
@@ -64,7 +81,7 @@ func capsFromHull(pts []geom.Point3, h hull3d.Hull) unsorted.Result3D {
 	res := unsorted.Result3D{FacetOf: make([]int, len(pts))}
 	upper := h.UpperFaces()
 	above := make([]int, len(pts))
-	parallelFor(len(pts), locateGrain, func(lo, hi int) {
+	fork.For(len(pts), locateGrain, func(lo, hi int) {
 		for p := lo; p < hi; p++ {
 			above[p] = hull3d.FaceAbove(h.Pts, upper, pts[p].X, pts[p].Y)
 		}

@@ -3,8 +3,8 @@
 // simulator charges every step and processor activation — E17 priced that
 // accounting at ~1.1µs per step even on the pooled engine — this package
 // runs plain divide-and-conquer Go over a flat structure-of-arrays point
-// layout: no step barriers, no work counters, parallelism via the
-// binary-forking pool in pool.go.
+// layout: no step barriers, no work counters, parallelism via the shared
+// binary-forking token pool (internal/fork).
 //
 // The output contract is deliberately the counted backend's canonical
 // form. In 2-d the vertex chain and edge list are bit-identical to
@@ -27,6 +27,7 @@ package native
 import (
 	"sort"
 
+	"inplacehull/internal/fork"
 	"inplacehull/internal/geom"
 	"inplacehull/internal/hullerr"
 	"inplacehull/internal/pram"
@@ -69,7 +70,7 @@ type soa struct{ xs, ys []float64 }
 
 func soaOf(pts []geom.Point) soa {
 	s := soa{xs: make([]float64, len(pts)), ys: make([]float64, len(pts))}
-	parallelFor(len(pts), sortGrain, func(lo, hi int) {
+	fork.For(len(pts), sortGrain, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			s.xs[i] = pts[i].X
 			s.ys[i] = pts[i].Y
@@ -105,7 +106,7 @@ func Upper2D(pts []geom.Point, obs pram.Sink) (unsorted.Result2D, error) {
 		res.Edges = append(res.Edges, geom.Edge{U: chain[i-1], W: chain[i]})
 	}
 	endLoc := o.span("native-locate")
-	res.EdgeOf = locate(pts, res.Edges)
+	res.EdgeOf = Locate(pts, res.Edges)
 	o.charge(len(pts))
 	endLoc()
 	return res, nil
@@ -136,7 +137,7 @@ func Presorted(pts []geom.Point, obs pram.Sink) (presorted.Result, error) {
 		res.Edges = append(res.Edges, geom.Edge{U: chain[i-1], W: chain[i]})
 	}
 	endLoc := o.span("native-locate")
-	res.EdgeOf = locate(pts, res.Edges)
+	res.EdgeOf = Locate(pts, res.Edges)
 	o.charge(len(pts))
 	endLoc()
 	return res, nil
@@ -167,7 +168,7 @@ func mergeSort(s, buf []geom.Point) {
 		return
 	}
 	mid := len(s) / 2
-	parallel2(
+	fork.Parallel2(
 		func() { mergeSort(s[:mid], buf[:mid]) },
 		func() { mergeSort(s[mid:], buf[mid:]) },
 	)
@@ -218,7 +219,7 @@ func chainDC(s soa, lo, hi int) []int {
 	}
 	mid := lo + (hi-lo)/2
 	var left, right []int
-	parallel2(
+	fork.Parallel2(
 		func() { left = chainDC(s, lo, mid) },
 		func() { right = chainDC(s, mid, hi) },
 	)
@@ -274,13 +275,15 @@ func dedupeVerticalEnds(s soa, h []int) []int {
 	return h
 }
 
-// locate fills EdgeOf: for every input point (duplicates included, in
+// Locate fills EdgeOf: for every input point (duplicates included, in
 // input order) the first edge whose x-span covers it, by parallel binary
 // search over the x-sorted edge list; −1 where no edge spans the abscissa
-// (empty, singleton, single-column inputs).
-func locate(pts []geom.Point, edges []geom.Edge) []int {
+// (empty, singleton, single-column inputs). Exported so the serve layer
+// can rebuild a full-input EdgeOf after admission-side culling shrank the
+// set the backend actually ran on.
+func Locate(pts []geom.Point, edges []geom.Edge) []int {
 	out := make([]int, len(pts))
-	parallelFor(len(pts), locateGrain, func(lo, hi int) {
+	fork.For(len(pts), locateGrain, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			out[i] = coveringEdge(edges, pts[i].X)
 		}

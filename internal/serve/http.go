@@ -45,6 +45,11 @@ type httpQuery struct {
 	// engine). The answer is canonical either way; the backends differ in
 	// speed and in what their reports can say.
 	Backend string `json:"backend,omitempty"`
+	// Cull: "" or "auto" (server default, octagon unless configured
+	// otherwise), "off", "quad", "octagon", "coarse" — the admission-side
+	// interior-point filter (see internal/cull). Never changes the answer;
+	// the discard count is echoed as the X-Hull-Culled response header.
+	Cull string `json:"cull,omitempty"`
 }
 
 // httpResult is the JSON response body.
@@ -66,9 +71,13 @@ type httpResult struct {
 	// Shards/MissingShards describe a scattered answer: how many shards
 	// the query split into, and — on an HTTP 206 partial answer — which of
 	// them the hull does not cover.
-	Shards        int    `json:"shards,omitempty"`
-	MissingShards []int  `json:"missing_shards,omitempty"`
-	RequestID     string `json:"request_id,omitempty"`
+	Shards        int   `json:"shards,omitempty"`
+	MissingShards []int `json:"missing_shards,omitempty"`
+	// Culled is how many input points the admission filter discarded before
+	// the backend ran (0 when culling was off or found nothing); also echoed
+	// as X-Hull-Culled ("culled/n"). N always counts the full input.
+	Culled    int    `json:"culled,omitempty"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
 type httpError struct {
@@ -240,7 +249,7 @@ func (s *Server) serveHull(w http.ResponseWriter, req *http.Request, dim int) {
 	}
 	q := Query{Dataset: hq.Dataset, Seed: hq.Seed, NoCache: hq.NoCache,
 		RequireExact: hq.RequireExact, ApproxEps: hq.ApproxEps, Shards: hq.Shards,
-		Backend: hq.Backend}
+		Backend: hq.Backend, Cull: hq.Cull}
 	switch hq.Algorithm {
 	case "", "hull2d":
 		q.Algo = AlgoHull2D
@@ -294,10 +303,12 @@ func (s *Server) serveHull(w http.ResponseWriter, req *http.Request, dim int) {
 		Elapsed:       float64(res.Elapsed.Microseconds()),
 		Shards:        res.Shards,
 		MissingShards: res.Missing,
+		Culled:        res.Culled,
 		RequestID:     shard.RequestIDFrom(ctx),
 	}
 	w.Header().Set("X-Hull-Tier", out.Tier)
 	w.Header().Set("X-Hull-Backend", out.Backend)
+	w.Header().Set("X-Hull-Culled", itoa(res.Culled)+"/"+itoa(res.N))
 	if dim == 3 {
 		out.HullSize = res.Facets
 		out.Facets = res.Facets

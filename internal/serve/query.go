@@ -2,15 +2,19 @@ package serve
 
 import (
 	"context"
+	"sort"
 	"time"
 
+	"inplacehull/internal/cull"
 	"inplacehull/internal/engine"
 	"inplacehull/internal/geom"
 	"inplacehull/internal/hullerr"
 	"inplacehull/internal/hullhash"
+	"inplacehull/internal/native"
 	"inplacehull/internal/pram"
 	"inplacehull/internal/presorted"
 	"inplacehull/internal/resilient"
+	"inplacehull/internal/shard"
 	"inplacehull/internal/unsorted"
 )
 
@@ -85,6 +89,21 @@ type Query struct {
 	// Ignored by scattered queries (Shards != 0): shard workers choose
 	// their own backend.
 	Backend string
+	// Cull selects the admission-side interior-point filter by wire value:
+	// "" or "auto" defers to the server default (Config.Cull, octagon
+	// unless configured otherwise), "off" disables culling, "quad" /
+	// "octagon" / "coarse" pick a filter (see internal/cull). Any other
+	// value fails typed InvalidInput. The resolved policy is part of the
+	// cache key. Culling never changes an answer's hull — the filter
+	// discards only points certainly strictly interior — but when it
+	// discards anything the answer is reported in canonical form: the
+	// counted backend's occasional collinear chain subdivisions are
+	// canonicalized away, and EdgeOf is rebuilt over the full input with
+	// the left-incident covering rule. Sorted-input algorithms
+	// (presorted/logstar) and counted 3-d queries skip the filter: the
+	// former so an unsorted input still fails typed, the latter because
+	// counted 3-d facet identities are not stable under input subsetting.
+	Cull string
 }
 
 // Result is a hull answer. Slices may be shared with the cache and other
@@ -109,6 +128,11 @@ type Result struct {
 	// partial answer does not cover (nil for exact answers).
 	Shards  int
 	Missing []int
+	// Culled is how many input points the admission filter discarded
+	// before the backend ran (0 when culling was off, skipped, or found
+	// nothing). N always counts the full input; cached answers carry the
+	// Culled count of the computation that filled the entry.
+	Culled int
 	// Elapsed is the service time: queue wait plus machine time for a
 	// computed answer, lookup time for a cached one.
 	Elapsed time.Duration
@@ -120,13 +144,21 @@ type request struct {
 	ctx     context.Context
 	op      string
 	q       Query
-	dim     int // 2 or 3
+	dim     int               // 2 or 3
 	backend resilient.Backend // resolved: never BackendAuto
+	cull    cull.Policy       // resolved: never PolicyAuto
 	pts2    []geom.Point
 	pts3    []geom.Point3
-	key     hullhash.Sum
-	resp    chan response
-	enq     time.Time
+	// full2/full3 hold the original input when the admission filter
+	// discarded anything (then pts2/pts3 are the survivors and culled is
+	// the discard count); nil when culling was off or a no-op — the
+	// request then behaves bit-identically to an unculled one.
+	full2  []geom.Point
+	full3  []geom.Point3
+	culled int
+	key    hullhash.Sum
+	resp   chan response
+	enq    time.Time
 }
 
 // resolveBackend parses the query's wire backend and resolves "auto" to
@@ -140,6 +172,95 @@ func (s *Server) resolveBackend(op string, q Query) (resilient.Backend, error) {
 		b = s.cfg.Backend
 	}
 	return b, nil
+}
+
+// resolveCull parses the query's wire cull policy and resolves "auto" (and
+// the absent field) to the server default; the result is always concrete.
+func (s *Server) resolveCull(op string, q Query) (cull.Policy, error) {
+	p := cull.PolicyAuto
+	if q.Cull != "" {
+		var ok bool
+		if p, ok = cull.ParsePolicy(q.Cull); !ok {
+			return 0, hullerr.New(hullerr.InvalidInput, op, "unknown cull policy %q", q.Cull)
+		}
+	}
+	if p == cull.PolicyAuto {
+		p = s.cfg.Cull
+	}
+	return p.Resolve(), nil
+}
+
+// applyCull runs the admission filter on a cache-missed request, swapping
+// the survivors in as the working point set. It is a no-op for sorted-
+// input algorithms (culling an unsorted input could accidentally sort it,
+// converting a typed UnsortedInput failure into an answer) and for
+// counted 3-d queries (facet identities under the counted engine are not
+// stable under input subsetting; the native engine reassigns caps over
+// the full set via Hull3DFrom, so it culls freely).
+func (s *Server) applyCull(r *request) {
+	if r.cull == cull.PolicyOff {
+		return
+	}
+	if r.dim == 2 {
+		if r.q.Algo != AlgoHull2D {
+			return
+		}
+		survivors := cull.Points2(r.cull, r.q.Seed, r.pts2)
+		s.count(&s.cullQueries, "cull_queries_total")
+		if len(survivors) == len(r.pts2) {
+			return
+		}
+		r.full2, r.pts2 = r.pts2, survivors
+		r.culled = len(r.full2) - len(survivors)
+	} else {
+		if r.backend != resilient.BackendNative {
+			return
+		}
+		survivors := cull.Points3(r.cull, r.q.Seed, r.pts3)
+		s.count(&s.cullQueries, "cull_queries_total")
+		if len(survivors) == len(r.pts3) {
+			return
+		}
+		r.full3, r.pts3 = r.pts3, survivors
+		r.culled = len(r.full3) - len(survivors)
+	}
+	s.countN(&s.cullPoints, "cull_points_total", int64(r.culled))
+}
+
+// liftCulled maps a backend answer computed over the culled survivors back
+// onto the full input: N and EdgeOf cover every submitted point, and
+// counted exact-tier chains are canonicalized (shard.Canonical) so the
+// answer is the canonical strict hull — bit-identical to the native
+// backend and to the hull of the unculled input. Approximate-tier chains
+// pass through unchanged: their certified ε transfers to the full set
+// (every discarded point lies strictly below the true upper hull, whose
+// vertices are survivors the certificate measured; vertical excess above
+// a concave chain is maximized at those bracketing vertices).
+func (s *Server) liftCulled(r *request, res Result) Result {
+	if r.dim == 3 {
+		if r.full3 != nil {
+			res.N = len(r.full3)
+			res.Culled = r.culled
+		}
+		return res
+	}
+	if r.full2 == nil {
+		return res
+	}
+	if r.backend == resilient.BackendCounted && res.Report.Tier != resilient.TierApproximate {
+		sorted := append([]geom.Point(nil), r.full2...)
+		sort.Slice(sorted, func(i, j int) bool { return geom.LexLess(sorted[i], sorted[j]) })
+		chain := shard.Canonical(sorted, res.Chain)
+		res.Chain = chain
+		res.Edges = nil
+		for i := 1; i < len(chain); i++ {
+			res.Edges = append(res.Edges, geom.Edge{U: chain[i-1], W: chain[i]})
+		}
+	}
+	res.EdgeOf = native.Locate(r.full2, res.Edges)
+	res.N = len(r.full2)
+	res.Culled = r.culled
+	return res
 }
 
 type response struct {
@@ -165,6 +286,9 @@ func (s *Server) Query2D(ctx context.Context, q Query) (Result, error) {
 	}
 	var err error
 	if r.backend, err = s.resolveBackend(op, q); err != nil {
+		return Result{}, err
+	}
+	if r.cull, err = s.resolveCull(op, q); err != nil {
 		return Result{}, err
 	}
 	var dsHash hullhash.Sum
@@ -204,6 +328,9 @@ func (s *Server) Query3D(ctx context.Context, q Query) (Result, error) {
 	}
 	var err error
 	if r.backend, err = s.resolveBackend(op, q); err != nil {
+		return Result{}, err
+	}
+	if r.cull, err = s.resolveCull(op, q); err != nil {
 		return Result{}, err
 	}
 	var dsHash hullhash.Sum
@@ -256,6 +383,7 @@ func (s *Server) key(r *request, dsHash hullhash.Sum, haveDS bool) hullhash.Sum 
 	h.Float64(r.q.ApproxEps)
 	h.Int(r.q.Shards)
 	h.Int(int(r.backend))
+	h.Int(int(r.cull))
 	return h.Sum()
 }
 
@@ -277,6 +405,9 @@ func (s *Server) do(r *request) (Result, error) {
 		s.count(&s.deadlineShed, "deadline_shed_total")
 		return Result{}, hullerr.FromContext(r.op, err)
 	}
+	// Cull on the miss path, before admission: the survivors are what
+	// queues, batches (bypass compares effective-n), and executes.
+	s.applyCull(r)
 	r.enq = start
 	if err := s.submit(r); err != nil {
 		return Result{}, err
@@ -340,7 +471,7 @@ func (s *Server) execute(m *pram.Machine, r *request) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		return Result{N: len(r.pts2), Chain: out.Chain, Edges: out.Edges, EdgeOf: out.EdgeOf, Report: rep}, nil
+		return s.liftCulled(r, Result{N: len(r.pts2), Chain: out.Chain, Edges: out.Edges, EdgeOf: out.EdgeOf, Report: rep}), nil
 	}
 }
 
@@ -352,6 +483,15 @@ func (s *Server) execute(m *pram.Machine, r *request) (Result, error) {
 func (s *Server) executeNative(r *request, pol resilient.Policy) (Result, error) {
 	eng := engine.Native(r.q.Seed, nil)
 	if r.dim == 3 {
+		if r.full3 != nil {
+			// Culled: build the hull from the survivors, assign caps over
+			// the full input (oracle-gated inside Hull3DFrom).
+			out, rep, err := engine.NativeHull3DFrom(r.ctx, r.q.Seed, r.full3, r.pts3, nil)
+			if err != nil {
+				return Result{}, err
+			}
+			return s.liftCulled(r, Result{N: len(r.full3), Facets: len(out.Facets), FacetOf: out.FacetOf, Report: rep}), nil
+		}
 		out, rep, err := eng.Hull3D(r.ctx, r.pts3, unsorted.Options3D{}, pol)
 		if err != nil {
 			return Result{}, err
@@ -378,5 +518,5 @@ func (s *Server) executeNative(r *request, pol resilient.Policy) (Result, error)
 	if err != nil {
 		return Result{}, err
 	}
-	return Result{N: len(r.pts2), Chain: out.Chain, Edges: out.Edges, EdgeOf: out.EdgeOf, Report: rep}, nil
+	return s.liftCulled(r, Result{N: len(r.pts2), Chain: out.Chain, Edges: out.Edges, EdgeOf: out.EdgeOf, Report: rep}), nil
 }

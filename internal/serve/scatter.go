@@ -40,14 +40,23 @@ func (s *Server) doScattered(ctx context.Context, r *request) (Result, error) {
 	if k < 0 {
 		k = s.cfg.Sharder.Shards()
 	}
+	// Cull before scattering: every shard's wire payload and worker run
+	// shrinks, and conv(survivors) == conv(input) keeps the merged chain
+	// bit-identical (the coordinator canonicalizes shard chains anyway).
+	s.applyCull(r)
 	out, err := s.cfg.Sharder.Gather2D(ctx, r.pts2, k, r.q.Seed)
 	if err != nil && !errors.Is(err, hullerr.ErrPartialHull) {
 		s.count(&s.errors, "errors_total")
 		return Result{}, err
 	}
+	n := len(r.pts2)
+	if r.full2 != nil {
+		n = len(r.full2)
+	}
 	res := Result{
-		N:     len(r.pts2),
-		Chain: out.Chain,
+		N:      n,
+		Culled: r.culled,
+		Chain:  out.Chain,
 		// The report's backend is the coordinator's resolved default; the
 		// shard workers it fans out to are configured to match (hullserve
 		// wires one -backend through both), though a remote peer is free

@@ -56,6 +56,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"inplacehull/internal/cull"
 	"inplacehull/internal/geom"
 	"inplacehull/internal/hullerr"
 	"inplacehull/internal/hullhash"
@@ -100,6 +101,16 @@ type Config struct {
 	// speed, and the counted simulator stays available per query (wire
 	// value "counted") and for experiments. E21 measures the gap.
 	Backend resilient.Backend
+	// Cull is the admission-side interior-point filter queries default to
+	// when they do not name one (per-query wire value "cull"). The zero
+	// value (cull.PolicyAuto) resolves to the octagon filter — culling is
+	// on by default because it can never change an answer (the
+	// internal/cull invariant, gated by its parity suite): points certainly
+	// strictly inside the hull are discarded on the cache-miss path before
+	// batching and execution, so effective-n, not raw-n, drives batch
+	// sizing, dispatch bypass, and backend cost. Set cull.PolicyOff to
+	// disable. E22 measures the end-to-end effect per workload.
+	Cull cull.Policy
 	// Metrics, when non-nil, receives the serving counters
 	// (inplacehull_serve_*) for the Prometheus exporter.
 	Metrics *obs.Metrics
@@ -172,6 +183,9 @@ type Stats struct {
 	Completed, Errors                      int64
 	CacheHits, CacheMisses, CacheEvictions int64
 	Batches, BatchedQueries                int64
+	// CullQueries counts cache-miss queries the admission filter ran on;
+	// CullPoints is the total points it discarded across them.
+	CullQueries, CullPoints int64
 }
 
 // Server is the hull-query service. Create with NewServer, stop with
@@ -193,6 +207,7 @@ type Server struct {
 	completed, errors                      atomic.Int64
 	cacheHits, cacheMisses, cacheEvictions atomic.Int64
 	batches, batchedQueries                atomic.Int64
+	cullQueries, cullPoints                atomic.Int64
 }
 
 // NewServer builds and starts a server: fleet machines are created idle
@@ -241,6 +256,13 @@ func (s *Server) count(c *atomic.Int64, name string) {
 	s.cfg.Metrics.ServeCounterAdd(name, 1)
 }
 
+// countN is count for counters that advance by more than one (the culled
+// point totals).
+func (s *Server) countN(c *atomic.Int64, name string, n int64) {
+	c.Add(n)
+	s.cfg.Metrics.ServeCounterAdd(name, n)
+}
+
 // Stats snapshots the counters.
 func (s *Server) Stats() Stats {
 	return Stats{
@@ -250,6 +272,7 @@ func (s *Server) Stats() Stats {
 		CacheHits: s.cacheHits.Load(), CacheMisses: s.cacheMisses.Load(),
 		CacheEvictions: s.cacheEvictions.Load(),
 		Batches:        s.batches.Load(), BatchedQueries: s.batchedQueries.Load(),
+		CullQueries: s.cullQueries.Load(), CullPoints: s.cullPoints.Load(),
 	}
 }
 

@@ -225,12 +225,14 @@ func TestAdmissionShedding(t *testing.T) {
 	go func() {
 		defer wedged.Done()
 		// Occupies the lone executor for the duration of the test body.
-		_, _ = s.Query2D(context.Background(), Query{Points2: big, Seed: 1})
+		// Culling pinned off: the default filter would shrink the disk to
+		// its hull and un-wedge the executor.
+		_, _ = s.Query2D(context.Background(), Query{Points2: big, Seed: 1, Cull: "off"})
 		close(release)
 	}()
-	// Wait until the big query is admitted and picked up, then fill the
-	// one queue slot.
-	for s.Stats().Admitted < 1 {
+	// Wait until the big query is picked up (a batch forms only after it
+	// leaves the queue), then fill the freed queue slot.
+	for s.Stats().Batches < 1 {
 		time.Sleep(100 * time.Microsecond)
 	}
 	small := workload.Disk(14, 100)
@@ -297,10 +299,12 @@ func TestBatching(t *testing.T) {
 	big := workload.Disk(16, 200_000)
 	done := make(chan struct{})
 	go func() {
-		_, _ = s.Query2D(context.Background(), Query{Points2: big, Seed: 1})
+		// Culling pinned off so the wedge query stays slow (see
+		// TestAdmissionShedding).
+		_, _ = s.Query2D(context.Background(), Query{Points2: big, Seed: 1, Cull: "off"})
 		close(done)
 	}()
-	for s.Stats().Admitted < 1 {
+	for s.Stats().Batches < 1 {
 		time.Sleep(100 * time.Microsecond)
 	}
 	const burst = 16

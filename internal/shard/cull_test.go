@@ -1,0 +1,53 @@
+package shard
+
+import (
+	"context"
+	"testing"
+
+	"inplacehull/internal/cull"
+	"inplacehull/internal/hull2d"
+	"inplacehull/internal/obs"
+	"inplacehull/internal/workload"
+)
+
+// TestPerShardCullKeepsMergeExact: with the opt-in per-shard filter on,
+// every workload's merged chain is still bit-identical to the sequential
+// oracle — the filter only ever removes points certainly strictly inside
+// the shard hull, so each shard's canonical chain (and hence the
+// common-tangent merge) is unchanged. The discard counter proves the
+// filter actually ran.
+func TestPerShardCullKeepsMergeExact(t *testing.T) {
+	for _, pol := range []cull.Policy{cull.PolicyQuad, cull.PolicyOctagon, cull.PolicyCoarse} {
+		x := obs.NewMetrics()
+		coord := New(Config{Workers: newLocalWorkers(t, 3), Cull: pol, Metrics: x})
+		for _, g := range workload.Gens2D {
+			for _, n := range []int{5, 64, 300, 2000} {
+				pts := g.Gen(uint64(n), n)
+				res, err := coord.Gather2D(context.Background(), pts, 3, 42)
+				if err != nil {
+					t.Fatalf("pol=%v gen=%s n=%d: %v", pol, g.Name, n, err)
+				}
+				if s := sameChain(hull2d.UpperHull(pts), res.Chain); s != "" {
+					t.Fatalf("pol=%v gen=%s n=%d: %s", pol, g.Name, n, s)
+				}
+			}
+		}
+		if x.ServeCounter("shard_cull_points_total") == 0 {
+			t.Fatalf("pol=%v: no points culled across all workloads", pol)
+		}
+	}
+}
+
+// TestPerShardCullDefaultsOff: the zero-value Config never re-filters —
+// the serve layer already culls before scattering.
+func TestPerShardCullDefaultsOff(t *testing.T) {
+	x := obs.NewMetrics()
+	coord := New(Config{Workers: newLocalWorkers(t, 2), Metrics: x})
+	pts := workload.Disk(9, 1000)
+	if _, err := coord.Gather2D(context.Background(), pts, 2, 7); err != nil {
+		t.Fatal(err)
+	}
+	if got := x.ServeCounter("shard_cull_points_total"); got != 0 {
+		t.Fatalf("zero-value Config culled %d points", got)
+	}
+}

@@ -144,7 +144,7 @@ func TestGather2DRejectsNonFinite(t *testing.T) {
 	}
 }
 
-func inf() float64 { return 1.0 / zero() }
+func inf() float64  { return 1.0 / zero() }
 func zero() float64 { return 0 }
 
 // failNWorker fails its first n calls, then delegates.

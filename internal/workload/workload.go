@@ -114,6 +114,28 @@ func Onion(perLayer int) func(seed uint64, n int) []geom.Point {
 	}
 }
 
+// Clusters places n points in k tight Gaussian blobs whose centers sit
+// inside the unit disk: the multi-tenant "hot spots" shape the admission
+// culling experiments use. The hull touches only the outermost fringe of
+// the outermost blobs, so almost every point is interior.
+func Clusters(k int) func(seed uint64, n int) []geom.Point {
+	return func(seed uint64, n int) []geom.Point {
+		s := rng.New(seed)
+		centers := make([]geom.Point, k)
+		for i := range centers {
+			r := 0.8 * math.Sqrt(s.Float64())
+			th := s.Float64() * 2 * math.Pi
+			centers[i] = geom.Point{X: r * math.Cos(th), Y: r * math.Sin(th)}
+		}
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			c := centers[s.Intn(k)]
+			pts[i] = geom.Point{X: c.X + 0.03*s.NormFloat64(), Y: c.Y + 0.03*s.NormFloat64()}
+		}
+		return pts
+	}
+}
+
 // Collinear places most points on a line with a few off-line points: a
 // degeneracy stress test for the exact predicates.
 func Collinear(seed uint64, n int) []geom.Point {
@@ -162,6 +184,7 @@ var Gens2D = []Gen2D{
 	{Name: "poly16", ExpectedH: "h=16", Gen: PolygonFew(16)},
 	{Name: "poly64", ExpectedH: "h=64", Gen: PolygonFew(64)},
 	{Name: "onion64", ExpectedH: "layered", Gen: Onion(64)},
+	{Name: "cluster8", ExpectedH: "h≈fringe", Gen: Clusters(8)},
 }
 
 // ---- 3-d generators ----
