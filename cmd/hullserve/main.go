@@ -23,13 +23,28 @@
 //	GET  /v1/datasets  registered dataset names
 //	GET  /v1/peers     scatter-coordinator per-peer health (breaker states)
 //	GET  /healthz      liveness
-//	GET  /metrics      Prometheus (inplacehull_serve_* and inplacehull_shard_* counters)
+//	GET  /metrics      Prometheus (inplacehull_serve_*, inplacehull_shard_*, inplacehull_stream_* counters)
+//
+// Streaming (mutable) datasets — a maintained, monotonically versioned
+// hull per dataset, updated incrementally on every mutation:
+//
+//	PUT    /v1/datasets/{name}        register ({"points": [[x,y],...]}; idempotent for identical content)
+//	DELETE /v1/datasets/{name}        delete; evicts that dataset's cached answers by content hash
+//	POST   /v1/datasets/{name}/append append points; answers the committed hull delta
+//	POST   /v1/datasets/{name}/delete remove points (all-or-nothing)
+//	GET    /v1/datasets/{name}/hull   current hull; ?since=V replays deltas, &wait_ms=D long-polls
+//	GET    /v1/datasets/{name}/watch  hull-delta push over SSE
+//
+// Stream datasets are queryable through /v1/hull2d and /v1/hull3d by
+// name exactly like preloaded ones; default-shape queries are answered
+// straight from the maintained hull without a fleet dispatch.
 //
 // The -datasets flag preloads named point sets from the deterministic
 // workload generators; each spec is kind:n with kind one of disk,
 // circle, grid, sorted (2-d) or ball, sphere (3-d), registered as
 // "kind-n". Dataset queries hit the O(1) cache-key path: the points are
-// hashed and validated once at startup.
+// hashed and validated once at startup. -stream-datasets preregisters
+// the same specs as mutable stream datasets named "kind-n-stream".
 package main
 
 import (
@@ -51,6 +66,7 @@ import (
 	"inplacehull/internal/resilient"
 	"inplacehull/internal/serve"
 	"inplacehull/internal/shard"
+	"inplacehull/internal/stream"
 	"inplacehull/internal/workload"
 )
 
@@ -71,6 +87,8 @@ func main() {
 		partial  = flag.Bool("allow-partial", true, "answer scattered queries partially (HTTP 206 + typed PartialHull) when shards stay unreachable")
 		backend  = flag.String("backend", "native", "default execution engine: native (direct, host-speed) or counted (simulated PRAM); queries may override per request")
 		cullFlag = flag.String("cull", "auto", "default admission-side interior-point filter: auto (octagon), off, quad, octagon, or coarse; queries may override per request")
+		streamDS = flag.String("stream-datasets", "", "comma-separated kind:n specs preregistered as mutable stream datasets named kind-n-stream (empty for none)")
+		churn    = flag.Int("stream-churn", 0, "stream delete-repair churn threshold in live points; past it a repair falls back to a full rebuild (0 = default 256)")
 	)
 	flag.Parse()
 
@@ -99,6 +117,18 @@ func main() {
 	}
 	defer closeSharder()
 
+	store := stream.NewStore(stream.Config{
+		Metrics:  metrics,
+		MinChurn: *churn,
+		Logf: func(format string, args ...any) {
+			fmt.Printf("hullserve: "+format+"\n", args...)
+		},
+	})
+	if err := buildStreamDatasets(store, *streamDS); err != nil {
+		fmt.Fprintf(os.Stderr, "hullserve: %v\n", err)
+		os.Exit(2)
+	}
+
 	srv := serve.NewServer(serve.Config{
 		FleetSize:   *fleet,
 		Workers:     *workers,
@@ -112,6 +142,7 @@ func main() {
 		Backend:     be,
 		Cull:        cp,
 		Sharder:     sharder,
+		Streams:     store,
 	})
 
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
@@ -185,6 +216,30 @@ func buildSharder(peerSpec string, shards int, hedge time.Duration, allowPartial
 		Metrics:      metrics,
 	})
 	return coord, fleet.Close, nil
+}
+
+// buildStreamDatasets preregisters mutable stream datasets from the same
+// kind:n spec grammar as -datasets, named "kind-n-stream" so the mutable
+// and immutable registrations of one workload never collide.
+func buildStreamDatasets(store *stream.Store, spec string) error {
+	if strings.TrimSpace(spec) == "" {
+		return nil
+	}
+	ds, err := buildDatasets(spec)
+	if err != nil {
+		return err
+	}
+	for name, d := range ds {
+		if d.Points3 != nil {
+			_, _, err = store.Register3(name+"-stream", d.Points3)
+		} else {
+			_, _, err = store.Register2(name+"-stream", d.Points2)
+		}
+		if err != nil {
+			return fmt.Errorf("stream dataset %q: %w", name, err)
+		}
+	}
+	return nil
 }
 
 // buildDatasets parses "kind:n,kind:n" specs into preloaded datasets

@@ -81,8 +81,8 @@ type ServeCacheRow struct {
 
 // ServeReport is the BENCH_serve.json schema. Rows and Cache are E18's;
 // Native is E21's backend comparison; Cull is E22's admission-culling
-// sweep — each experiment rewrites only its own section and preserves the
-// others'.
+// sweep; Stream is E23's incremental-maintenance churn sweep — each
+// experiment rewrites only its own section and preserves the others'.
 type ServeReport struct {
 	Experiment string           `json:"experiment"`
 	GOMAXPROCS int              `json:"gomaxprocs"`
@@ -93,6 +93,7 @@ type ServeReport struct {
 	Cache      []ServeCacheRow  `json:"cache"`
 	Native     []NativeServeRow `json:"native,omitempty"`
 	Cull       []CullServeRow   `json:"cull,omitempty"`
+	Stream     []StreamBenchRow `json:"stream,omitempty"`
 }
 
 const (

@@ -183,3 +183,13 @@ func NativeHull3DFrom(ctx context.Context, seed uint64, full, culled []geom.Poin
 		return native.Hull3DFrom(seed, full, culled, sink)
 	})
 }
+
+// NativeChain2D is the chain-only native entry with the engine's guard
+// semantics (context check, panic-to-typed-Internal). The streaming
+// subsystem's full-rebuild fallback runs through it so a poisoned rebuild
+// surfaces as a typed error the mutation path can roll back on.
+func NativeChain2D(ctx context.Context, pts []geom.Point, sink pram.Sink) ([]geom.Point, resilient.Report, error) {
+	return run(ctx, "engine.Native.Chain2D", func() ([]geom.Point, error) {
+		return native.Chain2D(pts, sink)
+	})
+}

@@ -70,9 +70,24 @@ const (
 	// request to it fails fast, exercising the per-peer circuit breaker
 	// and the re-scatter path.
 	PeerDown
+	// StreamSplice forces one mutation of the streaming subsystem
+	// (internal/stream) to abandon its incremental maintenance path —
+	// tangent splice on appends, bounded strip repair on deletions — as if
+	// the retained candidate band had been found insufficient. The dataset
+	// must degrade to a full rebuild and still commit a correct hull; the
+	// fallback is logged and counted, never silent.
+	StreamSplice
+	// StreamRebuild forces one full hull rebuild of the streaming
+	// subsystem to fail typed (the budget-exhausted outcome of a poisoned
+	// rebuild). The mutation that needed the rebuild must roll back
+	// atomically: the dataset stays at its previous version with its
+	// previous hull and hash, and the caller gets a typed error — the
+	// E14/E19 contract (correct hull or typed error, never silently
+	// wrong) extended to mutable state.
+	StreamRebuild
 
 	// NumSites is the number of injection sites.
-	NumSites = int(PeerDown) + 1
+	NumSites = int(StreamRebuild) + 1
 )
 
 // siteNames is the table-driven site registry: one row per injection
@@ -90,6 +105,8 @@ var siteNames = [NumSites]string{
 	ShardDrop:       "shard-drop",
 	ShardCorrupt:    "shard-corrupt",
 	PeerDown:        "peer-down",
+	StreamSplice:    "stream-splice",
+	StreamRebuild:   "stream-rebuild",
 }
 
 // PaperSites lists the paper-named PRAM failure sites — the ones the E14
@@ -100,6 +117,10 @@ var PaperSites = []Site{SampleStorm, CompactOverflow, LPTimeout, VoteSkew, Force
 // NetworkSites lists the distribution-level failure sites consulted by the
 // scatter-gather layer (internal/shard), not by the PRAM procedures.
 var NetworkSites = []Site{ShardSlow, ShardDrop, ShardCorrupt, PeerDown}
+
+// StreamSites lists the mutation-path failure sites consulted by the
+// streaming subsystem (internal/stream) on dataset appends and deletes.
+var StreamSites = []Site{StreamSplice, StreamRebuild}
 
 // String names the site from the registry table.
 func (s Site) String() string {

@@ -116,6 +116,109 @@ func (h *Hasher) Points3(pts []geom.Point3) {
 // Sum does not reset it.
 func (h *Hasher) Sum() Sum { return Sum{Hi: h.hi, Lo: h.lo} }
 
+// Multiset is an order-independent, incrementally updatable content hash
+// of a point multiset — the per-version dataset hash of the streaming
+// subsystem (internal/stream), where points arrive and leave one mutation
+// at a time and rehashing the whole set per commit would cost O(n).
+//
+// Each point is hashed to an independent 128-bit value (a per-point FNV
+// stream pushed through a splitmix-style finalizer on each lane, so near
+// coordinates decorrelate), and the multiset sum is the lane-wise
+// wrapping addition of the per-point values. Addition commutes, so the
+// sum is insertion-order independent, and it has exact inverses, so
+// Remove2/Remove3 undo Add2/Add3 in O(1). Multiplicity is preserved: a
+// point added twice contributes twice. Sum folds the element count and a
+// dimension tag through an ordinary Hasher, so the empty 2-d set, the
+// empty 3-d set, and any Hasher-produced sum are mutually distinct.
+//
+// The zero value is NOT ready to use; start with NewMultiset2 or
+// NewMultiset3.
+type Multiset struct {
+	hi, lo uint64
+	n      uint64
+	tag    uint64
+}
+
+// NewMultiset2 returns an empty 2-d multiset hasher.
+func NewMultiset2() Multiset { return Multiset{tag: 0x2d} }
+
+// NewMultiset3 returns an empty 3-d multiset hasher.
+func NewMultiset3() Multiset { return Multiset{tag: 0x3d} }
+
+// mix64 is splitmix64's output finalizer: full-avalanche so per-point
+// values are pairwise decorrelated before entering the additive sum.
+func mix64(x uint64) uint64 {
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// point2 is the standalone 128-bit value of one 2-d point.
+func point2(p geom.Point) (hi, lo uint64) {
+	h := New()
+	h.Uint64(0x2d)
+	h.Float64(p.X)
+	h.Float64(p.Y)
+	return mix64(h.hi), mix64(h.lo)
+}
+
+// point3 is the standalone 128-bit value of one 3-d point.
+func point3(p geom.Point3) (hi, lo uint64) {
+	h := New()
+	h.Uint64(0x3d)
+	h.Float64(p.X)
+	h.Float64(p.Y)
+	h.Float64(p.Z)
+	return mix64(h.hi), mix64(h.lo)
+}
+
+// Add2 adds one occurrence of a 2-d point.
+func (m *Multiset) Add2(p geom.Point) {
+	hi, lo := point2(p)
+	m.hi += hi
+	m.lo += lo
+	m.n++
+}
+
+// Remove2 removes one occurrence of a 2-d point (the exact inverse of
+// Add2; the caller is responsible for only removing present points).
+func (m *Multiset) Remove2(p geom.Point) {
+	hi, lo := point2(p)
+	m.hi -= hi
+	m.lo -= lo
+	m.n--
+}
+
+// Add3 adds one occurrence of a 3-d point.
+func (m *Multiset) Add3(p geom.Point3) {
+	hi, lo := point3(p)
+	m.hi += hi
+	m.lo += lo
+	m.n++
+}
+
+// Remove3 removes one occurrence of a 3-d point.
+func (m *Multiset) Remove3(p geom.Point3) {
+	hi, lo := point3(p)
+	m.hi -= hi
+	m.lo -= lo
+	m.n--
+}
+
+// Len is the current element count (with multiplicity).
+func (m *Multiset) Len() int { return int(m.n) }
+
+// Sum returns the 128-bit content hash of the current multiset. The
+// hasher remains usable; Sum does not reset it.
+func (m *Multiset) Sum() Sum {
+	h := New()
+	h.Uint64(m.tag ^ 0x5e1f) // distinct domain from Points2/Points3 streams
+	h.Uint64(m.n)
+	h.Uint64(m.hi)
+	h.Uint64(m.lo)
+	return h.Sum()
+}
+
 // Of2D is the one-shot convenience: hash pts plus any config words.
 func Of2D(pts []geom.Point, config ...uint64) Sum {
 	h := New()

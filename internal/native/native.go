@@ -112,6 +112,30 @@ func Upper2D(pts []geom.Point, obs pram.Sink) (unsorted.Result2D, error) {
 	return res, nil
 }
 
+// Chain2D computes only the canonical strict upper chain of unsorted
+// points — Upper2D without the edge list and point location. The
+// streaming subsystem's full-rebuild fallback uses it: a rebuild needs
+// the chain to splice into the maintained dataset, and derives edges and
+// EdgeOf lazily only when a query asks. Bit-identical to
+// hull2d.UpperHull. obs may be nil.
+func Chain2D(pts []geom.Point, obs pram.Sink) ([]geom.Point, error) {
+	const op = "native.Chain2D"
+	if err := hullerr.CheckFinite2D(op, pts); err != nil {
+		return nil, err
+	}
+	o := sink{obs}
+	endSort := o.span("native-sort")
+	s := sortedUnique(pts)
+	o.charge(len(pts))
+	endSort()
+
+	endChain := o.span("native-chain")
+	chain := upperOfSorted(s)
+	o.charge(len(s.xs))
+	endChain()
+	return chain, nil
+}
+
 // Presorted computes the canonical upper hull of points already sorted by
 // strictly increasing x — the §2 input contract, enforced with the same
 // typed UnsortedInput error as the counted algorithms. obs may be nil.

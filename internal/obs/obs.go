@@ -96,6 +96,13 @@ var Registry = map[string]Meta{
 	"native-chain":  {Ref: "native", Desc: "divide-and-conquer monotone chain scan"},
 	"native-locate": {Ref: "native", Desc: "parallel covering-edge binary search"},
 	"native-caps":   {Ref: "native", Desc: "incremental 3-d hull lifted to caps, oracle-checked"},
+	// Streaming mutation phases (internal/stream): wall-time spans, charges
+	// carry touched-point counts.
+	"stream-splice":  {Ref: "stream", Desc: "tangent-splice chain insertion of appended points"},
+	"stream-repair":  {Ref: "stream", Desc: "bounded strip repair after a hull-vertex deletion"},
+	"stream-rebuild": {Ref: "stream", Desc: "full native chain rebuild past the churn threshold"},
+	"stream-caps":    {Ref: "stream", Desc: "3-d candidate replay through the incremental builder"},
+	"stream-delta":   {Ref: "stream", Desc: "hull diff, version commit and subscriber notification"},
 }
 
 // Ref returns the paper reference of a span name ("" if unregistered).

@@ -22,6 +22,7 @@ type Metrics struct {
 	serve  map[string]int64            // serving-layer counters (internal/serve)
 	tiers  map[string]int64            // serving-layer answers per ladder tier
 	shards map[string]map[string]int64 // scatter-gather peer → event → count
+	stream map[string]int64            // streaming-subsystem counters (internal/stream)
 }
 
 // NewMetrics returns an empty aggregator.
@@ -102,6 +103,22 @@ var serveHelp = map[string]string{
 	"request_id_generated_total":  "HTTP queries for which the server minted an X-Request-ID.",
 }
 
+// streamHelp documents the streaming-subsystem counters internal/stream
+// feeds in; unknown names fall back to a generic line.
+var streamHelp = map[string]string{
+	"appends_total":        "Append mutations committed on streaming datasets.",
+	"deletes_total":        "Delete mutations committed on streaming datasets.",
+	"points_added_total":   "Points added across committed append mutations.",
+	"points_removed_total": "Points removed across committed delete mutations.",
+	"splices_total":        "Appended points absorbed by tangent-splice chain insertion.",
+	"repairs_total":        "Hull-vertex deletions repaired by a bounded strip rebuild.",
+	"rebuilds_total":       "Full hull rebuilds (churn threshold, injected fallback, or 3-d replay).",
+	"fallbacks_total":      "Mutations that abandoned the incremental path for a full rebuild.",
+	"rollbacks_total":      "Mutations rolled back atomically after a typed rebuild failure.",
+	"deltas_total":         "Hull-delta notifications fanned out to subscribers.",
+	"lagged_total":         "Subscriber notifications dropped because the subscriber buffer was full.",
+}
+
 // ShardEventAdd counts one scatter-gather event for a peer ("attempt",
 // "ok", "fail", "timeout", "hedge", "corrupt", "breaker_open"). Exports as
 // inplacehull_shard_events_total{peer="…",event="…"} — the per-peer twin
@@ -156,6 +173,32 @@ func (x *Metrics) ServeCounter(name string) int64 {
 	x.mu.Lock()
 	defer x.mu.Unlock()
 	return x.serve[name]
+}
+
+// StreamCounterAdd accumulates a streaming-subsystem counter by name; it
+// is the hook internal/stream increments on its mutation paths. Counters
+// export as inplacehull_stream_<name>.
+func (x *Metrics) StreamCounterAdd(name string, v int64) {
+	if x == nil {
+		return
+	}
+	x.mu.Lock()
+	if x.stream == nil {
+		x.stream = make(map[string]int64)
+	}
+	x.stream[name] += v
+	x.mu.Unlock()
+}
+
+// StreamCounter reads one streaming-subsystem counter (0 if never
+// incremented) — the assertion surface of the stream soak tests.
+func (x *Metrics) StreamCounter(name string) int64 {
+	if x == nil {
+		return 0
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.stream[name]
 }
 
 // ServeTierAdd counts one served answer per degradation-ladder tier
@@ -310,6 +353,21 @@ func (x *Metrics) WritePrometheus(w io.Writer) error {
 		fmt.Fprintf(&b, "# HELP inplacehull_serve_%s %s\n", n, help)
 		fmt.Fprintf(&b, "# TYPE inplacehull_serve_%s counter\n", n)
 		fmt.Fprintf(&b, "inplacehull_serve_%s %d\n", n, x.serve[n])
+	}
+
+	streamNames := make([]string, 0, len(x.stream))
+	for n := range x.stream {
+		streamNames = append(streamNames, n)
+	}
+	sort.Strings(streamNames)
+	for _, n := range streamNames {
+		help, ok := streamHelp[n]
+		if !ok {
+			help = "Streaming-subsystem counter " + n + "."
+		}
+		fmt.Fprintf(&b, "# HELP inplacehull_stream_%s %s\n", n, help)
+		fmt.Fprintf(&b, "# TYPE inplacehull_stream_%s counter\n", n)
+		fmt.Fprintf(&b, "inplacehull_stream_%s %d\n", n, x.stream[n])
 	}
 
 	_, err := io.WriteString(w, b.String())

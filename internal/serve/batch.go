@@ -123,6 +123,9 @@ func (s *Server) runBatch(batch []*request) {
 		}
 		if s.cache != nil && !r.q.NoCache {
 			s.cache.put(r.key, res)
+			if r.stream {
+				s.indexStream(r.content, r.key)
+			}
 		}
 		s.count(&s.completed, "completed_total")
 		r.respond(res, nil)

@@ -65,6 +65,24 @@ func (c *lruCache) put(key hullhash.Sum, res Result) {
 	}
 }
 
+// remove deletes the given keys, returning how many were present. The
+// stream-invalidation path uses it: superseded entries leave the cache
+// immediately instead of lingering unreachable until the LRU ages them
+// out.
+func (c *lruCache) remove(keys []hullhash.Sum) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, k := range keys {
+		if el, ok := c.entries[k]; ok {
+			c.order.Remove(el)
+			delete(c.entries, k)
+			n++
+		}
+	}
+	return n
+}
+
 // len reports the current entry count (test surface).
 func (c *lruCache) len() int {
 	c.mu.Lock()

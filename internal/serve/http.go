@@ -157,6 +157,15 @@ func writeErr(w http.ResponseWriter, ctx context.Context, err error) {
 //	GET  /healthz      liveness
 //	GET  /metrics      Prometheus exposition (when Config.Metrics is set)
 //
+// With Config.Streams mounted, the mutable-dataset endpoints join them:
+//
+//	PUT    /v1/datasets/{name}        register a mutable dataset ({"points":[[…]…]}; idempotent for identical content)
+//	DELETE /v1/datasets/{name}        delete it (404 unknown); evicts its cached answers
+//	POST   /v1/datasets/{name}/append append points; answers the committed hull delta
+//	POST   /v1/datasets/{name}/delete remove points (one multiset occurrence each; all-or-nothing)
+//	GET    /v1/datasets/{name}/hull   current hull; ?since=V replays deltas, &wait_ms=D long-polls for the next commit
+//	GET    /v1/datasets/{name}/watch  hull-delta push over SSE (events: hull, delta, deleted)
+//
 // Every request runs under an X-Request-ID: a caller-supplied one is
 // propagated (to the response, error bodies, and scatter fan-out to
 // peers), otherwise the server mints one.
@@ -170,6 +179,18 @@ func (s *Server) Handler() http.Handler {
 		sort.Strings(names)
 		writeJSON(w, http.StatusOK, map[string][]string{"datasets": names})
 	})
+	if s.cfg.Streams != nil {
+		mux.HandleFunc("PUT /v1/datasets/{name}", s.serveStreamRegister)
+		mux.HandleFunc("DELETE /v1/datasets/{name}", s.serveStreamDelete)
+		mux.HandleFunc("POST /v1/datasets/{name}/append", func(w http.ResponseWriter, req *http.Request) {
+			s.serveStreamMutate(w, req, false)
+		})
+		mux.HandleFunc("POST /v1/datasets/{name}/delete", func(w http.ResponseWriter, req *http.Request) {
+			s.serveStreamMutate(w, req, true)
+		})
+		mux.HandleFunc("GET /v1/datasets/{name}/hull", s.serveStreamHull)
+		mux.HandleFunc("GET /v1/datasets/{name}/watch", s.serveStreamWatch)
+	}
 	mux.HandleFunc("/v1/peers", func(w http.ResponseWriter, req *http.Request) {
 		if s.cfg.Sharder == nil {
 			writeJSON(w, http.StatusOK, map[string]any{"peers": []any{}})

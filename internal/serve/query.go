@@ -15,6 +15,7 @@ import (
 	"inplacehull/internal/presorted"
 	"inplacehull/internal/resilient"
 	"inplacehull/internal/shard"
+	"inplacehull/internal/stream"
 	"inplacehull/internal/unsorted"
 )
 
@@ -157,8 +158,13 @@ type request struct {
 	full3  []geom.Point3
 	culled int
 	key    hullhash.Sum
-	resp   chan response
-	enq    time.Time
+	// stream/content: a stream-dataset query carries its snapshot's
+	// content hash so the cached answer can be evicted when that version
+	// is superseded.
+	stream  bool
+	content hullhash.Sum
+	resp    chan response
+	enq     time.Time
 }
 
 // resolveBackend parses the query's wire backend and resolves "auto" to
@@ -293,18 +299,35 @@ func (s *Server) Query2D(ctx context.Context, q Query) (Result, error) {
 	}
 	var dsHash hullhash.Sum
 	haveDS := false
+	var snap stream.Snapshot2
 	switch {
 	case q.Dataset != "" && q.Points2 != nil:
 		return Result{}, hullerr.New(hullerr.InvalidInput, op, "both inline points and dataset %q", q.Dataset)
 	case q.Dataset != "":
 		d, ok := s.datasets[q.Dataset]
-		if !ok || d.Points2 == nil {
+		switch {
+		case ok && d.Points2 != nil:
+			if d.err != nil {
+				return Result{}, d.err
+			}
+			r.pts2, dsHash, haveDS = d.Points2, d.hash, true
+		case !ok && s.cfg.Streams != nil:
+			sd, sok := s.cfg.Streams.Get(q.Dataset)
+			if !sok {
+				return Result{}, hullerr.New(hullerr.InvalidInput, op, "unknown 2-d dataset %q", q.Dataset)
+			}
+			// Snapshot once: the points, chain, and hash are one committed
+			// version, immutable from here on — the query is consistent
+			// even while mutations land concurrently.
+			if snap, err = sd.Snapshot2(); err != nil {
+				return Result{}, err
+			}
+			s.count(&s.streamQueries, "stream_queries_total")
+			r.pts2, dsHash, haveDS = snap.Points, snap.Hash, true
+			r.stream, r.content = true, snap.Hash
+		default:
 			return Result{}, hullerr.New(hullerr.InvalidInput, op, "unknown 2-d dataset %q", q.Dataset)
 		}
-		if d.err != nil {
-			return Result{}, d.err
-		}
-		r.pts2, dsHash, haveDS = d.Points2, d.hash, true
 	default:
 		if err := hullerr.CheckFinite2D(op, q.Points2); err != nil {
 			return Result{}, err
@@ -312,10 +335,93 @@ func (s *Server) Query2D(ctx context.Context, q Query) (Result, error) {
 		r.pts2 = q.Points2
 	}
 	r.key = s.key(r, dsHash, haveDS)
+	if r.stream && q.Shards == 0 && q.Algo == AlgoHull2D && r.backend == resilient.BackendNative {
+		return s.streamPatched2(r, snap)
+	}
 	if q.Shards != 0 {
 		return s.doScattered(ctx, r)
 	}
 	return s.do(r)
+}
+
+// streamPatched2 answers a default-shape query (AlgoHull2D, native
+// backend, unscattered) on a stream dataset directly from its maintained
+// chain: the chain IS the canonical native answer at this version (the
+// stream parity suite gates it bit-identical to hull2d.UpperHull), so
+// the query costs a cache lookup or one O(n) point-location pass — no
+// admission queue, no fleet checkout. Culling is irrelevant here: the
+// filter can never change the hull, and no backend runs to feel its
+// effective-n benefit.
+func (s *Server) streamPatched2(r *request, snap stream.Snapshot2) (Result, error) {
+	start := time.Now()
+	if s.cache != nil && !r.q.NoCache {
+		if res, ok := s.cache.get(r.key); ok {
+			s.count(&s.cacheHits, "cache_hits_total")
+			res.Cached = true
+			res.Elapsed = time.Since(start)
+			s.cfg.Metrics.ServeTierAdd(res.Report.Tier.String())
+			return res, nil
+		}
+		s.count(&s.cacheMisses, "cache_misses_total")
+	}
+	if err := r.ctx.Err(); err != nil {
+		s.count(&s.deadlineShed, "deadline_shed_total")
+		return Result{}, hullerr.FromContext(r.op, err)
+	}
+	chain := snap.Chain
+	var edges []geom.Edge
+	for i := 1; i < len(chain); i++ {
+		edges = append(edges, geom.Edge{U: chain[i-1], W: chain[i]})
+	}
+	res := Result{
+		N: len(snap.Points), Chain: chain, Edges: edges,
+		EdgeOf: native.Locate(snap.Points, edges),
+		Report: resilient.Report{Attempts: 1, Tier: resilient.TierRandomized,
+			ExecBackend: resilient.BackendNative},
+	}
+	s.count(&s.streamPatched, "stream_patched_total")
+	if s.cache != nil && !r.q.NoCache {
+		s.cache.put(r.key, res)
+		s.indexStream(r.content, r.key)
+	}
+	s.count(&s.completed, "completed_total")
+	res.Elapsed = time.Since(start)
+	s.cfg.Metrics.ServeTierAdd(res.Report.Tier.String())
+	return res, nil
+}
+
+// streamPatched3 is streamPatched2 for 3-d: the last committed cap
+// structure is the full native answer over the live set, served as-is.
+func (s *Server) streamPatched3(r *request, snap stream.Snapshot3) (Result, error) {
+	start := time.Now()
+	if s.cache != nil && !r.q.NoCache {
+		if res, ok := s.cache.get(r.key); ok {
+			s.count(&s.cacheHits, "cache_hits_total")
+			res.Cached = true
+			res.Elapsed = time.Since(start)
+			s.cfg.Metrics.ServeTierAdd(res.Report.Tier.String())
+			return res, nil
+		}
+		s.count(&s.cacheMisses, "cache_misses_total")
+	}
+	if err := r.ctx.Err(); err != nil {
+		s.count(&s.deadlineShed, "deadline_shed_total")
+		return Result{}, hullerr.FromContext(r.op, err)
+	}
+	res := Result{
+		N: len(snap.Points), Facets: len(snap.Res.Facets), FacetOf: snap.Res.FacetOf,
+		Report: resilient.Report{Attempts: 1, Tier: resilient.TierRandomized,
+			ExecBackend: resilient.BackendNative},
+	}
+	s.count(&s.streamPatched, "stream_patched_total")
+	if s.cache != nil && !r.q.NoCache {
+		s.cache.put(r.key, res)
+		s.indexStream(r.content, r.key)
+	}
+	s.count(&s.completed, "completed_total")
+	res.Elapsed = time.Since(start)
+	s.cfg.Metrics.ServeTierAdd(res.Report.Tier.String())
+	return res, nil
 }
 
 // Query3D is Query2D for 3-d queries.
@@ -335,18 +441,32 @@ func (s *Server) Query3D(ctx context.Context, q Query) (Result, error) {
 	}
 	var dsHash hullhash.Sum
 	haveDS := false
+	var snap stream.Snapshot3
 	switch {
 	case q.Dataset != "" && q.Points3 != nil:
 		return Result{}, hullerr.New(hullerr.InvalidInput, op, "both inline points and dataset %q", q.Dataset)
 	case q.Dataset != "":
 		d, ok := s.datasets[q.Dataset]
-		if !ok || d.Points3 == nil {
+		switch {
+		case ok && d.Points3 != nil:
+			if d.err != nil {
+				return Result{}, d.err
+			}
+			r.pts3, dsHash, haveDS = d.Points3, d.hash, true
+		case !ok && s.cfg.Streams != nil:
+			sd, sok := s.cfg.Streams.Get(q.Dataset)
+			if !sok {
+				return Result{}, hullerr.New(hullerr.InvalidInput, op, "unknown 3-d dataset %q", q.Dataset)
+			}
+			if snap, err = sd.Snapshot3(); err != nil {
+				return Result{}, err
+			}
+			s.count(&s.streamQueries, "stream_queries_total")
+			r.pts3, dsHash, haveDS = snap.Points, snap.Hash, true
+			r.stream, r.content = true, snap.Hash
+		default:
 			return Result{}, hullerr.New(hullerr.InvalidInput, op, "unknown 3-d dataset %q", q.Dataset)
 		}
-		if d.err != nil {
-			return Result{}, d.err
-		}
-		r.pts3, dsHash, haveDS = d.Points3, d.hash, true
 	default:
 		if err := hullerr.CheckFinite3D(op, q.Points3); err != nil {
 			return Result{}, err
@@ -354,6 +474,9 @@ func (s *Server) Query3D(ctx context.Context, q Query) (Result, error) {
 		r.pts3 = q.Points3
 	}
 	r.key = s.key(r, dsHash, haveDS)
+	if r.stream && r.backend == resilient.BackendNative {
+		return s.streamPatched3(r, snap)
+	}
 	return s.do(r)
 }
 

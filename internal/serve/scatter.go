@@ -70,6 +70,9 @@ func (s *Server) doScattered(ctx context.Context, r *request) (Result, error) {
 	s.count(&s.completed, "completed_total")
 	if err == nil && s.cache != nil && !r.q.NoCache {
 		s.cache.put(r.key, res)
+		if r.stream {
+			s.indexStream(r.content, r.key)
+		}
 	}
 	// A partial answer returns BOTH the covered hull and the typed
 	// PartialHull error; callers that cannot use partial coverage treat it

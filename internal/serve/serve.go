@@ -65,6 +65,7 @@ import (
 	"inplacehull/internal/resilient"
 	"inplacehull/internal/rng"
 	"inplacehull/internal/shard"
+	"inplacehull/internal/stream"
 )
 
 // Config tunes the server. The zero value serves with defaults: a small
@@ -127,6 +128,17 @@ type Config struct {
 	// workers (in-process fleets and/or remote hullserve peers) instead of
 	// running on one machine. See internal/shard.
 	Sharder *shard.Coordinator
+	// Streams, when non-nil, mounts the mutable-dataset store
+	// (internal/stream): stream datasets are servable by name exactly
+	// like static ones — the query snapshots the live point set and keys
+	// the cache by the dataset's maintained content hash, so cache keys
+	// follow content across versions. Default-shape queries (AlgoHull2D,
+	// native backend, unscattered) are answered directly from the
+	// maintained hull without a fleet dispatch, and every committed
+	// mutation evicts the cache entries computed over the superseded
+	// content hash (Store.Watch) instead of leaving them to age out.
+	// Static Datasets shadow stream datasets of the same name.
+	Streams *stream.Store
 }
 
 func (c *Config) fill() {
@@ -186,6 +198,11 @@ type Stats struct {
 	// CullQueries counts cache-miss queries the admission filter ran on;
 	// CullPoints is the total points it discarded across them.
 	CullQueries, CullPoints int64
+	// StreamQueries counts queries resolved against a mutable stream
+	// dataset; StreamPatched those answered directly from its maintained
+	// hull (no fleet dispatch); StreamEvictions the cache entries evicted
+	// because a mutation superseded the content they were computed over.
+	StreamQueries, StreamPatched, StreamEvictions int64
 }
 
 // Server is the hull-query service. Create with NewServer, stop with
@@ -203,11 +220,18 @@ type Server struct {
 	mu     sync.RWMutex // closed-flag handshake between submit and Close
 	closed bool
 
-	queries, admitted, shed, deadlineShed  atomic.Int64
-	completed, errors                      atomic.Int64
-	cacheHits, cacheMisses, cacheEvictions atomic.Int64
-	batches, batchedQueries                atomic.Int64
-	cullQueries, cullPoints                atomic.Int64
+	queries, admitted, shed, deadlineShed        atomic.Int64
+	completed, errors                            atomic.Int64
+	cacheHits, cacheMisses, cacheEvictions       atomic.Int64
+	batches, batchedQueries                      atomic.Int64
+	cullQueries, cullPoints                      atomic.Int64
+	streamQueries, streamPatched, streamEvicted  atomic.Int64
+
+	// byContent indexes cached entries by the stream content hash they
+	// were computed over, so a committed mutation evicts exactly the
+	// superseded generation. nil unless Config.Streams is set.
+	byContMu  sync.Mutex
+	byContent map[hullhash.Sum]map[hullhash.Sum]struct{}
 }
 
 // NewServer builds and starts a server: fleet machines are created idle
@@ -242,11 +266,63 @@ func NewServer(cfg Config) *Server {
 		}
 		s.datasets[name] = &dataset{Dataset: d, hash: h.Sum(), err: err}
 	}
+	if cfg.Streams != nil {
+		s.byContent = make(map[hullhash.Sum]map[hullhash.Sum]struct{})
+		cfg.Streams.Watch(s.streamInvalidate)
+	}
 	for i := 0; i < cfg.FleetSize; i++ {
 		s.wg.Add(1)
 		go s.executor()
 	}
 	return s
+}
+
+// indexStream records a cached entry under the stream content hash that
+// produced it, so a later commit can evict exactly that generation.
+func (s *Server) indexStream(content, key hullhash.Sum) {
+	if s.byContent == nil {
+		return
+	}
+	s.byContMu.Lock()
+	defer s.byContMu.Unlock()
+	ks := s.byContent[content]
+	if ks == nil {
+		ks = make(map[hullhash.Sum]struct{}, 1)
+		s.byContent[content] = ks
+	}
+	ks[key] = struct{}{}
+}
+
+// streamInvalidate is the Store.Watch hook: a committed delta evicts the
+// cache entries computed over the superseded content; a tombstone (the
+// dataset was deleted) evicts its final generation.
+func (s *Server) streamInvalidate(d stream.Delta) {
+	if d.Deleted {
+		s.evictContent(d.Hash)
+		return
+	}
+	s.evictContent(d.PrevHash)
+}
+
+// evictContent drops every cache entry indexed under content.
+func (s *Server) evictContent(content hullhash.Sum) {
+	if s.byContent == nil {
+		return
+	}
+	s.byContMu.Lock()
+	ks := s.byContent[content]
+	delete(s.byContent, content)
+	s.byContMu.Unlock()
+	if len(ks) == 0 || s.cache == nil {
+		return
+	}
+	keys := make([]hullhash.Sum, 0, len(ks))
+	for k := range ks {
+		keys = append(keys, k)
+	}
+	if n := s.cache.remove(keys); n > 0 {
+		s.countN(&s.streamEvicted, "stream_evictions_total", int64(n))
+	}
 }
 
 // count bumps one serving counter and mirrors it into the metrics
@@ -273,14 +349,24 @@ func (s *Server) Stats() Stats {
 		CacheEvictions: s.cacheEvictions.Load(),
 		Batches:        s.batches.Load(), BatchedQueries: s.batchedQueries.Load(),
 		CullQueries: s.cullQueries.Load(), CullPoints: s.cullPoints.Load(),
+		StreamQueries: s.streamQueries.Load(), StreamPatched: s.streamPatched.Load(),
+		StreamEvictions: s.streamEvicted.Load(),
 	}
 }
 
-// Datasets lists the registered dataset names (unordered).
+// Datasets lists the servable dataset names (unordered): the static
+// preloads plus, when a stream store is mounted, its live datasets.
 func (s *Server) Datasets() []string {
 	names := make([]string, 0, len(s.datasets))
 	for n := range s.datasets {
 		names = append(names, n)
+	}
+	if s.cfg.Streams != nil {
+		for _, n := range s.cfg.Streams.Names() {
+			if _, shadowed := s.datasets[n]; !shadowed {
+				names = append(names, n)
+			}
+		}
 	}
 	return names
 }

@@ -3,12 +3,17 @@ package inplacehull
 import (
 	"context"
 	"io"
+	"sort"
 
+	"inplacehull/internal/cull"
+	"inplacehull/internal/geom"
 	"inplacehull/internal/hullerr"
+	"inplacehull/internal/native"
 	"inplacehull/internal/obs"
 	"inplacehull/internal/pram"
 	"inplacehull/internal/presorted"
 	"inplacehull/internal/resilient"
+	"inplacehull/internal/shard"
 	"inplacehull/internal/unsorted"
 )
 
@@ -85,6 +90,26 @@ func (a Algo) String() string {
 	}
 }
 
+// CullPolicy selects the admission-side interior-point filter of
+// RunConfig.Cull (see internal/cull): a cheap pre-pass that discards
+// points certainly strictly inside the hull before the backend runs.
+type CullPolicy = cull.Policy
+
+const (
+	// CullAuto defers to the entry point's default — at the library
+	// level, off (the serving layer resolves its own auto to octagon).
+	CullAuto = cull.PolicyAuto
+	// CullOff disables the filter explicitly.
+	CullOff = cull.PolicyOff
+	// CullQuad filters against the quadrilateral of the 4 axis extremes.
+	CullQuad = cull.PolicyQuad
+	// CullOctagon filters against the octagon of the 8 directional
+	// extremes — the serving layer's default.
+	CullOctagon = cull.PolicyOctagon
+	// CullCoarse filters against an exact hull of a seeded ~√n sample.
+	CullCoarse = cull.PolicyCoarse
+)
+
 // RunConfig is the single configuration surface of the Run entry points,
 // replacing the former matrix of per-algorithm × options × context
 // function variants. The zero value runs the default algorithm supervised
@@ -118,6 +143,20 @@ type RunConfig struct {
 	// and Policy/Direct are ignored: native runs are deterministic and
 	// need no supervisor.
 	Backend Backend
+	// Cull applies the admission-side interior-point filter to AlgoHull2D
+	// inputs before the backend runs. Unlike the serving layer — which
+	// resolves its zero value to the octagon filter — the zero value here
+	// (CullAuto) leaves culling OFF: the library computes over exactly
+	// the points given unless a caller opts in. Culling never changes
+	// the answer — the filter discards only points certainly strictly
+	// interior (conv(survivors) == conv(pts) exactly, the internal/cull
+	// invariant), EdgeOf is rebuilt over the full input with the
+	// left-incident covering rule, and counted exact-tier chains are
+	// canonicalized; the root cull parity test pins the culled and
+	// unculled outputs bit-identical. Sorted-input algorithms
+	// (AlgoPresorted, AlgoLogStar, AlgoOptimal) skip the filter so an
+	// unsorted input still fails typed, never gets accidentally sorted.
+	Cull CullPolicy
 }
 
 // Run2DResult is the unified output of Run2D: the hull fields every
@@ -214,14 +253,22 @@ func Run2D(ctx context.Context, m *Machine, rnd *Rand, pts []Point, cfg RunConfi
 			Optimal: &r,
 		}, directReport(m, before), err
 	default: // AlgoHull2D
+		work, full := applyRootCull(cfg, rnd, pts)
 		if cfg.Direct {
 			r, err := direct(ctx, m, "Run2D/hull2d", func() (Hull2DResult, error) {
-				return unsorted.Hull2DOpts(m, rnd, pts, cfg.Options2D)
+				return unsorted.Hull2DOpts(m, rnd, work, cfg.Options2D)
 			})
-			return unsortedRun(r), directReport(m, before), err
+			rep := directReport(m, before)
+			if err != nil {
+				return unsortedRun(r), rep, err
+			}
+			return liftRootCull(unsortedRun(r), rep, full), rep, nil
 		}
-		r, rep, err := resilient.Hull2DOpts(ctx, m, rnd, pts, cfg.Options2D, cfg.Policy)
-		return unsortedRun(r), rep, err
+		r, rep, err := resilient.Hull2DOpts(ctx, m, rnd, work, cfg.Options2D, cfg.Policy)
+		if err != nil {
+			return unsortedRun(r), rep, err
+		}
+		return liftRootCull(unsortedRun(r), rep, full), rep, nil
 	}
 }
 
@@ -248,6 +295,65 @@ func Run3D(ctx context.Context, m *Machine, rnd *Rand, pts []Point3, cfg RunConf
 		return r, directReport(m, before), err
 	}
 	return resilient.Hull3DOpts(ctx, m, rnd, pts, cfg.Options3D, cfg.Policy)
+}
+
+// cullSplit derives the coarse filter's sampling seed from the caller's
+// Rand without disturbing the values the hull run draws — a Split off
+// the main stream, the nativeSeed pattern.
+const cullSplit = 0xC011
+
+func cullSeed(rnd *Rand) uint64 {
+	if rnd == nil {
+		return 0
+	}
+	return rnd.Split(cullSplit).Uint64()
+}
+
+// applyRootCull runs the RunConfig.Cull admission filter for an
+// AlgoHull2D run: it returns the working point set and, when anything
+// was discarded, the original input (nil otherwise — the run then
+// behaves bit-identically to an unculled one). Non-finite points are
+// never culled, so a bad input still fails typed downstream.
+func applyRootCull(cfg RunConfig, rnd *Rand, pts []Point) (work, full []Point) {
+	if cfg.Algorithm != AlgoHull2D || cfg.Cull == CullAuto || cfg.Cull == CullOff {
+		return pts, nil
+	}
+	survivors := cull.Points2(cfg.Cull, cullSeed(rnd), pts)
+	if len(survivors) == len(pts) {
+		return pts, nil
+	}
+	return survivors, pts
+}
+
+// liftRootCull maps a culled run's answer back onto the full input:
+// counted exact-tier chains are canonicalized (the §4.1 counted path may
+// subdivide collinear hull edges, and which subdivisions appear depends
+// on the input subset), EdgeOf re-covers every submitted point with the
+// left-incident rule, and the algorithm record mirrors the lifted
+// fields. Approximate-tier chains pass through: their certified ε
+// transfers to the full set — every discarded point lies strictly below
+// the true upper hull, whose vertices are survivors the certificate
+// measured.
+func liftRootCull(res Run2DResult, rep RunReport, full []Point) Run2DResult {
+	if full == nil {
+		return res
+	}
+	if rep.Backend() == BackendCounted && rep.Tier != TierApproximate {
+		sorted := append([]Point(nil), full...)
+		sort.Slice(sorted, func(i, j int) bool { return geom.LexLess(sorted[i], sorted[j]) })
+		res.Chain = shard.Canonical(sorted, res.Chain)
+		res.Edges = nil
+		for i := 1; i < len(res.Chain); i++ {
+			res.Edges = append(res.Edges, Edge{U: res.Chain[i-1], W: res.Chain[i]})
+		}
+	}
+	res.EdgeOf = native.Locate(full, res.Edges)
+	if res.Unsorted != nil {
+		u := *res.Unsorted
+		u.Chain, u.Edges, u.EdgeOf = res.Chain, res.Edges, res.EdgeOf
+		res.Unsorted = &u
+	}
+	return res
 }
 
 // directReport synthesizes the supervisor report of a Direct run: one

@@ -57,8 +57,14 @@ func run2DNative(ctx context.Context, rnd *Rand, pts []Point, cfg RunConfig, sin
 			Optimal: &r,
 		}, rep, err
 	default: // AlgoHull2D
-		r, rep, err := eng.Hull2D(ctx, pts, cfg.Options2D, cfg.Policy)
-		return unsortedRun(r), rep, err
+		work, full := applyRootCull(cfg, rnd, pts)
+		r, rep, err := eng.Hull2D(ctx, work, cfg.Options2D, cfg.Policy)
+		if err != nil {
+			return unsortedRun(r), rep, err
+		}
+		// Native chains are already canonical; the lift only re-covers
+		// EdgeOf over the full input.
+		return liftRootCull(unsortedRun(r), rep, full), rep, err
 	}
 }
 
